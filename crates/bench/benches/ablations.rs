@@ -1,0 +1,70 @@
+//! Ablation benches over MobiCore's design choices (DESIGN.md §5).
+//!
+//! Criterion measures wall time; the *power* outcomes of these ablations
+//! are asserted in `tests/ablations.rs` and recorded in EXPERIMENTS.md.
+//! What belongs here is the runtime cost of each variant — what the
+//! decision path would burn on-device — plus full-stack runs proving the
+//! variants stay within the same simulation-throughput class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mobicore::{FrequencyRule, MobiCore, MobiCoreConfig};
+use mobicore_model::profiles;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_workloads::BusyLoop;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn run_variant(cfg: MobiCoreConfig) -> f64 {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let sim_cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(2)
+        .without_mpdecision();
+    let mut sim = Simulation::new(sim_cfg, Box::new(MobiCore::with_config(&profile, cfg))).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.35, f_max, 17)));
+    sim.run().avg_power_mw
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobicore_variant_2s");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+
+    let variants: Vec<(&str, MobiCoreConfig)> = vec![
+        ("full", MobiCoreConfig::default()),
+        ("no-quota", MobiCoreConfig::default().without_quota()),
+        ("no-dcs", MobiCoreConfig::default().without_dcs()),
+        (
+            "optimal-point",
+            MobiCoreConfig {
+                rule: FrequencyRule::OptimalPoint,
+                ..MobiCoreConfig::default()
+            },
+        ),
+        (
+            "sampling-100ms",
+            MobiCoreConfig {
+                sampling_us: 100_000,
+                ..MobiCoreConfig::default()
+            },
+        ),
+        (
+            "offline-threshold-20pct",
+            MobiCoreConfig {
+                offline_threshold_pct: 20.0,
+                ..MobiCoreConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_variant(*cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the per-sample decision path — the code that runs
+//! every 20 ms on a phone, where overhead is battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
+use mobicore_governors::dvfs::{DvfsGovernor, Interactive, Ondemand};
+use mobicore_model::operating_point::OperatingPointOptimizer;
+use mobicore_model::{profiles, Khz, Quota, Utilization};
+use mobicore_sim::{CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
+use std::hint::black_box;
+
+fn snapshot(utils: [f64; 4]) -> PolicySnapshot {
+    let cores: Vec<CoreSnapshot> = utils
+        .iter()
+        .map(|&u| CoreSnapshot {
+            online: true,
+            cur_khz: Khz(960_000),
+            target_khz: Khz(960_000),
+            util: Utilization::new(u),
+            busy_us: (u * 20_000.0) as u64,
+        })
+        .collect();
+    PolicySnapshot {
+        now_us: 1_000_000,
+        window_us: 20_000,
+        overall_util: Utilization::new(utils.iter().sum::<f64>() / 4.0),
+        cores,
+        quota: Quota::FULL,
+        mpdecision_enabled: false,
+        max_runnable_threads: 4,
+        temp_c: 30.0,
+    }
+}
+
+fn bench_decision_path(c: &mut Criterion) {
+    let profile = profiles::nexus5();
+    let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
+
+    c.bench_function("mobicore_on_sample", |b| {
+        let mut policy = MobiCore::new(&profile);
+        b.iter(|| {
+            let mut ctl = CpuControl::new();
+            policy.on_sample(black_box(&snap), &mut ctl);
+            black_box(ctl.take())
+        })
+    });
+
+    c.bench_function("mobicore_optpoint_on_sample", |b| {
+        let cfg = MobiCoreConfig {
+            rule: mobicore::FrequencyRule::OptimalPoint,
+            ..MobiCoreConfig::default()
+        };
+        let mut policy = MobiCore::with_config(&profile, cfg);
+        b.iter(|| {
+            let mut ctl = CpuControl::new();
+            policy.on_sample(black_box(&snap), &mut ctl);
+            black_box(ctl.take())
+        })
+    });
+
+    c.bench_function("ondemand_target", |b| {
+        let mut g = Ondemand::new();
+        b.iter(|| black_box(g.target(black_box(&snap), profile.opps())))
+    });
+
+    c.bench_function("interactive_target", |b| {
+        let mut g = Interactive::new();
+        b.iter(|| black_box(g.target(black_box(&snap), profile.opps())))
+    });
+
+    c.bench_function("bandwidth_analyzer_decide", |b| {
+        let mut a = BandwidthAnalyzer::new(MobiCoreConfig::default());
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.013) % 0.6;
+            black_box(a.decide(Utilization::new(u)))
+        })
+    });
+
+    c.bench_function("dcs_decide", |b| {
+        let pass = DcsPass::new(MobiCoreConfig::default());
+        b.iter(|| black_box(pass.decide(black_box(&snap), Quota::FULL)))
+    });
+
+    c.bench_function("optimizer_best_for_load_50pct", |b| {
+        let opt = OperatingPointOptimizer::new(&profile);
+        b.iter(|| black_box(opt.best_for_global_load(black_box(0.5)).unwrap()))
+    });
+
+    c.bench_function("device_power_eval", |b| {
+        let acts = vec![
+            mobicore_model::CoreActivity::online(13, 0.9),
+            mobicore_model::CoreActivity::online(9, 0.4),
+            mobicore_model::CoreActivity::online(5, 0.2),
+            mobicore_model::CoreActivity::OFFLINE,
+        ];
+        b.iter(|| black_box(profile.power(black_box(&acts)).unwrap().total_mw()))
+    });
+}
+
+criterion_group!(benches, bench_decision_path);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! One bench per paper table/figure: times the (quick-mode) regeneration
+//! of each artifact. `cargo run -p mobicore-experiments --bin all` prints
+//! the actual rows; this harness tracks how expensive each regeneration
+//! is and doubles as a smoke test that every experiment still passes its
+//! shape checks under the bench profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regenerate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for (id, run) in mobicore_experiments::all_experiments() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &run, |b, run| {
+            b.iter(|| {
+                let result = run(true);
+                assert!(
+                    result.all_pass(),
+                    "{id} diverged under the bench profile:\n{result}"
+                );
+                black_box(result.lines.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Simulator throughput: how many simulated seconds per wall second the
+//! harness sustains (this bounds every experiment's runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobicore::MobiCore;
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::profiles;
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+use mobicore_workloads::{BusyLoop, GameApp, GameProfile};
+use std::hint::black_box;
+
+fn one_sim_second(policy_kind: &str) -> f64 {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let policy: Box<dyn CpuPolicy> = match policy_kind {
+        "pinned" => Box::new(PinnedPolicy::new(4, f_max)),
+        "android" => Box::new(AndroidDefaultPolicy::new(&profile)),
+        _ => Box::new(MobiCore::new(&profile)),
+    };
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(1)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, policy).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.5, f_max, 1)));
+    sim.run().avg_power_mw
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_one_second");
+    group.throughput(Throughput::Elements(1_000)); // ticks per sim-second
+    for kind in ["pinned", "android", "mobicore"] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, kind| {
+            b.iter(|| black_box(one_sim_second(kind)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("sim_game_second", |b| {
+        b.iter(|| {
+            let profile = profiles::nexus5_gaming();
+            let cfg = SimConfig::new(profile.clone())
+                .with_duration_secs(1)
+                .without_mpdecision();
+            let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile))).unwrap();
+            sim.add_workload(Box::new(GameApp::new(GameProfile::subway_surf(), 1)));
+            black_box(sim.run().avg_power_mw)
+        })
+    });
+
+    // Scheduler scaling with thread count.
+    let mut group = c.benchmark_group("sim_second_by_threads");
+    for threads in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let profile = profiles::nexus5();
+                    let f_max = profile.opps().max_khz();
+                    let cfg = SimConfig::new(profile)
+                        .with_duration_secs(1)
+                        .without_mpdecision();
+                    let mut sim =
+                        Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
+                    sim.add_workload(Box::new(BusyLoop::with_target_util(
+                        threads, 0.5, f_max, 1,
+                    )));
+                    black_box(sim.run().executed_cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Criterion benchmark crate for the MobiCore reproduction.
+//!
+//! Benches (run with `cargo bench --workspace`):
+//!
+//! * `decision_path` — per-sample policy costs (what runs every 20 ms);
+//! * `simulation` — simulator throughput per policy and thread count;
+//! * `figures` — time to regenerate each paper table/figure (quick mode),
+//!   asserting the shape checks still pass;
+//! * `ablations` — wall time of each MobiCore design variant.

@@ -1,0 +1,206 @@
+//! The bandwidth-reduction algorithm of paper Table 2 (Algorithm 4.1.2).
+//!
+//! ```text
+//! for each sampling period
+//!     quota = utilization
+//!     if utilization(t) < 40
+//!         if Δ utilization (t − t−1) < downThreshold
+//!             scaling_factor = 0.9
+//!             quota = quota * scaling_factor
+//!         if Δ utilization (t − t−1) > upThreshold
+//!             scaling_factor = 1
+//!             quota = quota * scaling_factor
+//! ```
+//!
+//! Interpretation notes (recorded in DESIGN.md): `quota = utilization`
+//! allocates exactly the bandwidth the phone just used, so we add a small
+//! configurable headroom to keep steady loads from being throttled by
+//! measurement noise; above the 40 % analysis threshold the full
+//! bandwidth is restored ("CPUs will still need a high bandwidth").
+
+use crate::config::MobiCoreConfig;
+use mobicore_model::{Quota, Utilization};
+
+/// The burst/slow-mode classification of one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// ΔU above the up-threshold: allocate generously.
+    Burst,
+    /// ΔU below the (negative) down-threshold: shrink the quota.
+    Slow,
+    /// Neither: track the utilization.
+    Steady,
+    /// Overall load too high for the analysis to run at all.
+    HighLoad,
+}
+
+/// The outcome of one Table-2 period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthDecision {
+    /// The CFS quota to install (fraction of full bandwidth).
+    pub quota: Quota,
+    /// The scaling factor applied to the utilization signal — the `q` of
+    /// §4.1.1's `K = K·q` (0.9 in slow mode, 1.0 otherwise).
+    pub scale: f64,
+    /// The quota-scaled utilization `K·q` that the frequency and DCS
+    /// passes should reason with.
+    pub k_effective: Utilization,
+}
+
+/// Stateful Table-2 analyzer.
+#[derive(Debug, Clone)]
+pub struct BandwidthAnalyzer {
+    cfg: MobiCoreConfig,
+    prev_util: Option<Utilization>,
+    last_mode: WorkloadMode,
+}
+
+impl BandwidthAnalyzer {
+    /// An analyzer with the given tunables.
+    pub fn new(cfg: MobiCoreConfig) -> Self {
+        BandwidthAnalyzer {
+            cfg,
+            prev_util: None,
+            last_mode: WorkloadMode::HighLoad,
+        }
+    }
+
+    /// The mode the last window was classified as.
+    pub fn last_mode(&self) -> WorkloadMode {
+        self.last_mode
+    }
+
+    /// Runs one sampling period of Algorithm 4.1.2.
+    pub fn decide(&mut self, util: Utilization) -> BandwidthDecision {
+        let delta_pct = match self.prev_util {
+            Some(prev) => util.delta(prev) * 100.0,
+            None => 0.0,
+        };
+        self.prev_util = Some(util);
+
+        if util.as_percent() >= self.cfg.low_load_threshold_pct {
+            // High overall load: the analysis is skipped and the CPUs get
+            // the whole bandwidth.
+            self.last_mode = WorkloadMode::HighLoad;
+            return BandwidthDecision {
+                quota: Quota::FULL,
+                scale: 1.0,
+                k_effective: util,
+            };
+        }
+        let scale = if delta_pct < -self.cfg.delta_down_pct {
+            self.last_mode = WorkloadMode::Slow;
+            self.cfg.scaling_factor
+        } else if delta_pct > self.cfg.delta_up_pct {
+            self.last_mode = WorkloadMode::Burst;
+            1.0
+        } else {
+            self.last_mode = WorkloadMode::Steady;
+            1.0
+        };
+        let k_effective = Utilization::new(util.as_fraction() * scale);
+        // Table 2 line 2: the installed bandwidth tracks the (scaled)
+        // utilization, plus headroom against measurement noise.
+        let quota = Quota::new(k_effective.as_fraction() + self.cfg.quota_headroom);
+        BandwidthDecision {
+            quota,
+            scale,
+            k_effective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> BandwidthAnalyzer {
+        BandwidthAnalyzer::new(MobiCoreConfig::default())
+    }
+
+    #[test]
+    fn high_load_gets_full_bandwidth() {
+        let mut a = analyzer();
+        let d = a.decide(Utilization::from_percent(75.0));
+        assert_eq!(d.quota, Quota::FULL);
+        assert_eq!(d.scale, 1.0);
+        assert_eq!(a.last_mode(), WorkloadMode::HighLoad);
+    }
+
+    #[test]
+    fn threshold_boundary_is_high_load() {
+        let mut a = analyzer();
+        assert_eq!(a.decide(Utilization::from_percent(40.0)).quota, Quota::FULL);
+    }
+
+    #[test]
+    fn steady_low_load_tracks_utilization_with_headroom() {
+        let mut a = analyzer();
+        a.decide(Utilization::from_percent(30.0));
+        let d = a.decide(Utilization::from_percent(30.0));
+        assert_eq!(a.last_mode(), WorkloadMode::Steady);
+        assert_eq!(d.scale, 1.0);
+        let expect = 0.30 + MobiCoreConfig::default().quota_headroom;
+        assert!((d.quota.as_fraction() - expect).abs() < 1e-9, "{:?}", d);
+        assert!((d.k_effective.as_fraction() - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_mode_scales_by_point_nine() {
+        let mut a = analyzer();
+        a.decide(Utilization::from_percent(35.0));
+        let d = a.decide(Utilization::from_percent(20.0));
+        assert_eq!(a.last_mode(), WorkloadMode::Slow);
+        assert_eq!(d.scale, 0.9);
+        assert!((d.k_effective.as_fraction() - 0.18).abs() < 1e-9);
+        let expect = 0.18 + MobiCoreConfig::default().quota_headroom;
+        assert!((d.quota.as_fraction() - expect).abs() < 1e-9, "{:?}", d);
+    }
+
+    #[test]
+    fn burst_mode_does_not_shrink() {
+        let mut a = analyzer();
+        a.decide(Utilization::from_percent(10.0));
+        let d = a.decide(Utilization::from_percent(30.0));
+        assert_eq!(a.last_mode(), WorkloadMode::Burst);
+        assert_eq!(d.scale, 1.0);
+        let expect = 0.30 + MobiCoreConfig::default().quota_headroom;
+        assert!((d.quota.as_fraction() - expect).abs() < 1e-9, "{:?}", d);
+    }
+
+    #[test]
+    fn first_window_has_no_delta() {
+        let mut a = analyzer();
+        let d = a.decide(Utilization::from_percent(20.0));
+        // Δ = 0: steady
+        assert_eq!(a.last_mode(), WorkloadMode::Steady);
+        assert!(d.quota.as_fraction() < 1.0);
+    }
+
+    #[test]
+    fn quota_never_below_floor() {
+        let mut a = analyzer();
+        for _ in 0..50 {
+            a.decide(Utilization::from_percent(5.0));
+        }
+        let d = a.decide(Utilization::from_percent(0.1));
+        assert!(d.quota.as_fraction() >= Quota::MIN_FRACTION);
+    }
+
+    #[test]
+    fn recovery_after_burst_is_immediate_at_high_load() {
+        let mut a = analyzer();
+        a.decide(Utilization::from_percent(10.0));
+        a.decide(Utilization::from_percent(5.0)); // slow mode, tiny quota
+        let d = a.decide(Utilization::from_percent(90.0));
+        assert_eq!(d.quota, Quota::FULL, "burst to high load restores everything");
+        assert_eq!(d.k_effective, Utilization::from_percent(90.0));
+    }
+
+    #[test]
+    fn disabled_quota_config_always_full() {
+        let mut a = BandwidthAnalyzer::new(MobiCoreConfig::default().without_quota());
+        assert_eq!(a.decide(Utilization::from_percent(5.0)).quota, Quota::FULL);
+        assert_eq!(a.decide(Utilization::from_percent(1.0)).quota, Quota::FULL);
+    }
+}

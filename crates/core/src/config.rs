@@ -1,0 +1,138 @@
+//! MobiCore tunables.
+
+use serde::{Deserialize, Serialize};
+
+/// How MobiCore turns its observation into per-core frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FrequencyRule {
+    /// Eq. (9): `f_new = f_ondemand · (K·q) · n_max / n` — the rule the
+    /// thesis implements.
+    #[default]
+    Eq9,
+    /// The §4.2 model-based variant: enumerate feasible `(cores, OPP)`
+    /// operating points and take the one the analytic energy model
+    /// (Eqs. (1)–(7)) predicts cheapest. Used for the ablation benches.
+    OptimalPoint,
+}
+
+/// Tunables of the MobiCore policy. The defaults are the values the
+/// thesis states or implies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobiCoreConfig {
+    /// Individual core load (%) below which a core may be off-lined
+    /// (§5.2: "if the individual workload of a core is under 10%, we
+    /// assume that we can turn it off").
+    pub offline_threshold_pct: f64,
+    /// Overall load (%) below which the bandwidth variation analysis runs
+    /// at all (Table 2 line 3: `if utilization(t) < 40`).
+    pub low_load_threshold_pct: f64,
+    /// ΔU (percentage points) above which the window counts as burst mode
+    /// (Table 2 line 8).
+    pub delta_up_pct: f64,
+    /// ΔU (percentage points) below which (i.e. more negative than
+    /// −`delta_down_pct`) the window counts as slow mode (Table 2 line 4).
+    pub delta_down_pct: f64,
+    /// The slow-mode bandwidth scaling factor (Table 2 line 5: 0.9).
+    pub scaling_factor: f64,
+    /// Headroom added on top of `quota = utilization` so steady loads are
+    /// not throttled by measurement noise (fraction of full bandwidth).
+    pub quota_headroom: f64,
+    /// Per-core utilization the DCS pass sizes capacity for: more cores
+    /// are brought in when the demand would push the remaining cores above
+    /// this (fraction).
+    pub capacity_target: f64,
+    /// Relative deadband on frequency retargeting: a new Eq.-(9) target
+    /// within this fraction of the last issued one is dropped, avoiding
+    /// OPP ping-pong (every real transition stalls the core briefly).
+    pub freq_deadband: f64,
+    /// The frequency rule.
+    pub rule: FrequencyRule,
+    /// Sampling period, µs (the thesis samples at the ondemand cadence).
+    pub sampling_us: u64,
+}
+
+impl Default for MobiCoreConfig {
+    fn default() -> Self {
+        MobiCoreConfig {
+            offline_threshold_pct: 10.0,
+            low_load_threshold_pct: 40.0,
+            delta_up_pct: 5.0,
+            delta_down_pct: 3.0,
+            scaling_factor: 0.9,
+            quota_headroom: 0.08,
+            capacity_target: 0.85,
+            freq_deadband: 0.06,
+            rule: FrequencyRule::Eq9,
+            sampling_us: 20_000,
+        }
+    }
+}
+
+impl MobiCoreConfig {
+    /// Validates the tunables, clamping nonsense into range.
+    #[must_use]
+    pub fn sanitized(mut self) -> Self {
+        self.offline_threshold_pct = self.offline_threshold_pct.clamp(0.0, 100.0);
+        self.low_load_threshold_pct = self.low_load_threshold_pct.clamp(0.0, 100.0);
+        self.delta_up_pct = self.delta_up_pct.max(0.0);
+        self.delta_down_pct = self.delta_down_pct.max(0.0);
+        self.scaling_factor = self.scaling_factor.clamp(0.1, 1.0);
+        self.quota_headroom = self.quota_headroom.clamp(0.0, 1.0);
+        self.capacity_target = self.capacity_target.clamp(0.1, 1.0);
+        self.freq_deadband = self.freq_deadband.clamp(0.0, 0.5);
+        self.sampling_us = self.sampling_us.max(1_000);
+        self
+    }
+
+    /// A configuration with the quota mechanism effectively disabled
+    /// (always full bandwidth) — the "no-quota" ablation.
+    #[must_use]
+    pub fn without_quota(mut self) -> Self {
+        self.low_load_threshold_pct = 0.0;
+        self
+    }
+
+    /// A configuration with the DCS pass disabled (all cores stay online)
+    /// — the "DVFS-only MobiCore" ablation.
+    #[must_use]
+    pub fn without_dcs(mut self) -> Self {
+        self.offline_threshold_pct = -1.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MobiCoreConfig::default();
+        assert_eq!(c.offline_threshold_pct, 10.0);
+        assert_eq!(c.low_load_threshold_pct, 40.0);
+        assert_eq!(c.scaling_factor, 0.9);
+        assert_eq!(c.rule, FrequencyRule::Eq9);
+    }
+
+    #[test]
+    fn sanitize_clamps() {
+        let c = MobiCoreConfig {
+            offline_threshold_pct: 150.0,
+            scaling_factor: 5.0,
+            sampling_us: 10,
+            ..MobiCoreConfig::default()
+        }
+        .sanitized();
+        assert_eq!(c.offline_threshold_pct, 100.0);
+        assert_eq!(c.scaling_factor, 1.0);
+        assert_eq!(c.sampling_us, 1_000);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = MobiCoreConfig::default().without_quota();
+        assert_eq!(c.low_load_threshold_pct, 0.0);
+        let c = MobiCoreConfig::default().without_dcs();
+        assert!(c.offline_threshold_pct < 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Extensions beyond the thesis — its §7 future work made concrete.
+//!
+//! > "Future research topics could be exploring more affine techniques
+//! > combining the characteristics of every component in a mobile
+//! > device... This could help find the best overall state for \[the\]
+//! > phone."
+//!
+//! [`ThermalAwareMobiCore`] is the first step of that program: MobiCore's
+//! decision loop extended with the package temperature, so the policy
+//! backs off *before* the firmware throttle would have clamped it. The
+//! firmware throttle is reactive and oblivious (it caps whatever OPP the
+//! governor asked for, producing sawtooth frequency under sustained
+//! load); a policy that sees the trip coming can settle at the
+//! sustainable point directly.
+
+use crate::policy::MobiCore;
+use crate::MobiCoreConfig;
+use mobicore_model::{DeviceProfile, Khz};
+use mobicore_sim::{Command, CpuControl, CpuPolicy, PolicySnapshot};
+
+/// MobiCore plus a proactive thermal governor.
+///
+/// Below `engage_margin_c` of headroom the extension derates every
+/// frequency command MobiCore issued this sample, linearly down to
+/// `max_derate` at zero headroom. DCS and quota decisions pass through
+/// untouched.
+pub struct ThermalAwareMobiCore {
+    inner: MobiCore,
+    profile: DeviceProfile,
+    /// Start derating when the package is within this many °C of the
+    /// trip point.
+    pub engage_margin_c: f64,
+    /// Frequency multiplier at (or above) the trip point.
+    pub max_derate: f64,
+    /// Samples on which the extension actually derated (observability).
+    pub derated_samples: u64,
+}
+
+impl std::fmt::Debug for ThermalAwareMobiCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThermalAwareMobiCore")
+            .field("engage_margin_c", &self.engage_margin_c)
+            .field("max_derate", &self.max_derate)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThermalAwareMobiCore {
+    /// Default extension: engage 4 °C before the trip, derate to 60 % at
+    /// the trip.
+    pub fn new(profile: &DeviceProfile) -> Self {
+        Self::with_config(profile, MobiCoreConfig::default())
+    }
+
+    /// Same, with explicit MobiCore tunables.
+    pub fn with_config(profile: &DeviceProfile, cfg: MobiCoreConfig) -> Self {
+        ThermalAwareMobiCore {
+            inner: MobiCore::with_config(profile, cfg),
+            profile: profile.clone(),
+            engage_margin_c: 4.0,
+            max_derate: 0.6,
+            derated_samples: 0,
+        }
+    }
+
+    /// The frequency multiplier for a given temperature.
+    pub fn derate_factor(&self, temp_c: f64) -> f64 {
+        let trip = self.profile.thermal().trip_c;
+        let headroom = trip - temp_c;
+        if headroom >= self.engage_margin_c {
+            1.0
+        } else {
+            let t = (headroom / self.engage_margin_c).clamp(0.0, 1.0);
+            self.max_derate + (1.0 - self.max_derate) * t
+        }
+    }
+}
+
+impl CpuPolicy for ThermalAwareMobiCore {
+    fn name(&self) -> &str {
+        "mobicore-thermal"
+    }
+
+    fn sampling_period_us(&self) -> u64 {
+        self.inner.sampling_period_us()
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        let mut staged = CpuControl::new();
+        self.inner.on_sample(snap, &mut staged);
+        let factor = self.derate_factor(snap.temp_c);
+        if factor < 1.0 {
+            self.derated_samples += 1;
+        }
+        for cmd in staged.take() {
+            match cmd {
+                Command::SetFreq { core, khz } if factor < 1.0 => {
+                    let derated = Khz((f64::from(khz.0) * factor) as u32);
+                    let snapped = self.profile.opps().snap_up(derated).khz;
+                    ctl.set_freq(core, snapped);
+                }
+                Command::SetFreqAll { khz } if factor < 1.0 => {
+                    let derated = Khz((f64::from(khz.0) * factor) as u32);
+                    ctl.set_freq_all(self.profile.opps().snap_up(derated).khz);
+                }
+                other => match other {
+                    Command::SetFreq { core, khz } => ctl.set_freq(core, khz),
+                    Command::SetFreqAll { khz } => ctl.set_freq_all(khz),
+                    Command::SetOnline { core, online } => ctl.set_online(core, online),
+                    Command::SetQuota(q) => ctl.set_quota(q),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+    use mobicore_sim::{SimConfig, Simulation};
+    use mobicore_workloads::BusyLoop;
+
+    #[test]
+    fn derate_factor_shape() {
+        let profile = profiles::nexus5(); // trip 42 °C
+        let p = ThermalAwareMobiCore::new(&profile);
+        assert_eq!(p.derate_factor(25.0), 1.0);
+        assert_eq!(p.derate_factor(38.0), 1.0, "exactly at the margin");
+        let mid = p.derate_factor(40.0);
+        assert!(mid < 1.0 && mid > p.max_derate);
+        assert_eq!(p.derate_factor(42.0), 0.6);
+        assert_eq!(p.derate_factor(60.0), 0.6, "clamped past the trip");
+    }
+
+    #[test]
+    fn stays_cooler_than_plain_mobicore_under_stress() {
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let run = |policy: Box<dyn CpuPolicy>| {
+            let cfg = SimConfig::new(profile.clone())
+                .with_duration_secs(60)
+                .with_seed(2)
+                .without_mpdecision();
+            let mut sim = Simulation::new(cfg, policy).unwrap();
+            sim.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f_max, 2)));
+            sim.run()
+        };
+        let plain = run(Box::new(MobiCore::new(&profile)));
+        let thermal = run(Box::new(ThermalAwareMobiCore::new(&profile)));
+        assert!(
+            thermal.max_temp_c <= plain.max_temp_c + 0.3,
+            "thermal {} vs plain {}",
+            thermal.max_temp_c,
+            plain.max_temp_c
+        );
+        assert!(
+            thermal.thermal_throttled_frac <= plain.thermal_throttled_frac + 0.01,
+            "firmware throttle engages no more often: {} vs {}",
+            thermal.thermal_throttled_frac,
+            plain.thermal_throttled_frac
+        );
+    }
+
+    #[test]
+    fn counts_derated_samples_under_sustained_stress() {
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_secs(90)
+            .without_mpdecision();
+        let mut policy = ThermalAwareMobiCore::new(&profile);
+        policy.engage_margin_c = 6.0;
+        let derated_before = policy.derated_samples;
+        let mut sim = Simulation::new(cfg, Box::new(policy)).unwrap();
+        sim.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f_max, 7)));
+        let r = sim.run();
+        assert_eq!(derated_before, 0);
+        // We cannot reach inside the boxed policy anymore; infer from the
+        // report: sustained full stress must have kept the package near
+        // the trip, and the run completes with sane numbers.
+        assert!(r.max_temp_c > profile.thermal().trip_c - 6.0);
+        assert!(r.avg_power_mw > 0.0);
+    }
+
+    #[test]
+    fn idle_behaviour_is_unchanged() {
+        // Below the engage margin the extension must be a no-op wrapper.
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let run = |policy: Box<dyn CpuPolicy>| {
+            let cfg = SimConfig::new(profile.clone())
+                .with_duration_secs(10)
+                .with_seed(6)
+                .without_mpdecision();
+            let mut sim = Simulation::new(cfg, policy).unwrap();
+            sim.add_workload(Box::new(BusyLoop::with_target_util(2, 0.2, f_max, 6)));
+            sim.run()
+        };
+        let plain = run(Box::new(MobiCore::new(&profile)));
+        let thermal = run(Box::new(ThermalAwareMobiCore::new(&profile)));
+        assert!((plain.avg_power_mw - thermal.avg_power_mw).abs() < 1.0);
+        assert!((plain.avg_khz_online - thermal.avg_khz_online).abs() < 1_000.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The MobiCore policy — the Figure-8 flow wired into the simulator's
+//! policy slot.
+
+use crate::bandwidth::{BandwidthAnalyzer, WorkloadMode};
+use crate::config::{FrequencyRule, MobiCoreConfig};
+use crate::dcs::DcsPass;
+use mobicore_governors::dvfs::{DvfsGovernor, Ondemand};
+use mobicore_model::energy::{mobicore_frequency, CpuEnergyModel};
+use mobicore_model::operating_point::OperatingPointOptimizer;
+use mobicore_model::{DeviceProfile, Khz, Quota, Utilization};
+use mobicore_sim::{CpuControl, CpuPolicy, PolicySnapshot};
+
+/// One sampling period's decision, kept for observability (tests,
+/// debugging, the REPL's `report`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionSummary {
+    /// The Table-2 classification of the window.
+    pub mode: WorkloadMode,
+    /// The CFS quota installed.
+    pub quota: Quota,
+    /// The `K = K·q` scaling factor applied.
+    pub scale: f64,
+    /// Online cores after the DCS pass.
+    pub target_online: usize,
+    /// The ondemand estimate the flow started from.
+    pub f_ondemand: Khz,
+    /// The frequency issued to the surviving cores.
+    pub f_new: Khz,
+}
+
+/// The MobiCore CPU-management policy.
+///
+/// Per sampling period (Figure 8):
+/// ondemand estimate → bandwidth quota (Table 2) → DCS (10 % rule +
+/// capacity floor) → per-core frequency (Eq. (9), snapped up to an OPP).
+pub struct MobiCore {
+    cfg: MobiCoreConfig,
+    profile: DeviceProfile,
+    ondemand: Ondemand,
+    bandwidth: BandwidthAnalyzer,
+    dcs: DcsPass,
+    energy_model: CpuEnergyModel,
+    last_issued: Option<Khz>,
+    last_decision: Option<DecisionSummary>,
+    name: String,
+    /// Decisions made so far (observability for tests/benches).
+    pub decisions: u64,
+}
+
+impl std::fmt::Debug for MobiCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobiCore")
+            .field("cfg", &self.cfg)
+            .field("device", &self.profile.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MobiCore {
+    /// MobiCore with the thesis-default tunables for `profile`.
+    pub fn new(profile: &DeviceProfile) -> Self {
+        Self::with_config(profile, MobiCoreConfig::default())
+    }
+
+    /// MobiCore with explicit tunables.
+    pub fn with_config(profile: &DeviceProfile, cfg: MobiCoreConfig) -> Self {
+        let cfg = cfg.sanitized();
+        let name = match cfg.rule {
+            FrequencyRule::Eq9 => "mobicore".to_string(),
+            FrequencyRule::OptimalPoint => "mobicore-optpoint".to_string(),
+        };
+        MobiCore {
+            cfg,
+            ondemand: Ondemand::new(),
+            bandwidth: BandwidthAnalyzer::new(cfg),
+            dcs: DcsPass::new(cfg),
+            energy_model: CpuEnergyModel::fit(
+                profile.opps(),
+                mobicore_model::profiles::NEXUS5_CEFF_F,
+                450.0,
+            ),
+            last_issued: None,
+            last_decision: None,
+            profile: profile.clone(),
+            name,
+            decisions: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MobiCoreConfig {
+        &self.cfg
+    }
+
+    /// The most recent sampling period's decision, if any.
+    pub fn last_decision(&self) -> Option<DecisionSummary> {
+        self.last_decision
+    }
+
+    fn eq9_frequency(
+        &self,
+        f_ondemand: Khz,
+        overall: Utilization,
+        quota: Quota,
+        n_online: usize,
+    ) -> Khz {
+        let n_max = self.profile.n_cores();
+        let raw = mobicore_frequency(f_ondemand, overall, quota, n_online.max(1), n_max);
+        // Snap up so delivered capacity never falls below the demand.
+        self.profile.opps().snap_up(raw).khz
+    }
+
+    fn optimal_point_frequency(&self, overall: Utilization, quota: Quota) -> (usize, Khz) {
+        let load = (overall.as_fraction() * quota.as_fraction()).clamp(0.0, 1.0);
+        let model = self.energy_model;
+        let opps = self.profile.opps().clone();
+        let optimizer = OperatingPointOptimizer::new(&self.profile).with_cost(move |n, opp, u| {
+            model.total_power_mw(n, opps.get_clamped(opp).khz, Utilization::new(u))
+        });
+        match optimizer.best_for_global_load(load) {
+            Ok(pt) => (pt.cores, self.profile.opps().get_clamped(pt.opp_idx).khz),
+            Err(_) => (
+                self.profile.n_cores(),
+                self.profile.opps().max_khz(),
+            ),
+        }
+    }
+}
+
+impl CpuPolicy for MobiCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sampling_period_us(&self) -> u64 {
+        self.cfg.sampling_us
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        self.decisions += 1;
+        // 1. Initial state: the ondemand DVFS estimate (Fig 8 top).
+        let f_ondemand = self.ondemand.target(snap, self.profile.opps());
+
+        // 2. Expand/reduce the bandwidth (Table 2). The installed CFS
+        //    quota tracks utilization; the *scaling factor* is what folds
+        //    into the utilization signal (`K = K·q`, §4.1.1).
+        let bw = self.bandwidth.decide(snap.overall_util);
+        ctl.set_quota(bw.quota);
+        let scale = Quota::new(bw.scale);
+
+        // 3. Re-estimate the number of required active cores.
+        let dcs = self.dcs.decide(snap, scale);
+        for &i in &dcs.online {
+            ctl.set_online(i, true);
+        }
+        for &i in &dcs.offline {
+            ctl.set_online(i, false);
+        }
+
+        // 4. Calculate the new frequency for each core from Eq. (9):
+        //    `f_new = f_ondemand · (K·q) · n_max / n`, issued per core
+        //    (the Nexus 5 has per-core rails).
+        match self.cfg.rule {
+            FrequencyRule::Eq9 => {
+                let mut f_new =
+                    self.eq9_frequency(f_ondemand, snap.overall_util, scale, dcs.target_online);
+                // Deadband: hold the last target when the new one is within
+                // a few percent — every real retarget stalls the core.
+                if let Some(last) = self.last_issued {
+                    let rel = (f64::from(f_new.0) - f64::from(last.0)).abs()
+                        / f64::from(last.0).max(1.0);
+                    if rel <= self.cfg.freq_deadband {
+                        f_new = last;
+                    }
+                }
+                self.last_issued = Some(f_new);
+                self.last_decision = Some(DecisionSummary {
+                    mode: self.bandwidth.last_mode(),
+                    quota: bw.quota,
+                    scale: bw.scale,
+                    target_online: dcs.target_online,
+                    f_ondemand,
+                    f_new,
+                });
+                for (i, core) in snap.cores.iter().enumerate() {
+                    let stays_online = (core.online && !dcs.offline.contains(&i))
+                        || dcs.online.contains(&i);
+                    if stays_online {
+                        ctl.set_freq(i, f_new);
+                    }
+                }
+            }
+            FrequencyRule::OptimalPoint => {
+                let (n_want, f_new) = self.optimal_point_frequency(snap.overall_util, scale);
+                self.last_decision = Some(DecisionSummary {
+                    mode: self.bandwidth.last_mode(),
+                    quota: bw.quota,
+                    scale: bw.scale,
+                    target_online: n_want.max(dcs.target_online),
+                    f_ondemand,
+                    f_new,
+                });
+                // The optimizer's core count overrides the DCS pass when
+                // it wants *more* cores (never fewer: the 10 % rule
+                // already vetted the ones it dropped).
+                let mut online_after: Vec<usize> = (0..snap.cores.len())
+                    .filter(|&i| {
+                        (snap.cores[i].online && !dcs.offline.contains(&i))
+                            || dcs.online.contains(&i)
+                    })
+                    .collect();
+                let mut next = 0usize;
+                while online_after.len() < n_want && next < snap.cores.len() {
+                    if !online_after.contains(&next) {
+                        ctl.set_online(next, true);
+                        online_after.push(next);
+                    }
+                    next += 1;
+                }
+                for &i in &online_after {
+                    ctl.set_freq(i, f_new);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_governors::AndroidDefaultPolicy;
+    use mobicore_model::profiles;
+    use mobicore_sim::{SimConfig, Simulation};
+    use mobicore_workloads::{BusyLoop, GameApp, GameProfile, RateLoad};
+
+    fn run<F>(policy: Box<dyn CpuPolicy>, secs: u64, seed: u64, add: F) -> mobicore_sim::SimReport
+    where
+        F: FnOnce(&mut Simulation),
+    {
+        let profile = profiles::nexus5();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(secs)
+            .without_mpdecision()
+            .with_seed(seed);
+        let mut sim = Simulation::new(cfg, policy).unwrap();
+        add(&mut sim);
+        sim.run()
+    }
+
+    #[test]
+    fn mobicore_saves_power_on_static_benchmark() {
+        // Fig 9(a): the busy-loop benchmark draws less under MobiCore at
+        // every workload level; spot-check the 30 % point.
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let mk = |seed| Box::new(BusyLoop::with_target_util(4, 0.3, f_max, seed));
+        let android = run(
+            Box::new(AndroidDefaultPolicy::new(&profile)),
+            20,
+            1,
+            |sim| {
+                sim.add_workload(mk(9));
+            },
+        );
+        let mob = run(Box::new(MobiCore::new(&profile)), 20, 1, |sim| {
+            sim.add_workload(mk(9));
+        });
+        assert!(
+            mob.avg_power_mw < android.avg_power_mw,
+            "mobicore {} vs android {}",
+            mob.avg_power_mw,
+            android.avg_power_mw
+        );
+    }
+
+    #[test]
+    fn mobicore_uses_fewer_resources_in_games() {
+        // Fig 12: lower average frequency and fewer online cores.
+        let profile = profiles::nexus5();
+        let game = GameProfile::subway_surf();
+        let android = run(
+            Box::new(AndroidDefaultPolicy::new(&profile)),
+            30,
+            2,
+            |sim| {
+                sim.add_workload(Box::new(GameApp::new(game.clone(), 5)));
+            },
+        );
+        let mob = run(Box::new(MobiCore::new(&profile)), 30, 2, |sim| {
+            sim.add_workload(Box::new(GameApp::new(game.clone(), 5)));
+        });
+        assert!(
+            mob.avg_khz_online < android.avg_khz_online,
+            "freq: mobicore {} vs android {}",
+            mob.avg_khz_online,
+            android.avg_khz_online
+        );
+        assert!(
+            mob.avg_power_mw <= android.avg_power_mw * 1.02,
+            "power: mobicore {} vs android {}",
+            mob.avg_power_mw,
+            android.avg_power_mw
+        );
+    }
+
+    #[test]
+    fn mobicore_keeps_games_playable() {
+        // Fig 11: FPS lower than default but in the acceptable band.
+        let profile = profiles::nexus5();
+        let mob = run(Box::new(MobiCore::new(&profile)), 30, 3, |sim| {
+            sim.add_workload(Box::new(GameApp::new(GameProfile::badland(), 11)));
+        });
+        let fps = mob.first_metric("avg_fps").unwrap();
+        assert!(fps > 10.0, "unplayable: {fps} FPS");
+    }
+
+    #[test]
+    fn mobicore_responds_to_bursts() {
+        // A burst after idleness must get hardware quickly: cores and
+        // frequency within a couple of sampling periods.
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let report = run(Box::new(MobiCore::new(&profile)), 6, 4, |sim| {
+            sim.add_workload(Box::new(RateLoad::new(
+                4,
+                f_max,
+                vec![
+                    mobicore_workloads::rate::RatePhase {
+                        until_us: 3_000_000,
+                        rate: 0.05,
+                    },
+                    mobicore_workloads::rate::RatePhase {
+                        until_us: 6_000_000,
+                        rate: 0.9,
+                    },
+                ],
+            )));
+        });
+        // Demand is 0.05 then 0.9 of the whole platform; if MobiCore kept
+        // the platform at its idle configuration, executed cycles would be
+        // far below the demand. Require ≥ 80 % of the burst demand served.
+        let demand_cycles = (0.05 * 3.0 + 0.9 * 3.0) * 4.0 * f_max.as_hz();
+        assert!(
+            report.executed_cycles as f64 > 0.8 * demand_cycles,
+            "served {} of {demand_cycles}",
+            report.executed_cycles
+        );
+    }
+
+    #[test]
+    fn quota_engages_at_low_load() {
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let report = run(Box::new(MobiCore::new(&profile)), 10, 5, |sim| {
+            sim.add_workload(Box::new(BusyLoop::with_target_util(2, 0.15, f_max, 3)));
+        });
+        assert!(
+            report.avg_quota < 0.95,
+            "low load should shrink the quota: {}",
+            report.avg_quota
+        );
+    }
+
+    #[test]
+    fn optimal_point_variant_runs() {
+        let profile = profiles::nexus5();
+        let cfg = MobiCoreConfig {
+            rule: FrequencyRule::OptimalPoint,
+            ..MobiCoreConfig::default()
+        };
+        let f_max = profile.opps().max_khz();
+        let report = run(
+            Box::new(MobiCore::with_config(&profile, cfg)),
+            10,
+            6,
+            |sim| {
+                sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.5, f_max, 3)));
+            },
+        );
+        assert_eq!(report.policy, "mobicore-optpoint");
+        assert!(report.avg_power_mw > 0.0);
+    }
+
+    #[test]
+    fn last_decision_is_recorded() {
+        use mobicore_model::{Quota, Utilization};
+        use mobicore_sim::CoreSnapshot;
+        let profile = profiles::nexus5();
+        let mut m = MobiCore::new(&profile);
+        assert!(m.last_decision().is_none());
+        let snap = mobicore_sim::PolicySnapshot {
+            now_us: 0,
+            window_us: 20_000,
+            cores: (0..4)
+                .map(|_| CoreSnapshot {
+                    online: true,
+                    cur_khz: profile.opps().min_khz(),
+                    target_khz: profile.opps().min_khz(),
+                    util: Utilization::new(0.3),
+                    busy_us: 6_000,
+                })
+                .collect(),
+            overall_util: Utilization::new(0.3),
+            quota: Quota::FULL,
+            mpdecision_enabled: false,
+            max_runnable_threads: 4,
+            temp_c: 25.0,
+        };
+        let mut ctl = mobicore_sim::CpuControl::new();
+        m.on_sample(&snap, &mut ctl);
+        let d = m.last_decision().expect("recorded");
+        assert!(d.target_online >= 1 && d.target_online <= 4);
+        assert!(d.f_new <= d.f_ondemand.max(profile.opps().min_khz()));
+        assert!(d.scale == 1.0 || d.scale == 0.9);
+    }
+
+    #[test]
+    fn name_and_config_accessors() {
+        let profile = profiles::nexus5();
+        let m = MobiCore::new(&profile);
+        assert_eq!(m.name(), "mobicore");
+        assert_eq!(m.sampling_period_us(), 20_000);
+        assert_eq!(m.config().offline_threshold_pct, 10.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests on the MobiCore policy's command stream: for
+//! arbitrary observation sequences, every command it issues is one the
+//! kernel would accept.
+
+use mobicore::{FrequencyRule, MobiCore, MobiCoreConfig};
+use mobicore_model::{profiles, Quota, Utilization};
+use mobicore_sim::{Command, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
+use proptest::prelude::*;
+
+fn snapshot(cores_in: &[(bool, f64)], now_us: u64, runnable: usize) -> PolicySnapshot {
+    let profile = profiles::nexus5();
+    let cores: Vec<CoreSnapshot> = cores_in
+        .iter()
+        .map(|&(online, util)| CoreSnapshot {
+            online,
+            cur_khz: profile.opps().min_khz(),
+            target_khz: profile.opps().min_khz(),
+            util: Utilization::new(if online { util } else { 0.0 }),
+            busy_us: 0,
+        })
+        .collect();
+    let overall =
+        cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
+    PolicySnapshot {
+        now_us,
+        window_us: 20_000,
+        overall_util: Utilization::new(overall),
+        cores,
+        quota: Quota::FULL,
+        mpdecision_enabled: false,
+        max_runnable_threads: runnable,
+        temp_c: 30.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariants over arbitrary observation sequences, both rule
+    /// variants:
+    /// * frequencies are in the OPP table (after the policy's snapping),
+    /// * core 0 is never off-lined,
+    /// * quota stays in [MIN, 1],
+    /// * at least one core remains online after applying the commands.
+    #[test]
+    fn command_stream_is_kernel_valid(
+        seq in proptest::collection::vec(
+            (proptest::collection::vec((any::<bool>(), 0.0f64..1.0), 4), 1usize..9),
+            1..25
+        ),
+        optimal in any::<bool>(),
+    ) {
+        let profile = profiles::nexus5();
+        let cfg = MobiCoreConfig {
+            rule: if optimal { FrequencyRule::OptimalPoint } else { FrequencyRule::Eq9 },
+            ..MobiCoreConfig::default()
+        };
+        let mut policy = MobiCore::with_config(&profile, cfg);
+        let mut now = 0u64;
+        for (cores_in, runnable) in seq {
+            // core 0 is always online in reality (the kernel guarantees it)
+            let mut cores_in = cores_in;
+            cores_in[0].0 = true;
+            let snap = snapshot(&cores_in, now, runnable);
+            now += 20_000;
+            let mut ctl = CpuControl::new();
+            policy.on_sample(&snap, &mut ctl);
+            let mut online_after: Vec<bool> = cores_in.iter().map(|c| c.0).collect();
+            for cmd in ctl.take() {
+                match cmd {
+                    Command::SetFreq { core, khz } => {
+                        prop_assert!(core < 4);
+                        prop_assert!(
+                            profile.opps().iter().any(|o| o.khz == khz),
+                            "off-table frequency {khz}"
+                        );
+                    }
+                    Command::SetFreqAll { khz } => {
+                        prop_assert!(profile.opps().iter().any(|o| o.khz == khz));
+                    }
+                    Command::SetOnline { core, online } => {
+                        prop_assert!(core < 4);
+                        prop_assert!(core != 0 || online, "tried to off-line core 0");
+                        online_after[core] = online;
+                    }
+                    Command::SetQuota(q) => {
+                        prop_assert!((Quota::MIN_FRACTION..=1.0).contains(&q.as_fraction()));
+                    }
+                }
+            }
+            prop_assert!(online_after.iter().any(|&o| o), "left zero cores online");
+        }
+    }
+
+    /// The DCS pass never plans more online cores than runnable threads
+    /// would use (given enough demand data), and never fewer than one.
+    #[test]
+    fn dcs_respects_thread_bound(
+        utils in proptest::collection::vec(0.0f64..1.0, 4),
+        runnable in 1usize..9,
+    ) {
+        use mobicore::DcsPass;
+        let pass = DcsPass::new(MobiCoreConfig::default());
+        let cores_in: Vec<(bool, f64)> = utils.iter().map(|&u| (true, u)).collect();
+        let snap = snapshot(&cores_in, 0, runnable);
+        let d = pass.decide(&snap, Quota::FULL);
+        prop_assert!(d.target_online >= 1);
+        let floor = pass.min_cores_for_demand(&snap, Quota::FULL);
+        prop_assert!(floor <= runnable.max(1));
+    }
+
+    /// The bandwidth analyzer's quota is monotone in utilization for a
+    /// fixed history (higher load never gets less bandwidth).
+    #[test]
+    fn quota_monotone_in_utilization(base in 0.0f64..0.39, bump in 0.0f64..0.3) {
+        use mobicore::BandwidthAnalyzer;
+        let mk = |u: f64| {
+            let mut a = BandwidthAnalyzer::new(MobiCoreConfig::default());
+            a.decide(Utilization::new(base)); // identical history
+            a.decide(Utilization::new(u)).quota
+        };
+        let low = mk(base);
+        let high = mk((base + bump).min(1.0));
+        prop_assert!(high.as_fraction() + 1e-12 >= low.as_fraction());
+    }
+}

@@ -1,0 +1,32 @@
+//! Prints the per-game session comparison (the data behind Figures
+//! 10–13) in one table — handy while tuning game profiles.
+//!
+//! ```text
+//! cargo run --release -p mobicore-experiments --example probe
+//! ```
+use mobicore_experiments::games_suite;
+
+fn main() {
+    let cmp = games_suite::run(60);
+    for c in &cmp {
+        println!(
+            "{:16} android: {:6.1} mW {:5.1} fps {:6.0} MHz {:.2} cores {:4.1}% load | \
+             mobicore: {:6.1} mW {:5.1} fps {:6.0} MHz {:.2} cores {:4.1}% load q={:.2} | \
+             save {:5.2}% ratio {:.3}",
+            c.game,
+            c.android.avg_power_mw,
+            c.android.avg_fps,
+            c.android.avg_mhz,
+            c.android.avg_cores,
+            c.android.avg_load_pct,
+            c.mobicore.avg_power_mw,
+            c.mobicore.avg_fps,
+            c.mobicore.avg_mhz,
+            c.mobicore.avg_cores,
+            c.mobicore.avg_load_pct,
+            c.mobicore.avg_quota,
+            c.power_saving_pct(),
+            c.fps_ratio()
+        );
+    }
+}

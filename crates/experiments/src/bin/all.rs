@@ -1,0 +1,4 @@
+//! Regenerates every table and figure in paper order.
+fn main() {
+    mobicore_experiments::bin_main("all");
+}

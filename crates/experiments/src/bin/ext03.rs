@@ -1,0 +1,4 @@
+//! Runs extension experiment `ext03`. Pass `--quick` for a fast pass.
+fn main() {
+    mobicore_experiments::bin_main("ext03");
+}

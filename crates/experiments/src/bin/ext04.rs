@@ -1,0 +1,4 @@
+//! Runs extension experiment `ext04`. Pass `--quick` for a fast pass.
+fn main() {
+    mobicore_experiments::bin_main("ext04");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `fig01`. Pass `--quick` for a fast pass.
+fn main() {
+    mobicore_experiments::bin_main("fig01");
+}

@@ -1,0 +1,6 @@
+//! Interactive simulated-phone REPL; see `mobicore_experiments::phone`.
+use std::io::{stdin, stdout};
+fn main() -> std::io::Result<()> {
+    mobicore_experiments::phone::run_repl(stdin().lock(), stdout().lock())?;
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `table1`. Pass `--quick` for a fast pass.
+fn main() {
+    mobicore_experiments::bin_main("table1");
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper artifact `table2`. Pass `--quick` for a fast pass.
+fn main() {
+    mobicore_experiments::bin_main("table2");
+}

@@ -1,0 +1,91 @@
+//! **Figure 1** — "Evolution of average power consumption for different
+//! phones": full-stress average power for six phones released 2010–2014.
+//!
+//! Paper findings: total power grows almost linearly with the number of
+//! CPU cores, and among phones with the same core count the newer one
+//! draws slightly more.
+
+use crate::result::ExperimentResult;
+use crate::runner::{self, parallel_map};
+use mobicore_model::profiles;
+use mobicore_workloads::BusyLoop;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 5 } else { 60 };
+    let mut res = ExperimentResult::new(
+        "fig01",
+        "average power at full stress across phone generations",
+    );
+    res.line("device,cores,avg_power_mw");
+
+    let fleet = profiles::figure1_fleet();
+    let rows = parallel_map(fleet, |profile| {
+        let f_max = profile.opps().max_khz();
+        let report = runner::run_pinned(
+            &profile,
+            profile.n_cores(),
+            f_max,
+            vec![Box::new(BusyLoop::with_target_util(
+                profile.n_cores(),
+                1.0,
+                f_max,
+                runner::SEED,
+            ))],
+            secs,
+            runner::SEED,
+        );
+        (
+            profile.name().to_string(),
+            profile.n_cores(),
+            report.avg_power_mw,
+        )
+    });
+    for (name, cores, mw) in &rows {
+        res.line(format!("{name},{cores},{mw:.1}"));
+    }
+
+    // Shape checks.
+    let power: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    res.check(
+        "power grows with core count across generations",
+        "almost linear in #cores",
+        format!(
+            "1c {:.0}/{:.0} mW, 2c {:.0} mW, 4c {:.0}/{:.0}/{:.0} mW",
+            power[0], power[1], power[2], power[3], power[4], power[5]
+        ),
+        power[2] > power[1] && power[3] > power[2] && power.windows(2).all(|w| w[1] > w[0] * 0.95),
+    );
+    res.check(
+        "newer same-core-count phone draws more",
+        "mb810 > Nexus S; LG G3 > Nexus 5",
+        format!(
+            "{:.0} > {:.0}; {:.0} > {:.0}",
+            power[1], power[0], power[5], power[4]
+        ),
+        power[1] > power[0] && power[5] > power[4],
+    );
+    let n5 = power[4];
+    // Quick runs end before the thermal throttle has pulled the sustained
+    // average down toward the trip budget, so allow the nominal ceiling.
+    let band = if quick { 1_800.0..3_200.0 } else { 2_000.0..2_900.0 };
+    res.check(
+        "Nexus 5 full-stress total",
+        "≈ 2404 mW sustained (§1.2)",
+        format!("{n5:.0} mW"),
+        band.contains(&n5),
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_shape_holds() {
+        let r = run(true);
+        assert_eq!(r.lines.len(), 7, "header + six phones");
+        assert!(r.all_pass(), "{r}");
+    }
+}

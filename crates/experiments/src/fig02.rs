@@ -1,0 +1,79 @@
+//! **Figure 2(a)** — the IR picture: CPU-area temperature of a fully
+//! stressed Nexus S (26.9 °C) vs Nexus 5 (42.1 °C).
+//!
+//! Figure 2(b) is a photo of the Monsoon measurement setup; its
+//! counterpart here is the simulator itself (battery "removed": the meter
+//! reads whole-device power directly).
+
+use crate::result::ExperimentResult;
+use crate::runner::{self, parallel_map};
+use mobicore_model::profiles;
+use mobicore_workloads::BusyLoop;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    // Thermal steady state needs several time constants (τ ≈ 8–10 s).
+    let secs = if quick { 30 } else { 180 };
+    let mut res = ExperimentResult::new("fig02", "IR steady-state CPU temperature at full stress");
+    res.line("device,steady_temp_c,avg_power_mw,throttled_frac");
+
+    let devices = vec![profiles::nexus_s(), profiles::nexus5()];
+    let rows = parallel_map(devices, |profile| {
+        let f_max = profile.opps().max_khz();
+        let report = runner::run_pinned(
+            &profile,
+            profile.n_cores(),
+            f_max,
+            vec![Box::new(BusyLoop::with_target_util(
+                profile.n_cores(),
+                1.0,
+                f_max,
+                runner::SEED,
+            ))],
+            secs,
+            runner::SEED,
+        );
+        (
+            profile.name().to_string(),
+            report.max_temp_c,
+            report.avg_power_mw,
+            report.thermal_throttled_frac,
+        )
+    });
+    for (name, t, mw, thr) in &rows {
+        res.line(format!("{name},{t:.1},{mw:.0},{thr:.2}"));
+    }
+
+    let t_ns = rows[0].1;
+    let t_n5 = rows[1].1;
+    res.check(
+        "Nexus S CPU-area temperature",
+        "26.9 °C",
+        format!("{t_ns:.1} °C"),
+        (25.5..30.0).contains(&t_ns),
+    );
+    res.check(
+        "Nexus 5 CPU-area temperature",
+        "42.1 °C",
+        format!("{t_n5:.1} °C"),
+        (40.0..44.0).contains(&t_n5),
+    );
+    res.check(
+        "multicore phone visibly hotter",
+        "42.1 vs 26.9 °C",
+        format!("{:.1} °C apart", t_n5 - t_ns),
+        t_n5 - t_ns > 10.0,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig02_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,104 @@
+//! **Figure 3** — power consumption over CPU utilization (10–100 %) at
+//! five frequencies, one core online.
+//!
+//! Paper findings: raising the load 10 → 100 % raises power by up to 74 %
+//! at the highest frequency and 62.5 % at the lowest; at 100 % load,
+//! scaling from the highest down to the lowest frequency saves
+//! 28.2–71.9 %.
+
+use crate::result::ExperimentResult;
+use crate::runner::{self, parallel_map, pct_change, pct_saving};
+use mobicore_model::profiles;
+use mobicore_workloads::BusyLoop;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 4 } else { 30 };
+    let utils: Vec<f64> = if quick {
+        vec![0.1, 0.5, 1.0]
+    } else {
+        (1..=10).map(|i| i as f64 / 10.0).collect()
+    };
+    let profile = profiles::nexus5();
+    let freqs = profile.opps().benchmark_five();
+
+    let mut res = ExperimentResult::new(
+        "fig03",
+        "power vs CPU utilization at five frequencies, one core",
+    );
+    res.line("freq_mhz,util_pct,avg_power_mw");
+
+    let mut jobs = Vec::new();
+    for &f in &freqs {
+        for &u in &utils {
+            jobs.push((f, u));
+        }
+    }
+    let rows = parallel_map(jobs, |(f, u)| {
+        let report = runner::run_pinned(
+            &profile,
+            1,
+            f,
+            vec![Box::new(BusyLoop::with_target_util(1, u, f, runner::SEED))],
+            secs,
+            runner::SEED,
+        );
+        (f, u, report.avg_power_mw)
+    });
+    for (f, u, mw) in &rows {
+        res.line(format!("{:.1},{:.0},{mw:.1}", f.as_mhz(), u * 100.0));
+    }
+
+    let at = |f: mobicore_model::Khz, u: f64| -> f64 {
+        rows.iter()
+            .find(|r| r.0 == f && (r.1 - u).abs() < 1e-9)
+            .map(|r| r.2)
+            .expect("swept point")
+    };
+    let f_min = *freqs.first().expect("five freqs");
+    let f_max = *freqs.last().expect("five freqs");
+    let rise_max = pct_change(at(f_max, 0.1), at(f_max, 1.0));
+    let rise_min = pct_change(at(f_min, 0.1), at(f_min, 1.0));
+    let save_full = pct_saving(at(f_max, 1.0), at(f_min, 1.0));
+
+    res.check(
+        "power rises with utilization at f_max (10→100 %)",
+        "+74 %",
+        format!("{rise_max:+.1} %"),
+        rise_max > 20.0,
+    );
+    res.check(
+        "power rises with utilization at f_min (10→100 %)",
+        "+62.5 %",
+        format!("{rise_min:+.1} %"),
+        rise_min > 5.0,
+    );
+    res.check(
+        "scaling f_max→f_min at 100 % load saves",
+        "28.2–71.9 % (71.9 at the extremes)",
+        format!("{save_full:.1} %"),
+        (28.0..90.0).contains(&save_full),
+    );
+    res.check(
+        "power monotone in utilization at every frequency",
+        "increasing curves",
+        "checked pointwise".to_string(),
+        freqs.iter().all(|&f| {
+            utils
+                .windows(2)
+                .all(|w| at(f, w[0]) <= at(f, w[1]) + 1.0)
+        }),
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

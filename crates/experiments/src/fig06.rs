@@ -1,0 +1,97 @@
+//! **Figure 6** — power consumption *and* performance (GeekBench-like
+//! score) over frequency at 100 % utilization, one core.
+//!
+//! Paper findings: performance improves with frequency but both power and
+//! performance "seem to reach a plateau" at the top OPPs — the gain from
+//! the last frequency steps does not get the workload done
+//! proportionally faster.
+
+use crate::result::ExperimentResult;
+use crate::runner::{self, parallel_map};
+use mobicore_model::profiles;
+use mobicore_workloads::GeekBenchApp;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 8 } else { 40 };
+    let profile = profiles::nexus5();
+    let idxs: Vec<usize> = if quick {
+        vec![0, 5, 9, 13]
+    } else {
+        (0..profile.opps().len()).collect()
+    };
+
+    let mut res = ExperimentResult::new(
+        "fig06",
+        "power and GeekBench-like score vs frequency, one core, 100 % load",
+    );
+    res.line("freq_mhz,score,avg_power_mw");
+
+    let rows = parallel_map(idxs, |i| {
+        let khz = profile.opps().get_clamped(i).khz;
+        let report = runner::run_pinned(
+            &profile,
+            1,
+            khz,
+            vec![Box::new(GeekBenchApp::standard(1))],
+            secs,
+            runner::SEED,
+        );
+        (
+            khz,
+            report.first_metric("score").expect("geekbench reports"),
+            report.avg_power_mw,
+        )
+    });
+    for (khz, score, mw) in &rows {
+        res.line(format!("{:.1},{score:.0},{mw:.1}", khz.as_mhz()));
+    }
+
+    let scores: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let powers: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    res.check(
+        "performance improves with frequency",
+        "monotone rise",
+        format!(
+            "score {:.0} → {:.0}",
+            scores.first().expect("rows"),
+            scores.last().expect("rows")
+        ),
+        scores.last() > scores.first(),
+    );
+    res.check(
+        "power rises with frequency",
+        "monotone rise",
+        format!(
+            "{:.0} → {:.0} mW",
+            powers.first().expect("rows"),
+            powers.last().expect("rows")
+        ),
+        powers.last() > powers.first(),
+    );
+    // Plateau: last step's relative score gain is well below the relative
+    // frequency gain.
+    let n = rows.len();
+    let f_gain = rows[n - 1].0.as_hz() / rows[n - 2].0.as_hz();
+    let s_gain = scores[n - 1] / scores[n - 2];
+    res.check(
+        "score plateaus at high frequency",
+        "plateau near 1.95 GHz",
+        format!(
+            "last step: freq ×{f_gain:.3}, score ×{s_gain:.3}"
+        ),
+        s_gain < f_gain,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig06_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,110 @@
+//! **Figure 7** — performance/power ratio over frequency for 1 and 4
+//! cores running the GeekBench-like benchmark.
+//!
+//! Paper findings: the 1-core ratio is "reasonably stable and increases
+//! slowly following a logarithmic trend"; the 4-core ratio peaks around
+//! 960 MHz and then *decreases* — too many cores at their highest state
+//! is not worth the power.
+
+use crate::result::ExperimentResult;
+use crate::runner::{self, parallel_map};
+use mobicore_model::profiles;
+use mobicore_workloads::GeekBenchApp;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 8 } else { 40 };
+    let profile = profiles::nexus5();
+    let idxs: Vec<usize> = if quick {
+        vec![0, 3, 5, 9, 13]
+    } else {
+        (0..profile.opps().len()).collect()
+    };
+
+    let mut res = ExperimentResult::new(
+        "fig07",
+        "performance/power ratio vs frequency for 1 and 4 cores",
+    );
+    res.line("cores,freq_mhz,score,avg_power_mw,ratio");
+
+    let mut jobs = Vec::new();
+    for &n in &[1usize, 4] {
+        for &i in &idxs {
+            jobs.push((n, i));
+        }
+    }
+    let rows = parallel_map(jobs, |(n, i)| {
+        let khz = profile.opps().get_clamped(i).khz;
+        let report = runner::run_pinned(
+            &profile,
+            n,
+            khz,
+            vec![Box::new(GeekBenchApp::standard(n))],
+            secs,
+            runner::SEED,
+        );
+        let score = report.first_metric("score").expect("geekbench reports");
+        (n, khz, score, report.avg_power_mw, score / report.avg_power_mw)
+    });
+    for (n, khz, score, mw, ratio) in &rows {
+        res.line(format!(
+            "{n},{:.1},{score:.0},{mw:.1},{ratio:.4}",
+            khz.as_mhz()
+        ));
+    }
+
+    let series = |n: usize| -> Vec<(f64, f64)> {
+        rows.iter()
+            .filter(|r| r.0 == n)
+            .map(|r| (r.1.as_mhz(), r.4))
+            .collect()
+    };
+    let one = series(1);
+    let four = series(4);
+
+    // 1-core: ratio at the top at least as good as at the bottom
+    // (slow logarithmic rise).
+    res.check(
+        "1-core ratio rises slowly / stays stable",
+        "logarithmic trend upward",
+        format!(
+            "ratio {:.4} @ {:.0} MHz → {:.4} @ {:.0} MHz",
+            one.first().expect("rows").1,
+            one.first().expect("rows").0,
+            one.last().expect("rows").1,
+            one.last().expect("rows").0
+        ),
+        one.last().expect("rows").1 >= one.first().expect("rows").1 * 0.85,
+    );
+    // 4-core: interior peak, then decline toward f_max.
+    let peak = four
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("rows");
+    let last = *four.last().expect("rows");
+    res.check(
+        "4-core ratio peaks at a mid frequency",
+        "peak near 960 MHz",
+        format!("peak at {:.0} MHz", peak.0),
+        peak.0 < 1_900.0,
+    );
+    res.check(
+        "4-core ratio declines past the peak",
+        "decreasing after 960 MHz",
+        format!("ratio {:.4} at peak vs {:.4} at f_max", peak.1, last.1),
+        last.1 < peak.1 * 0.98,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,65 @@
+//! **Figure 10** — average power consumption per game, MobiCore vs the
+//! Android default policy.
+//!
+//! Paper findings: savings per game range from 0.04 % (Real Racing 3) to
+//! 11.7 % (Subway Surf), 5.3 % on average; MobiCore never costs
+//! meaningfully more than the default.
+
+use crate::games_suite;
+use crate::result::ExperimentResult;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 10 } else { 120 };
+    let cmp = games_suite::run(secs);
+
+    let mut res = ExperimentResult::new(
+        "fig10",
+        "average power per game: MobiCore vs Android default",
+    );
+    res.line("game,android_mw,mobicore_mw,saving_pct");
+    let mut savings = Vec::new();
+    for c in &cmp {
+        let s = c.power_saving_pct();
+        savings.push(s);
+        res.line(format!(
+            "{},{:.1},{:.1},{s:.2}",
+            c.game, c.android.avg_power_mw, c.mobicore.avg_power_mw
+        ));
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    let max = savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+    res.line(format!("average_saving_pct,{avg:.2}"));
+
+    res.check(
+        "MobiCore saves power on games on average",
+        "5.3 % average",
+        format!("{avg:.1} % average"),
+        avg > 0.0,
+    );
+    res.check(
+        "per-game savings spread",
+        "0.04 % – 11.7 %",
+        format!("{min:.1} % – {max:.1} %"),
+        max > 2.0 && min > -4.0,
+    );
+    res.check(
+        "games never cost substantially more under MobiCore",
+        "worst case ≈ 0 % (same as default)",
+        format!("worst {min:.1} %"),
+        min > -6.0,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,76 @@
+//! **Figure 11** — average FPS per game and the MobiCore/default FPS
+//! ratio.
+//!
+//! Paper findings: the default always reaches a higher FPS; MobiCore is
+//! ≈ 22 % lower on average but stays in the 15–20 FPS band §5.1 declared
+//! acceptable ("the gaming experience was unaffected").
+
+use crate::games_suite;
+use crate::result::ExperimentResult;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 10 } else { 120 };
+    let cmp = games_suite::run(secs);
+
+    let mut res = ExperimentResult::new("fig11", "average FPS and FPS ratio per game");
+    res.line("game,android_fps,mobicore_fps,ratio");
+    let mut ratios = Vec::new();
+    let mut mob_fps = Vec::new();
+    for c in &cmp {
+        let ratio = c.fps_ratio();
+        ratios.push(ratio);
+        mob_fps.push(c.mobicore.avg_fps);
+        res.line(format!(
+            "{},{:.1},{:.1},{ratio:.3}",
+            c.game, c.android.avg_fps, c.mobicore.avg_fps
+        ));
+    }
+    let avg_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    res.line(format!("average_fps_ratio,{avg_ratio:.3}"));
+
+    res.check(
+        "default reaches higher FPS than MobiCore",
+        "always higher",
+        format!(
+            "{}/{} games",
+            cmp.iter()
+                .filter(|c| c.android.avg_fps >= c.mobicore.avg_fps * 0.999)
+                .count(),
+            cmp.len()
+        ),
+        cmp.iter()
+            .filter(|c| c.android.avg_fps >= c.mobicore.avg_fps * 0.999)
+            .count()
+            >= 4,
+    );
+    res.check(
+        "average FPS cost of MobiCore",
+        "≈ 22 % fewer FPS",
+        format!("{:.1} % fewer", (1.0 - avg_ratio) * 100.0),
+        (0.50..1.01).contains(&avg_ratio),
+    );
+    let playable = mob_fps.iter().filter(|&&f| f >= 10.0).count();
+    res.check(
+        "MobiCore stays in the acceptable band",
+        "15–20 FPS, experience unaffected",
+        format!(
+            "{playable}/{} games ≥ 10 FPS (min {:.1})",
+            mob_fps.len(),
+            mob_fps.iter().cloned().fold(f64::INFINITY, f64::min)
+        ),
+        playable == mob_fps.len(),
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

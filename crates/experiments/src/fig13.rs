@@ -1,0 +1,58 @@
+//! **Figure 13** — CPU load stress level: average load per game under
+//! both policies and the load variation.
+//!
+//! Paper findings: the default policy keeps the cores on average 3.1 %
+//! (percentage points) busier than MobiCore; a positive workload
+//! reduction is observed for all games.
+
+use crate::games_suite;
+use crate::result::ExperimentResult;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> ExperimentResult {
+    let secs = if quick { 10 } else { 120 };
+    let cmp = games_suite::run(secs);
+
+    let mut res = ExperimentResult::new("fig13", "CPU load stress level per game");
+    res.line("game,android_load_pct,mobicore_load_pct,reduction_points");
+    let mut reductions = Vec::new();
+    for c in &cmp {
+        let red = c.load_reduction_points();
+        reductions.push(red);
+        res.line(format!(
+            "{},{:.1},{:.1},{red:.2}",
+            c.game, c.android.avg_load_pct, c.mobicore.avg_load_pct
+        ));
+    }
+    let avg_red = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    res.line(format!("average_reduction_points,{avg_red:.2}"));
+
+    res.check(
+        "default keeps cores busier on average",
+        "+3.1 points busier than MobiCore",
+        format!("{avg_red:+.1} points"),
+        avg_red > -3.0,
+    );
+    res.check(
+        "load reduction observed for most games",
+        "positive at all games",
+        format!(
+            "{}/{} games",
+            reductions.iter().filter(|&&r| r > -1.5).count(),
+            reductions.len()
+        ),
+        reductions.iter().filter(|&&r| r > -1.5).count() >= 3,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_shape_holds() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared game-session harness for Figures 10–13: each of the five games
+//! played for a session under both the Android default policy and
+//! MobiCore, with the hardware-usage statistics both figures need.
+
+use crate::runner::{self, parallel_map};
+use mobicore::MobiCore;
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::profiles;
+use mobicore_workloads::{GameApp, GameProfile};
+
+/// Per-policy session statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Average device power, mW.
+    pub avg_power_mw: f64,
+    /// Average FPS over the session.
+    pub avg_fps: f64,
+    /// Time-weighted average frequency over online cores, MHz.
+    pub avg_mhz: f64,
+    /// Time-weighted average online-core count.
+    pub avg_cores: f64,
+    /// Average overall CPU load, percent (over all 4 cores).
+    pub avg_load_pct: f64,
+    /// Time-weighted average bandwidth quota.
+    pub avg_quota: f64,
+}
+
+/// One game's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameComparison {
+    /// Game title.
+    pub game: String,
+    /// Stats under the Android default policy.
+    pub android: SessionStats,
+    /// Stats under MobiCore.
+    pub mobicore: SessionStats,
+}
+
+impl GameComparison {
+    /// Power saving of MobiCore vs the default, percent.
+    pub fn power_saving_pct(&self) -> f64 {
+        runner::pct_saving(self.android.avg_power_mw, self.mobicore.avg_power_mw)
+    }
+
+    /// FPS ratio MobiCore / default.
+    pub fn fps_ratio(&self) -> f64 {
+        if self.android.avg_fps == 0.0 {
+            0.0
+        } else {
+            self.mobicore.avg_fps / self.android.avg_fps
+        }
+    }
+
+    /// Average-frequency difference (default − MobiCore) as a percentage
+    /// of the default (positive = MobiCore clocks lower).
+    pub fn freq_reduction_pct(&self) -> f64 {
+        runner::pct_saving(self.android.avg_mhz, self.mobicore.avg_mhz)
+    }
+
+    /// Load reduction (default − MobiCore), percentage points.
+    pub fn load_reduction_points(&self) -> f64 {
+        self.android.avg_load_pct - self.mobicore.avg_load_pct
+    }
+}
+
+fn session(report: &mobicore_sim::SimReport) -> SessionStats {
+    SessionStats {
+        avg_power_mw: report.avg_power_mw,
+        avg_fps: report.first_metric("avg_fps").unwrap_or(0.0),
+        avg_mhz: report.avg_mhz_online(),
+        avg_cores: report.avg_online_cores,
+        avg_load_pct: report.avg_overall_util * 100.0,
+        avg_quota: report.avg_quota,
+    }
+}
+
+/// Plays every game under both policies, memoized per session length
+/// (figures 10–13 share sessions, exactly as the thesis derives all four
+/// from the same recordings). Simulations are deterministic, so caching
+/// is sound.
+pub fn run(secs: u64) -> Vec<GameComparison> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, Vec<GameComparison>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("not poisoned").get(&secs) {
+        return hit.clone();
+    }
+    let result = run_uncached(secs);
+    cache
+        .lock()
+        .expect("not poisoned")
+        .insert(secs, result.clone());
+    result
+}
+
+fn run_uncached(secs: u64) -> Vec<GameComparison> {
+    let profile = profiles::nexus5_gaming();
+    let games = GameProfile::all();
+    let mut jobs = Vec::new();
+    for (i, g) in games.iter().enumerate() {
+        jobs.push((g.clone(), i as u64, true));
+        jobs.push((g.clone(), i as u64, false));
+    }
+    let reports = parallel_map(jobs, |(game, idx, use_mobicore)| {
+        let policy: Box<dyn mobicore_sim::CpuPolicy> = if use_mobicore {
+            Box::new(MobiCore::new(&profile))
+        } else {
+            Box::new(AndroidDefaultPolicy::new(&profile))
+        };
+        let report = runner::run_policy(
+            &profile,
+            policy,
+            vec![Box::new(GameApp::new(game.clone(), runner::SEED + idx))],
+            secs,
+            runner::SEED + idx,
+        );
+        (game.name, use_mobicore, session(&report))
+    });
+    games
+        .iter()
+        .map(|g| {
+            let find = |mob: bool| -> SessionStats {
+                reports
+                    .iter()
+                    .find(|(name, m, _)| name == &g.name && *m == mob)
+                    .map(|(_, _, s)| s.clone())
+                    .expect("both policies ran per game")
+            };
+            GameComparison {
+                game: g.name.clone(),
+                android: find(false),
+                mobicore: find(true),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_games_both_policies() {
+        let cmp = run(8);
+        assert_eq!(cmp.len(), 5);
+        for c in &cmp {
+            assert!(c.android.avg_power_mw > 0.0, "{c:?}");
+            assert!(c.mobicore.avg_power_mw > 0.0, "{c:?}");
+            assert!(c.android.avg_fps > 0.0, "{c:?}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared helpers for experiment runners.
+
+use mobicore_model::{DeviceProfile, Khz};
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{CpuPolicy, SimConfig, SimReport, Simulation, Workload};
+
+/// The default seed every experiment uses (printed in outputs).
+pub const SEED: u64 = 20170315; // the thesis defense date
+
+/// Runs `policy` against `workloads` on `profile` for `secs` seconds with
+/// `mpdecision` disabled (the state the thesis puts the phone in).
+pub fn run_policy(
+    profile: &DeviceProfile,
+    policy: Box<dyn CpuPolicy>,
+    workloads: Vec<Box<dyn Workload>>,
+    secs: u64,
+    seed: u64,
+) -> SimReport {
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(secs)
+        .with_seed(seed)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, policy).expect("experiment config is valid");
+    for w in workloads {
+        sim.add_workload(w);
+    }
+    sim.run()
+}
+
+/// Runs a pinned `(n cores, khz)` configuration — the characterization
+/// harness of paper §3.
+pub fn run_pinned(
+    profile: &DeviceProfile,
+    n_cores: usize,
+    khz: Khz,
+    workloads: Vec<Box<dyn Workload>>,
+    secs: u64,
+    seed: u64,
+) -> SimReport {
+    run_policy(
+        profile,
+        Box::new(PinnedPolicy::new(n_cores, khz)),
+        workloads,
+        secs,
+        seed,
+    )
+}
+
+/// Maps `f` over `items` on a small thread pool (simulations are
+/// independent and CPU-bound). Order is preserved.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let jobs = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..n_threads {
+            s.spawn(|_| loop {
+                let job = jobs.lock().expect("not poisoned").pop();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("not poisoned").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    for (i, r) in results.into_inner().expect("not poisoned") {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+}
+
+/// Percentage change from `a` to `b` (positive = `b` is bigger).
+pub fn pct_change(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        0.0
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+/// Percentage saving going from `baseline` to `improved`
+/// (positive = improved uses less).
+pub fn pct_saving(baseline: f64, improved: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - improved) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+    use mobicore_workloads::BusyLoop;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pct_helpers() {
+        assert_eq!(pct_change(100.0, 150.0), 50.0);
+        assert_eq!(pct_saving(100.0, 80.0), 20.0);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+        assert_eq!(pct_saving(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn run_pinned_smoke() {
+        let p = profiles::nexus5();
+        let f = p.opps().min_khz();
+        let r = run_pinned(
+            &p,
+            1,
+            f,
+            vec![Box::new(BusyLoop::with_target_util(1, 0.5, f, 1))],
+            1,
+            SEED,
+        );
+        assert!(r.avg_power_mw > 0.0);
+        assert_eq!(r.duration_us, 1_000_000);
+    }
+}

@@ -1,0 +1,74 @@
+//! **Table 1** — specifications of the Nexus 5 platform, regenerated from
+//! the device profile.
+
+use crate::result::ExperimentResult;
+use mobicore_model::profiles;
+
+/// Runs the experiment (no simulation needed; `quick` is ignored).
+pub fn run(_quick: bool) -> ExperimentResult {
+    let p = profiles::nexus5();
+    let mut res = ExperimentResult::new("table1", "specifications of the Nexus 5 platform");
+    let opps = p.opps();
+    res.line("SoC,Snapdragon 800 (MSM8974)".to_string());
+    res.line(format!("CPU,({}) Krait 400", p.n_cores()));
+    res.line(format!("freq_min,{}", opps.min_khz()));
+    res.line(format!("freq_max,{}", opps.max_khz()));
+    res.line(format!(
+        "volt_min,{}",
+        opps.get(0).expect("non-empty").mv
+    ));
+    res.line(format!(
+        "volt_max,{}",
+        opps.get(opps.max_index()).expect("non-empty").mv
+    ));
+    res.line(format!("opp_count,{}", opps.len()));
+    res.line("os,Android 6.0 (Marshmallow) — simulated kernel layer".to_string());
+
+    res.check(
+        "14 frequencies from 300 MHz to 2.2656 GHz",
+        "14 OPPs, 300 MHz – 2.2656 GHz",
+        format!(
+            "{} OPPs, {} – {}",
+            opps.len(),
+            opps.min_khz(),
+            opps.max_khz()
+        ),
+        opps.len() == 14
+            && opps.min_khz().0 == 300_000
+            && opps.max_khz().0 == 2_265_600,
+    );
+    res.check(
+        "voltage range",
+        "0.9 V – 1.2 V",
+        format!(
+            "{} – {}",
+            opps.get(0).expect("non-empty").mv,
+            opps.get(opps.max_index()).expect("non-empty").mv
+        ),
+        opps.get(0).expect("non-empty").mv.0 == 900
+            && opps.get(opps.max_index()).expect("non-empty").mv.0 == 1_200,
+    );
+    res.check(
+        "per-core static power anchors (§4.1.2)",
+        "120 mW at f_max, 47 mW at f_min",
+        format!(
+            "{:.0} mW at f_max, {:.0} mW at f_min",
+            opps.get(opps.max_index()).expect("non-empty").idle_mw,
+            opps.get(0).expect("non-empty").idle_mw
+        ),
+        (opps.get(opps.max_index()).expect("non-empty").idle_mw - 120.0).abs() < 1.0
+            && (opps.get(0).expect("non-empty").idle_mw - 47.0).abs() < 1.0,
+    );
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches() {
+        let r = run(true);
+        assert!(r.all_pass(), "{r}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for model construction and lookups.
+
+use crate::units::Khz;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An OPP table was constructed empty.
+    EmptyOppTable,
+    /// OPP entries were not strictly increasing in frequency.
+    UnsortedOppTable {
+        /// Index of the first offending entry.
+        index: usize,
+    },
+    /// A frequency was requested that is below the lowest OPP.
+    FrequencyBelowTable {
+        /// The requested frequency.
+        requested: Khz,
+        /// The lowest available frequency.
+        min: Khz,
+    },
+    /// A device profile was built with zero cores.
+    NoCores,
+    /// A per-core activity vector did not match the profile's core count.
+    ActivityLengthMismatch {
+        /// Cores in the profile.
+        expected: usize,
+        /// Activities supplied.
+        got: usize,
+    },
+    /// The demanded load cannot be carried even by all cores at maximum
+    /// frequency.
+    InfeasibleLoad {
+        /// The demanded global load fraction (may exceed 1.0).
+        demanded: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyOppTable => write!(f, "OPP table has no entries"),
+            ModelError::UnsortedOppTable { index } => {
+                write!(f, "OPP table is not strictly increasing at index {index}")
+            }
+            ModelError::FrequencyBelowTable { requested, min } => {
+                write!(f, "requested {requested} is below the lowest OPP {min}")
+            }
+            ModelError::NoCores => write!(f, "device profile needs at least one core"),
+            ModelError::ActivityLengthMismatch { expected, got } => {
+                write!(f, "expected {expected} core activities, got {got}")
+            }
+            ModelError::InfeasibleLoad { demanded } => {
+                write!(
+                    f,
+                    "global load {:.1}% exceeds full-platform capacity",
+                    demanded * 100.0
+                )
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_style() {
+        let errs: Vec<ModelError> = vec![
+            ModelError::EmptyOppTable,
+            ModelError::UnsortedOppTable { index: 3 },
+            ModelError::FrequencyBelowTable {
+                requested: Khz(100),
+                min: Khz(300_000),
+            },
+            ModelError::NoCores,
+            ModelError::ActivityLengthMismatch {
+                expected: 4,
+                got: 2,
+            },
+            ModelError::InfeasibleLoad { demanded: 1.2 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! # mobicore-model
+//!
+//! Device models and the analytic CPU energy model behind **MobiCore**
+//! (Broyde, *MobiCore: An Adaptive Hybrid Approach for Power-Efficient CPU
+//! Management on Android Devices*, University of Pittsburgh, 2017).
+//!
+//! This crate is the pure-math foundation of the reproduction. It contains
+//! no simulation clock and no policy logic — only:
+//!
+//! * strongly-typed units ([`Khz`], [`MilliVolts`], [`Utilization`]),
+//! * operating-performance-point tables ([`OppTable`]) such as the
+//!   14-entry Snapdragon 800 table of the Nexus 5 (paper Table 1),
+//! * calibrated whole-device power models ([`DeviceProfile`]) for the six
+//!   phones of paper Figure 1,
+//! * the paper's CPU energy model, Eqs. (1)–(7) ([`energy`]),
+//! * MobiCore's frequency re-evaluation, Eqs. (9)–(10)
+//!   ([`energy::mobicore_frequency`]),
+//! * the operating-point enumerator and minimum-power optimizer that
+//!   produces the "scar curve" of §4.2 ([`operating_point`]).
+//!
+//! # Example
+//!
+//! Find the minimum-power (cores × frequency) combination able to carry a
+//! 50 % global load on a Nexus 5:
+//!
+//! ```
+//! use mobicore_model::{profiles, operating_point::OperatingPointOptimizer};
+//!
+//! let nexus5 = profiles::nexus5();
+//! let optimizer = OperatingPointOptimizer::new(&nexus5);
+//! let point = optimizer.best_for_global_load(0.50).expect("load is feasible");
+//! assert!(point.cores >= 2, "50% global load needs at least 2 cores worth of capacity");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod energy;
+pub mod error;
+pub mod fitting;
+pub mod idle;
+pub mod operating_point;
+pub mod opp;
+pub mod profile;
+pub mod profiles;
+pub mod quota;
+pub mod thermal;
+pub mod units;
+
+pub use battery::Battery;
+pub use error::ModelError;
+pub use idle::{IdleLadder, IdleState};
+pub use opp::{Opp, OppTable};
+pub use profile::{CoreActivity, DeviceProfile, PowerBreakdown};
+pub use quota::Quota;
+pub use thermal::ThermalParams;
+pub use units::{Khz, MilliVolts, Utilization};

@@ -1,0 +1,397 @@
+//! Calibrated profiles for the phones used in the thesis.
+//!
+//! [`nexus5`] is the evaluation platform (paper Table 1). The remaining
+//! five phones appear in the motivation study (paper Figure 1): average
+//! power grows almost linearly with core count, and newer phones with the
+//! same core count draw slightly more than older ones.
+//!
+//! Calibration anchors taken from the paper:
+//!
+//! * Nexus 5 per-core static power: 120 mW at f_max, 47 mW at f_min
+//!   (§4.1.2);
+//! * Nexus 5 total at the highest computing state ≈ 2.4 W (§1.2 quotes
+//!   2403.82 mW — the two totals in the text are transposed; the 4-core
+//!   phone is the hot one, as the IR picture shows);
+//! * full-stress steady-state CPU-area temperatures 42.1 °C (Nexus 5) and
+//!   26.9 °C (Nexus S) (Figure 2(a)).
+
+use crate::opp::{Opp, OppTable};
+use crate::profile::DeviceProfile;
+use crate::thermal::ThermalParams;
+use crate::units::{Khz, MilliVolts};
+
+/// Effective switched capacitance of a Krait 400 core, farads.
+/// `P_dyn = C_eff · V² · f` (Eq. (1)) gives ≈ 652 mW at 2.2656 GHz / 1.2 V.
+pub const NEXUS5_CEFF_F: f64 = 2.0e-10;
+
+/// The 14 MSM8974 (Snapdragon 800) CPU frequencies in kHz, 300 MHz to
+/// 2.2656 GHz (paper Table 1: "14 different frequencies ranging from
+/// 300MHz to 2.2656GHz").
+pub const NEXUS5_FREQS_KHZ: [u32; 14] = [
+    300_000, 422_400, 652_800, 729_600, 883_200, 960_000, 1_036_800, 1_190_400, 1_267_200,
+    1_497_600, 1_574_400, 1_728_000, 1_958_400, 2_265_600,
+];
+
+fn interp(f_khz: u32, f_min: u32, f_max: u32, lo: f64, hi: f64) -> f64 {
+    let t = f64::from(f_khz - f_min) / f64::from(f_max - f_min);
+    lo + (hi - lo) * t
+}
+
+/// Builds an OPP ladder with voltage interpolated linearly between
+/// `mv_min`/`mv_max`, idle power between `idle_min_mw`/`idle_max_mw`, and
+/// dynamic power `ceff · V² · f`.
+pub fn opp_ladder(
+    freqs_khz: &[u32],
+    mv_min: u32,
+    mv_max: u32,
+    idle_min_mw: f64,
+    idle_max_mw: f64,
+    ceff_f: f64,
+) -> OppTable {
+    let f_min = *freqs_khz.first().expect("at least one frequency");
+    let f_max = *freqs_khz.last().expect("at least one frequency");
+    let opps = freqs_khz
+        .iter()
+        .map(|&khz| {
+            let mv = interp(khz, f_min, f_max, f64::from(mv_min), f64::from(mv_max)).round() as u32;
+            let volts = f64::from(mv) / 1_000.0;
+            let busy_extra_mw = ceff_f * volts * volts * (f64::from(khz) * 1_000.0) * 1_000.0;
+            Opp {
+                khz: Khz(khz),
+                mv: MilliVolts(mv),
+                idle_mw: interp(khz, f_min, f_max, idle_min_mw, idle_max_mw),
+                busy_extra_mw,
+            }
+        })
+        .collect();
+    OppTable::new(opps).expect("ladder input is sorted and non-empty")
+}
+
+/// The LG Nexus 5 (2013): Snapdragon 800, 4× Krait 400, 300 MHz–2.2656 GHz,
+/// 0.9–1.2 V, per-core DVFS and per-core hotplug. The evaluation platform
+/// of the thesis (Table 1).
+pub fn nexus5() -> DeviceProfile {
+    let opps = opp_ladder(&NEXUS5_FREQS_KHZ, 900, 1_200, 47.0, 120.0, NEXUS5_CEFF_F);
+    DeviceProfile::builder("Nexus 5", 4)
+        .opps(opps)
+        .platform_base_mw(150.0)
+        .cluster_max_mw(600.0)
+        .cluster_floor(0.75)
+        .cluster_exp(1.8)
+        .core_marginal(vec![1.0, 0.75, 0.65, 0.58])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 7.1,
+            tau_s: 8.0,
+            trip_c: 42.0,
+            clear_c: 40.5,
+        })
+        .hotplug_on_latency_us(5_000)
+        .dvfs_latency_us(200)
+        .build()
+        .expect("static profile is valid")
+}
+
+/// The Nexus 5 during a gaming session: same CPU model as [`nexus5`] but
+/// with the display on and the GPU actively rendering, which raises the
+/// always-on platform floor by ≈ 1 W. The §3 characterization sweeps run
+/// with "the screen turned off" — but the §6 gaming sessions necessarily
+/// have it on (FPS is being measured), and that floor is why the paper's
+/// whole-device game savings (Fig 10: 0.04–11.7 %) are so much smaller
+/// than its CPU-only savings.
+pub fn nexus5_gaming() -> DeviceProfile {
+    let opps = opp_ladder(&NEXUS5_FREQS_KHZ, 900, 1_200, 47.0, 120.0, NEXUS5_CEFF_F);
+    DeviceProfile::builder("Nexus 5 (gaming)", 4)
+        .opps(opps)
+        .platform_base_mw(1_150.0)
+        .cluster_max_mw(600.0)
+        .cluster_floor(0.75)
+        .cluster_exp(1.8)
+        .core_marginal(vec![1.0, 0.75, 0.65, 0.58])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 7.1,
+            tau_s: 8.0,
+            // The display/GPU floor dissipates over the whole body, not
+            // the CPU hotspot; keep the CPU throttle referenced to CPU
+            // power by raising the trip accordingly.
+            trip_c: 50.0,
+            clear_c: 48.5,
+        })
+        .hotplug_on_latency_us(5_000)
+        .dvfs_latency_us(200)
+        .build()
+        .expect("static profile is valid")
+}
+
+/// Generic single/dual/quad generation ladder used for the Figure-1
+/// phones: `n_steps` evenly spaced OPPs up to `fmax_khz`.
+fn legacy_ladder(fmax_khz: u32, n_steps: usize, idle_max_mw: f64, ceff_f: f64) -> OppTable {
+    let f_min = 200_000u32.min(fmax_khz / 2);
+    let freqs: Vec<u32> = (0..n_steps)
+        .map(|i| f_min + ((fmax_khz - f_min) as usize * i / (n_steps - 1)) as u32)
+        .collect();
+    opp_ladder(&freqs, 900, 1_150, idle_max_mw * 0.4, idle_max_mw, ceff_f)
+}
+
+/// Samsung Nexus S (2010): single 1 GHz Hummingbird core. The cool phone
+/// of the IR comparison (26.9 °C CPU area at full stress).
+pub fn nexus_s() -> DeviceProfile {
+    DeviceProfile::builder("Nexus S", 1)
+        .opps(legacy_ladder(1_000_000, 6, 70.0, 2.6e-10))
+        .platform_base_mw(120.0)
+        .cluster_max_mw(220.0)
+        .cluster_floor(0.5)
+        .cluster_exp(1.5)
+        .core_marginal(vec![1.0])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 2.7,
+            tau_s: 10.0,
+            trip_c: 70.0,
+            clear_c: 68.0,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// Motorola mb810 / Droid X (2010): single 1 GHz OMAP 3630 core, slightly
+/// hungrier than the Nexus S at the same core count (newer SoC revision).
+pub fn motorola_mb810() -> DeviceProfile {
+    DeviceProfile::builder("Motorola mb810", 1)
+        .opps(legacy_ladder(1_000_000, 6, 75.0, 2.9e-10))
+        .platform_base_mw(130.0)
+        .cluster_max_mw(240.0)
+        .cluster_floor(0.5)
+        .cluster_exp(1.5)
+        .core_marginal(vec![1.0])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 2.9,
+            tau_s: 10.0,
+            trip_c: 70.0,
+            clear_c: 68.0,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// Samsung Galaxy S II (2011): dual 1.2 GHz Exynos 4210 cores.
+pub fn galaxy_s2() -> DeviceProfile {
+    DeviceProfile::builder("Galaxy S II", 2)
+        .opps(legacy_ladder(1_200_000, 8, 85.0, 2.8e-10))
+        .platform_base_mw(140.0)
+        .cluster_max_mw(320.0)
+        .cluster_floor(0.52)
+        .cluster_exp(1.6)
+        .core_marginal(vec![1.0, 0.7])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 4.0,
+            tau_s: 9.0,
+            trip_c: 60.0,
+            clear_c: 58.0,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// LG Nexus 4 (2012): quad 1.5 GHz Krait (APQ8064).
+pub fn nexus4() -> DeviceProfile {
+    DeviceProfile::builder("Nexus 4", 4)
+        .opps(legacy_ladder(1_512_000, 10, 100.0, 2.2e-10))
+        .platform_base_mw(145.0)
+        .cluster_max_mw(480.0)
+        .cluster_floor(0.55)
+        .cluster_exp(1.7)
+        .core_marginal(vec![1.0, 0.65, 0.5, 0.42])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 6.2,
+            tau_s: 8.0,
+            trip_c: 44.0,
+            clear_c: 42.5,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// LG G3 (2014): quad 2.5 GHz Krait 400 (Snapdragon 801) — the newest and
+/// hungriest phone of the Figure-1 set.
+pub fn lg_g3() -> DeviceProfile {
+    let freqs: Vec<u32> = NEXUS5_FREQS_KHZ
+        .iter()
+        .map(|&f| (f as u64 * 2_457_600 / 2_265_600) as u32)
+        .collect();
+    DeviceProfile::builder("LG G3", 4)
+        .opps(opp_ladder(&freqs, 900, 1_225, 50.0, 130.0, 2.05e-10))
+        .platform_base_mw(160.0)
+        .cluster_max_mw(640.0)
+        .cluster_floor(0.75)
+        .cluster_exp(1.8)
+        .core_marginal(vec![1.0, 0.75, 0.65, 0.58])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 6.8,
+            tau_s: 8.5,
+            trip_c: 43.0,
+            clear_c: 41.5,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// A hypothetical symmetric octa-core successor (the intro notes phones
+/// "now reaching deca-core implementation"): eight Nexus-5-class cores
+/// behind one cluster. Used by the `ext04` generality experiment — the
+/// MobiCore algorithm has nothing 4-core-specific in it.
+pub fn synthetic_octa() -> DeviceProfile {
+    let opps = opp_ladder(&NEXUS5_FREQS_KHZ, 900, 1_200, 40.0, 100.0, 1.8e-10);
+    DeviceProfile::builder("Synthetic Octa", 8)
+        .opps(opps)
+        .platform_base_mw(160.0)
+        .cluster_max_mw(700.0)
+        .cluster_floor(0.7)
+        .cluster_exp(1.8)
+        .core_marginal(vec![1.0, 0.78, 0.68, 0.62, 0.58, 0.55, 0.53, 0.51])
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 6.0,
+            tau_s: 9.0,
+            trip_c: 46.0,
+            clear_c: 44.5,
+        })
+        .build()
+        .expect("static profile is valid")
+}
+
+/// The six phones of paper Figure 1 in release order.
+pub fn figure1_fleet() -> Vec<DeviceProfile> {
+    vec![
+        nexus_s(),
+        motorola_mb810(),
+        galaxy_s2(),
+        nexus4(),
+        nexus5(),
+        lg_g3(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nexus5_matches_table1() {
+        let p = nexus5();
+        assert_eq!(p.n_cores(), 4);
+        assert_eq!(p.opps().len(), 14);
+        assert_eq!(p.opps().min_khz(), Khz(300_000));
+        assert_eq!(p.opps().max_khz(), Khz(2_265_600));
+        assert_eq!(p.opps().get(0).unwrap().mv, MilliVolts(900));
+        assert_eq!(p.opps().get(13).unwrap().mv, MilliVolts(1_200));
+    }
+
+    #[test]
+    fn nexus5_static_power_anchors() {
+        // §4.1.2: "120mW per core for fmax, and 47mW for fmin".
+        let p = nexus5();
+        assert!((p.opps().get(0).unwrap().idle_mw - 47.0).abs() < 1e-9);
+        assert!((p.opps().get(13).unwrap().idle_mw - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nexus5_full_stress_near_2400mw_before_throttle() {
+        // Nominal (unthrottled) 4-core full-stress power should sit in the
+        // 2.4 W class the motivation experiment reports (throttling in the
+        // simulator pulls the sustained average toward ~2.4 W).
+        let p = nexus5();
+        let full = p.uniform_power_mw(4, 13, 1.0);
+        // Nominal (pre-throttle) sits above the 2.4 W sustained figure;
+        // the thermal engine pins the sustained average near
+        // `sustainable_power_mw()` ≈ 2.39 W.
+        assert!(
+            (2_400.0..3_300.0).contains(&full),
+            "full stress nominal {full} mW"
+        );
+        assert!(
+            (2_200.0..2_600.0).contains(&p.thermal().sustainable_power_mw()),
+            "sustained budget {} mW",
+            p.thermal().sustainable_power_mw()
+        );
+    }
+
+    #[test]
+    fn nexus5_single_core_full_stress_below_sustainable() {
+        // One core flat out must not trip the throttle (Fig 6/7 need
+        // unthrottled single-core sweeps).
+        let p = nexus5();
+        let one = p.uniform_power_mw(1, 13, 1.0);
+        assert!(one < p.thermal().sustainable_power_mw());
+    }
+
+    #[test]
+    fn fleet_power_grows_with_generation() {
+        // Paper Fig 1: power grows ~linearly with core count; same-count
+        // newer phones are slightly hungrier.
+        let fleet = figure1_fleet();
+        let full: Vec<f64> = fleet
+            .iter()
+            .map(|p| p.uniform_power_mw(p.n_cores(), p.opps().max_index(), 1.0))
+            .collect();
+        // release order is [NexusS, mb810, GS2, N4, N5, G3]
+        assert!(full[1] > full[0], "mb810 > Nexus S");
+        assert!(full[2] > full[1], "2 cores > 1 core");
+        assert!(full[3] > full[2], "4 cores > 2 cores");
+        assert!(full[4] > full[3], "Nexus 5 > Nexus 4");
+        assert!(full[5] > full[4], "LG G3 > Nexus 5");
+    }
+
+    #[test]
+    fn fleet_thermal_contrast_matches_ir_picture() {
+        // Fig 2(a): Nexus S CPU area ≈ 26.9 °C, Nexus 5 ≈ 42.1 °C.
+        let ns = nexus_s();
+        let n5 = nexus5();
+        let ns_power = ns.uniform_power_mw(1, ns.opps().max_index(), 1.0);
+        let t_ns = ns.thermal().steady_state_c(ns_power);
+        // Nexus 5 sustained power is pinned near the trip point by the
+        // throttle, so its steady temperature ≈ trip_c = 42.
+        assert!(
+            (25.5..29.0).contains(&t_ns),
+            "Nexus S steady {t_ns:.1} °C"
+        );
+        assert!((41.0..43.0).contains(&n5.thermal().trip_c));
+        assert!(n5.thermal().trip_c - t_ns > 10.0, "clear IR contrast");
+    }
+
+    #[test]
+    fn opp_ladder_voltage_interpolation_is_monotone() {
+        let t = opp_ladder(&NEXUS5_FREQS_KHZ, 900, 1_200, 47.0, 120.0, NEXUS5_CEFF_F);
+        let mut prev = 0u32;
+        for opp in t.iter() {
+            assert!(opp.mv.0 >= prev);
+            prev = opp.mv.0;
+            assert!(opp.busy_extra_mw > 0.0);
+            assert!(opp.idle_mw > 0.0);
+        }
+    }
+
+    #[test]
+    fn nexus5_dynamic_power_at_fmax_is_krait_class() {
+        let p = nexus5();
+        let top = p.opps().get(13).unwrap();
+        assert!(
+            (550.0..750.0).contains(&top.busy_extra_mw),
+            "dynamic at fmax {}",
+            top.busy_extra_mw
+        );
+    }
+
+    #[test]
+    fn profiles_clone_eq() {
+        let p = nexus5();
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert_ne!(format!("{p:?}"), "");
+    }
+}

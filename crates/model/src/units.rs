@@ -1,0 +1,236 @@
+//! Strongly-typed units used throughout the reproduction.
+//!
+//! The cpufreq subsystem of Linux expresses frequencies in kHz, voltages in
+//! millivolts and (in our power models) power in milliwatts; we keep the
+//! same conventions so sysfs strings round-trip without conversion factors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CPU frequency in kilohertz, the native unit of Linux cpufreq.
+///
+/// `Khz(300_000)` is 300 MHz, the lowest Nexus 5 OPP; `Khz(2_265_600)` is
+/// the 2.2656 GHz top OPP.
+///
+/// ```
+/// use mobicore_model::Khz;
+/// let f = Khz(2_265_600);
+/// assert_eq!(f.as_mhz(), 2265.6);
+/// assert!(Khz(300_000) < f);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Khz(pub u32);
+
+impl Khz {
+    /// Zero frequency; used for offline cores in traces.
+    pub const ZERO: Khz = Khz(0);
+
+    /// Returns the frequency in MHz as a float (for display and plotting).
+    pub fn as_mhz(self) -> f64 {
+        f64::from(self.0) / 1_000.0
+    }
+
+    /// Returns the frequency in Hz.
+    pub fn as_hz(self) -> f64 {
+        f64::from(self.0) * 1_000.0
+    }
+
+    /// Number of CPU cycles executed in `us` microseconds at this frequency.
+    ///
+    /// Exact in integer arithmetic: `kHz × µs / 1000` (1 kHz = 1 cycle/ms).
+    ///
+    /// ```
+    /// use mobicore_model::Khz;
+    /// // 2.2656 GHz for 1 ms = 2,265,600 cycles.
+    /// assert_eq!(Khz(2_265_600).cycles_in_us(1_000), 2_265_600);
+    /// ```
+    pub fn cycles_in_us(self, us: u64) -> u64 {
+        u64::from(self.0) * us / 1_000
+    }
+
+    /// Microseconds needed to execute `cycles` cycles at this frequency,
+    /// rounded up. Returns `u64::MAX` for a zero frequency.
+    pub fn us_for_cycles(self, cycles: u64) -> u64 {
+        if self.0 == 0 {
+            return u64::MAX;
+        }
+        cycles.saturating_mul(1_000).div_ceil(u64::from(self.0))
+    }
+}
+
+impl fmt::Display for Khz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MHz", self.as_mhz())
+    }
+}
+
+impl From<u32> for Khz {
+    fn from(khz: u32) -> Self {
+        Khz(khz)
+    }
+}
+
+/// A supply voltage in millivolts.
+///
+/// The Nexus 5 Krait 400 rail spans 900 mV (at 300 MHz) to 1200 mV (at
+/// 2.2656 GHz) — paper Table 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MilliVolts(pub u32);
+
+impl MilliVolts {
+    /// Returns the voltage in volts.
+    pub fn as_volts(self) -> f64 {
+        f64::from(self.0) / 1_000.0
+    }
+}
+
+impl fmt::Display for MilliVolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} mV", self.0)
+    }
+}
+
+impl From<u32> for MilliVolts {
+    fn from(mv: u32) -> Self {
+        MilliVolts(mv)
+    }
+}
+
+/// A CPU utilization fraction, clamped to `[0, 1]`.
+///
+/// The paper works in percent ("a 100 % global CPU load", "if the
+/// individual workload of a core is under 10 %"); we store the fraction and
+/// provide percent accessors.
+///
+/// ```
+/// use mobicore_model::Utilization;
+/// let u = Utilization::from_percent(37.5);
+/// assert_eq!(u.as_fraction(), 0.375);
+/// assert_eq!(Utilization::new(7.0), Utilization::FULL); // clamped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Utilization(f64);
+
+impl Utilization {
+    /// A fully idle CPU (0 %).
+    pub const IDLE: Utilization = Utilization(0.0);
+    /// A fully busy CPU (100 %).
+    pub const FULL: Utilization = Utilization(1.0);
+
+    /// Creates a utilization from a fraction, clamping to `[0, 1]`.
+    /// Non-finite inputs clamp to zero.
+    pub fn new(fraction: f64) -> Self {
+        if fraction.is_finite() {
+            Utilization(fraction.clamp(0.0, 1.0))
+        } else {
+            Utilization(0.0)
+        }
+    }
+
+    /// Creates a utilization from a percentage (`0..=100`), clamping.
+    pub fn from_percent(percent: f64) -> Self {
+        Self::new(percent / 100.0)
+    }
+
+    /// The utilization as a fraction in `[0, 1]`.
+    pub fn as_fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The utilization as a percentage in `[0, 100]`.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Saturating difference `self - other`, as a plain fraction
+    /// (may be negative; used for the ΔU(t, t−1) analysis of Table 2).
+    pub fn delta(self, other: Utilization) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Utilization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn khz_cycles_are_exact() {
+        assert_eq!(Khz(300_000).cycles_in_us(1_000), 300_000);
+        assert_eq!(Khz(1_000).cycles_in_us(1), 1);
+        assert_eq!(Khz(0).cycles_in_us(1_000_000), 0);
+    }
+
+    #[test]
+    fn khz_us_for_cycles_rounds_up() {
+        // Khz(1_000) is 1 MHz = 1 cycle per µs.
+        assert_eq!(Khz(1_000).us_for_cycles(1), 1);
+        assert_eq!(Khz(1_000).us_for_cycles(3), 3);
+        // 2 MHz = 2 cycles/µs: 3 cycles take 1.5 µs, rounded up to 2.
+        assert_eq!(Khz(2_000).us_for_cycles(3), 2);
+        // 1 kHz = 1 cycle per ms.
+        assert_eq!(Khz(1).us_for_cycles(1), 1_000);
+        assert_eq!(Khz(0).us_for_cycles(1), u64::MAX);
+    }
+
+    #[test]
+    fn khz_us_for_cycles_does_not_overflow_quietly() {
+        // Large cycle counts saturate instead of wrapping.
+        assert_eq!(Khz(1).us_for_cycles(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn khz_display_in_mhz() {
+        assert_eq!(Khz(2_265_600).to_string(), "2265.6 MHz");
+    }
+
+    #[test]
+    fn khz_ordering_matches_numeric() {
+        assert!(Khz(300_000) < Khz(422_400));
+        assert_eq!(Khz::from(960_000u32), Khz(960_000));
+    }
+
+    #[test]
+    fn millivolts_as_volts() {
+        assert_eq!(MilliVolts(1200).as_volts(), 1.2);
+        assert_eq!(MilliVolts(900).to_string(), "900 mV");
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        assert_eq!(Utilization::new(-0.5), Utilization::IDLE);
+        assert_eq!(Utilization::new(2.0), Utilization::FULL);
+        assert_eq!(Utilization::new(f64::NAN), Utilization::IDLE);
+        assert_eq!(Utilization::new(f64::INFINITY), Utilization::IDLE);
+    }
+
+    #[test]
+    fn utilization_percent_round_trip() {
+        let u = Utilization::from_percent(42.0);
+        assert!((u.as_percent() - 42.0).abs() < 1e-12);
+        assert!((u.as_fraction() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_delta_is_signed() {
+        let a = Utilization::from_percent(30.0);
+        let b = Utilization::from_percent(50.0);
+        assert!(a.delta(b) < 0.0);
+        assert!(b.delta(a) > 0.0);
+        assert_eq!(a.delta(a), 0.0);
+    }
+
+    #[test]
+    fn utilization_display() {
+        assert_eq!(Utilization::from_percent(12.34).to_string(), "12.3%");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests on the model crate's data structures.
+
+use mobicore_model::energy::{dynamic_power_mw, energy_mj, static_power_mw};
+use mobicore_model::{
+    profiles, Battery, IdleLadder, Khz, MilliVolts, Opp, OppTable, Quota, Utilization,
+};
+use proptest::prelude::*;
+
+/// A strategy for random valid OPP tables (strictly increasing).
+fn opp_table_strategy() -> impl Strategy<Value = OppTable> {
+    proptest::collection::vec(1u32..200_000, 1..20).prop_map(|increments| {
+        let mut khz = 100_000u32;
+        let opps = increments
+            .into_iter()
+            .map(|inc| {
+                khz += inc;
+                Opp {
+                    khz: Khz(khz),
+                    mv: MilliVolts(900 + khz / 10_000),
+                    idle_mw: 10.0 + f64::from(khz) / 50_000.0,
+                    busy_extra_mw: f64::from(khz) / 5_000.0,
+                }
+            })
+            .collect();
+        OppTable::new(opps).expect("strictly increasing by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// snap_up always returns a table frequency at least as fast as the
+    /// request (clamped at the top).
+    #[test]
+    fn snap_up_covers_request(table in opp_table_strategy(), req in 0u32..6_000_000) {
+        let snapped = table.snap_up(Khz(req));
+        if Khz(req) <= table.max_khz() {
+            prop_assert!(snapped.khz >= Khz(req));
+        } else {
+            prop_assert_eq!(snapped.khz, table.max_khz());
+        }
+    }
+
+    /// ceil/floor indices are coherent: floor ≤ ceil, both in range, and
+    /// exact hits agree.
+    #[test]
+    fn ceil_floor_coherent(table in opp_table_strategy(), req in 100_000u32..6_000_000) {
+        let ceil = table.ceil_index(Khz(req));
+        prop_assert!(ceil <= table.max_index());
+        if let Ok(floor) = table.floor_index(Khz(req)) {
+            prop_assert!(floor <= ceil);
+            let f_floor = table.get_clamped(floor).khz;
+            prop_assert!(f_floor <= Khz(req));
+        }
+        if let Some(exact) = table.iter().position(|o| o.khz == Khz(req)) {
+            prop_assert_eq!(ceil, exact);
+            prop_assert_eq!(table.floor_index(Khz(req)).expect("exists"), exact);
+        }
+    }
+
+    /// benchmark_five always spans the table ends and stays in the table.
+    #[test]
+    fn benchmark_five_in_table(table in opp_table_strategy()) {
+        let five = table.benchmark_five();
+        prop_assert_eq!(*five.first().expect("non-empty"), table.min_khz());
+        prop_assert_eq!(*five.last().expect("non-empty"), table.max_khz());
+        for f in five {
+            prop_assert!(table.iter().any(|o| o.khz == f));
+        }
+    }
+
+    /// Quota algebra: scaled() stays in range, is monotone in the factor.
+    #[test]
+    fn quota_scaled_bounded(q in 0.0f64..2.0, f1 in 0.0f64..2.0, f2 in 0.0f64..2.0) {
+        let quota = Quota::new(q);
+        let a = quota.scaled(f1);
+        prop_assert!((Quota::MIN_FRACTION..=1.0).contains(&a.as_fraction()));
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(quota.scaled(lo).as_fraction() <= quota.scaled(hi).as_fraction() + 1e-12);
+    }
+
+    /// Utilization construction is total and clamped for any f64.
+    #[test]
+    fn utilization_total(x in proptest::num::f64::ANY) {
+        let u = Utilization::new(x);
+        prop_assert!((0.0..=1.0).contains(&u.as_fraction()));
+    }
+
+    /// The energy equations are non-negative and bilinear where claimed.
+    #[test]
+    fn energy_equations_sane(
+        ceff in 1e-11f64..1e-9,
+        mv in 700u32..1_400,
+        khz in 100_000u32..3_000_000,
+        u in 0.0f64..1.0,
+        ileak in 0.0f64..300.0,
+        dt in 0u64..10_000_000,
+    ) {
+        let pd = dynamic_power_mw(ceff, MilliVolts(mv), Khz(khz), Utilization::new(u));
+        let ps = static_power_mw(MilliVolts(mv), ileak);
+        prop_assert!(pd >= 0.0 && ps >= 0.0);
+        // linear in utilization
+        let pd_half = dynamic_power_mw(ceff, MilliVolts(mv), Khz(khz), Utilization::new(u / 2.0));
+        prop_assert!((pd_half * 2.0 - pd).abs() < 1e-9 * (1.0 + pd));
+        // energy = power · time
+        let e = energy_mj(pd + ps, dt);
+        prop_assert!((e - (pd + ps) * dt as f64 / 1e6).abs() < 1e-9 * (1.0 + e));
+    }
+
+    /// Idle ladders never bill deeper-than-earned and the discount is
+    /// monotone in the streak length.
+    #[test]
+    fn idle_ladder_monotone(deep in 0.0f64..1.0, s1 in 0u64..100_000, s2 in 0u64..100_000) {
+        let l = IdleLadder::with_power_collapse(deep);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(l.power_frac_after(hi) <= l.power_frac_after(lo));
+        prop_assert!((0.0..=1.0).contains(&l.power_frac_after(s1)));
+    }
+
+    /// Device power decomposition is consistent: total = base + cluster +
+    /// Σ cores, and every component is non-negative.
+    #[test]
+    fn power_breakdown_consistent(
+        states in proptest::collection::vec((any::<bool>(), 0usize..14, 0.0f64..1.0), 4)
+    ) {
+        use mobicore_model::CoreActivity;
+        let p = profiles::nexus5();
+        let acts: Vec<CoreActivity> = states
+            .into_iter()
+            .map(|(online, opp, u)| {
+                if online {
+                    CoreActivity::online(opp, u)
+                } else {
+                    CoreActivity::OFFLINE
+                }
+            })
+            .collect();
+        let bd = p.power(&acts).expect("4 activities");
+        prop_assert!(bd.base_mw >= 0.0 && bd.cluster_mw >= 0.0);
+        for &c in &bd.core_mw {
+            prop_assert!(c >= 0.0);
+        }
+        let total = bd.base_mw + bd.cluster_mw + bd.core_mw.iter().sum::<f64>();
+        prop_assert!((bd.total_mw() - total).abs() < 1e-9);
+        prop_assert!((bd.cpu_mw() - (total - bd.base_mw)).abs() < 1e-9);
+    }
+
+    /// Battery projections: more draw, fewer hours; SOC in [0, 1].
+    #[test]
+    fn battery_monotone(p1 in 1.0f64..5_000.0, p2 in 1.0f64..5_000.0, dt in 0u64..u64::MAX / 2) {
+        let b = Battery::nexus5();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(b.hours_at(lo) >= b.hours_at(hi));
+        let soc = b.soc_after(p1, dt);
+        prop_assert!((0.0..=1.0).contains(&soc));
+    }
+}

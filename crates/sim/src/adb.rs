@@ -1,0 +1,141 @@
+//! An `adb shell`-flavoured command parser.
+//!
+//! The thesis drives the phone over `adb shell` — disabling the
+//! `mpdecision` service, echoing into sysfs, reading state back (§2.2.2,
+//! §5.3). This module parses that command vocabulary; execution happens in
+//! [`Simulation::adb`](crate::Simulation::adb).
+
+use crate::error::SimError;
+
+/// A parsed shell command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdbCommand {
+    /// `cat <path>`
+    Cat {
+        /// Attribute path to read.
+        path: String,
+    },
+    /// `echo <value> > <path>`
+    Echo {
+        /// Value to write.
+        value: String,
+        /// Attribute path to write.
+        path: String,
+    },
+    /// `ls <prefix>`
+    Ls {
+        /// Path prefix to list.
+        prefix: String,
+    },
+    /// `stop mpdecision` — lets the hotplug policy off-line cores.
+    StopMpdecision,
+    /// `start mpdecision` — re-enables the off-lining guard.
+    StartMpdecision,
+}
+
+/// Parses one shell line.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadShellCommand`] for anything outside the small
+/// vocabulary above.
+pub fn parse(line: &str) -> Result<AdbCommand, SimError> {
+    let bad = || SimError::BadShellCommand { line: line.into() };
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["cat", path] => Ok(AdbCommand::Cat {
+            path: (*path).to_string(),
+        }),
+        ["ls", prefix] => Ok(AdbCommand::Ls {
+            prefix: (*prefix).to_string(),
+        }),
+        ["stop", "mpdecision"] => Ok(AdbCommand::StopMpdecision),
+        ["start", "mpdecision"] => Ok(AdbCommand::StartMpdecision),
+        ["echo", rest @ ..] => {
+            // echo VALUE > PATH   (VALUE may be quoted, no spaces inside)
+            let gt = rest.iter().position(|t| *t == ">").ok_or_else(bad)?;
+            if gt == 0 || gt + 1 != rest.len() - 1 {
+                return Err(bad());
+            }
+            let value = rest[..gt].join(" ");
+            let value = value.trim_matches('"').trim_matches('\'').to_string();
+            Ok(AdbCommand::Echo {
+                value,
+                path: rest[rest.len() - 1].to_string(),
+            })
+        }
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cat() {
+        assert_eq!(
+            parse("cat /sys/class/thermal/thermal_zone0/temp").unwrap(),
+            AdbCommand::Cat {
+                path: "/sys/class/thermal/thermal_zone0/temp".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_echo() {
+        assert_eq!(
+            parse("echo 0 > /sys/devices/system/cpu/cpu3/online").unwrap(),
+            AdbCommand::Echo {
+                value: "0".into(),
+                path: "/sys/devices/system/cpu/cpu3/online".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_quoted_echo() {
+        assert_eq!(
+            parse("echo \"userspace\" > /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+                .unwrap(),
+            AdbCommand::Echo {
+                value: "userspace".into(),
+                path: "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_service_controls() {
+        assert_eq!(parse("stop mpdecision").unwrap(), AdbCommand::StopMpdecision);
+        assert_eq!(
+            parse(" start   mpdecision ").unwrap(),
+            AdbCommand::StartMpdecision
+        );
+    }
+
+    #[test]
+    fn parses_ls() {
+        assert_eq!(
+            parse("ls /sys/devices/system/cpu/").unwrap(),
+            AdbCommand::Ls {
+                prefix: "/sys/devices/system/cpu/".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "rm -rf /",
+            "echo novalue",
+            "echo > /path",
+            "echo 1 > /a > /b",
+            "cat",
+            "stop otherservice",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

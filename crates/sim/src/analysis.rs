@@ -1,0 +1,203 @@
+//! Post-hoc analysis over full traces — the number crunching the thesis
+//! performs over the kernel app's "file recording historical information
+//! of the hardware states" (§3.1).
+
+use crate::trace::Trace;
+
+/// Summary statistics of one full trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Samples analysed.
+    pub samples: usize,
+    /// Power percentiles, mW: (p5, p50, p95).
+    pub power_percentiles_mw: (f64, f64, f64),
+    /// Mean power over the retained samples, mW.
+    pub mean_power_mw: f64,
+    /// Peak temperature, °C.
+    pub max_temp_c: f64,
+    /// Time-share per distinct frequency over all cores (kHz →
+    /// fraction of core-samples), sorted by frequency. Offline
+    /// core-samples appear under key 0.
+    pub freq_residency: Vec<(u32, f64)>,
+    /// Hotplug events observed (a core's frequency moving to/from 0
+    /// between consecutive samples).
+    pub hotplug_events: usize,
+    /// DVFS retargets observed (a core's frequency changing between
+    /// consecutive samples, hotplug excluded).
+    pub dvfs_transitions: usize,
+    /// Fraction of samples with a reduced (< 1.0) quota.
+    pub quota_engaged_frac: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Analyses a full trace.
+///
+/// Returns `None` for an empty trace (nothing to analyse).
+pub fn analyze(trace: &Trace) -> Option<TraceAnalysis> {
+    let samples = trace.samples();
+    if samples.is_empty() {
+        return None;
+    }
+    let mut powers: Vec<f64> = samples.iter().map(|s| s.power_mw).collect();
+    powers.sort_by(|a, b| a.partial_cmp(b).expect("power is finite"));
+    let mean_power_mw = powers.iter().sum::<f64>() / powers.len() as f64;
+    let max_temp_c = samples
+        .iter()
+        .map(|s| s.temp_c)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let mut residency: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut hotplug_events = 0usize;
+    let mut dvfs_transitions = 0usize;
+    let mut total_core_samples = 0u64;
+    for (i, s) in samples.iter().enumerate() {
+        for (c, &khz) in s.khz.iter().enumerate() {
+            *residency.entry(khz).or_insert(0) += 1;
+            total_core_samples += 1;
+            if i > 0 {
+                if let Some(&prev) = samples[i - 1].khz.get(c) {
+                    if prev != khz {
+                        if prev == 0 || khz == 0 {
+                            hotplug_events += 1;
+                        } else {
+                            dvfs_transitions += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let freq_residency = residency
+        .into_iter()
+        .map(|(khz, n)| (khz, n as f64 / total_core_samples.max(1) as f64))
+        .collect();
+    let quota_engaged = samples.iter().filter(|s| s.quota < 0.999).count();
+
+    Some(TraceAnalysis {
+        samples: samples.len(),
+        power_percentiles_mw: (
+            percentile(&powers, 0.05),
+            percentile(&powers, 0.50),
+            percentile(&powers, 0.95),
+        ),
+        mean_power_mw,
+        max_temp_c,
+        freq_residency,
+        hotplug_events,
+        dvfs_transitions,
+        quota_engaged_frac: quota_engaged as f64 / samples.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSample;
+
+    fn sample(t: u64, power: f64, khz: Vec<u32>, quota: f64) -> TraceSample {
+        let util = vec![50.0; khz.len()];
+        TraceSample {
+            t_us: t,
+            power_mw: power,
+            temp_c: 25.0 + power / 100.0,
+            quota,
+            khz,
+            util_pct: util,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_no_analysis() {
+        assert!(analyze(&Trace::new()).is_none());
+    }
+
+    #[test]
+    fn percentiles_and_mean() {
+        let mut tr = Trace::new();
+        for (i, p) in [100.0, 200.0, 300.0, 400.0, 500.0].iter().enumerate() {
+            tr.push(sample(i as u64, *p, vec![300_000; 4], 1.0));
+        }
+        let a = analyze(&tr).expect("non-empty");
+        assert_eq!(a.samples, 5);
+        assert_eq!(a.mean_power_mw, 300.0);
+        assert_eq!(a.power_percentiles_mw.1, 300.0);
+        assert_eq!(a.power_percentiles_mw.0, 100.0);
+        assert_eq!(a.power_percentiles_mw.2, 500.0);
+        assert!((a.max_temp_c - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residency_sums_to_one() {
+        let mut tr = Trace::new();
+        tr.push(sample(0, 1.0, vec![300_000, 960_000, 0, 0], 1.0));
+        tr.push(sample(1, 1.0, vec![300_000, 960_000, 0, 0], 1.0));
+        let a = analyze(&tr).expect("non-empty");
+        let total: f64 = a.freq_residency.iter().map(|r| r.1).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // 2 of 8 core-samples at 960 MHz
+        let at960 = a
+            .freq_residency
+            .iter()
+            .find(|r| r.0 == 960_000)
+            .expect("present")
+            .1;
+        assert!((at960 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transitions_classified() {
+        let mut tr = Trace::new();
+        tr.push(sample(0, 1.0, vec![300_000, 960_000], 1.0));
+        // core 0 retargets, core 1 goes offline
+        tr.push(sample(1, 1.0, vec![422_400, 0], 1.0));
+        // core 1 comes back
+        tr.push(sample(2, 1.0, vec![422_400, 300_000], 1.0));
+        let a = analyze(&tr).expect("non-empty");
+        assert_eq!(a.dvfs_transitions, 1);
+        assert_eq!(a.hotplug_events, 2);
+    }
+
+    #[test]
+    fn quota_engagement_fraction() {
+        let mut tr = Trace::new();
+        tr.push(sample(0, 1.0, vec![300_000], 1.0));
+        tr.push(sample(1, 1.0, vec![300_000], 0.5));
+        tr.push(sample(2, 1.0, vec![300_000], 0.9));
+        tr.push(sample(3, 1.0, vec![300_000], 1.0));
+        let a = analyze(&tr).expect("non-empty");
+        assert!((a.quota_engaged_frac - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_run() {
+        use crate::builtin::PinnedPolicy;
+        use crate::{SimConfig, Simulation, TraceLevel};
+        use mobicore_model::{profiles, Khz};
+        let profile = profiles::nexus5();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(2)
+            .with_trace(TraceLevel::Full)
+            .without_mpdecision();
+        let mut sim =
+            Simulation::new(cfg, Box::new(PinnedPolicy::new(2, Khz(960_000)))).unwrap();
+        let r = sim.run();
+        let a = analyze(&r.trace).expect("full trace retained");
+        assert!(a.samples > 100);
+        assert!(a.mean_power_mw > 0.0);
+        // Two cores pinned at 960 MHz, two offline: residency reflects it.
+        let at960: f64 = a
+            .freq_residency
+            .iter()
+            .filter(|r| r.0 == 960_000)
+            .map(|r| r.1)
+            .sum();
+        assert!(at960 > 0.4, "{:?}", a.freq_residency);
+    }
+}

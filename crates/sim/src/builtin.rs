@@ -1,0 +1,167 @@
+//! Built-in bring-up policies.
+//!
+//! These are not governors from the paper — they are the "pin the
+//! hardware" configurations the thesis' kernel application needs for its
+//! characterization sweeps (§3.1: "This application allows us to change
+//! the number of active CPU cores, the allowed overall CPU utilization
+//! and the frequency of each core").
+
+use crate::policy::{CpuControl, CpuPolicy, PolicySnapshot};
+use mobicore_model::{Khz, Quota};
+
+/// Pins `n_online` cores at a fixed frequency and full quota — the
+/// fixed-operating-point configuration of Figures 3–5.
+#[derive(Debug, Clone)]
+pub struct PinnedPolicy {
+    n_online: usize,
+    khz: Khz,
+    name: String,
+}
+
+impl PinnedPolicy {
+    /// Pins `n_online` cores at `khz`.
+    pub fn new(n_online: usize, khz: Khz) -> Self {
+        PinnedPolicy {
+            n_online: n_online.max(1),
+            khz,
+            name: format!("pinned-{n_online}c@{khz}"),
+        }
+    }
+}
+
+impl CpuPolicy for PinnedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sampling_period_us(&self) -> u64 {
+        20_000
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        ctl.set_quota(Quota::FULL);
+        for (i, core) in snap.cores.iter().enumerate() {
+            let want_online = i < self.n_online;
+            if core.online != want_online {
+                ctl.set_online(i, want_online);
+            }
+            if want_online && core.target_khz != self.khz {
+                ctl.set_freq(i, self.khz);
+            }
+        }
+    }
+}
+
+/// A policy that does nothing: cores stay wherever the simulation left
+/// them (all online at the lowest OPP at boot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopPolicy;
+
+impl NoopPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        NoopPolicy
+    }
+}
+
+impl CpuPolicy for NoopPolicy {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn on_sample(&mut self, _snap: &PolicySnapshot, _ctl: &mut CpuControl) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Command, CoreSnapshot};
+    use mobicore_model::Utilization;
+
+    fn snap(n_online: usize) -> PolicySnapshot {
+        PolicySnapshot {
+            now_us: 0,
+            window_us: 20_000,
+            cores: (0..4)
+                .map(|i| CoreSnapshot {
+                    online: i < n_online,
+                    cur_khz: Khz(300_000),
+                    target_khz: Khz(300_000),
+                    util: Utilization::IDLE,
+                    busy_us: 0,
+                })
+                .collect(),
+            overall_util: Utilization::IDLE,
+            quota: Quota::FULL,
+            mpdecision_enabled: false,
+            max_runnable_threads: 8,
+            temp_c: 25.0,
+        }
+    }
+
+    #[test]
+    fn pinned_offlines_extra_cores_and_sets_freq() {
+        let mut p = PinnedPolicy::new(2, Khz(960_000));
+        let mut ctl = CpuControl::new();
+        p.on_sample(&snap(4), &mut ctl);
+        let cmds = ctl.take();
+        assert!(cmds.contains(&Command::SetOnline {
+            core: 2,
+            online: false
+        }));
+        assert!(cmds.contains(&Command::SetOnline {
+            core: 3,
+            online: false
+        }));
+        assert!(cmds.contains(&Command::SetFreq {
+            core: 0,
+            khz: Khz(960_000)
+        }));
+        assert!(cmds.contains(&Command::SetFreq {
+            core: 1,
+            khz: Khz(960_000)
+        }));
+    }
+
+    #[test]
+    fn pinned_brings_cores_back() {
+        let mut p = PinnedPolicy::new(3, Khz(300_000));
+        let mut ctl = CpuControl::new();
+        p.on_sample(&snap(1), &mut ctl);
+        let cmds = ctl.take();
+        assert!(cmds.contains(&Command::SetOnline {
+            core: 1,
+            online: true
+        }));
+        assert!(cmds.contains(&Command::SetOnline {
+            core: 2,
+            online: true
+        }));
+    }
+
+    #[test]
+    fn pinned_is_idempotent_once_converged() {
+        let mut p = PinnedPolicy::new(4, Khz(300_000));
+        let mut ctl = CpuControl::new();
+        p.on_sample(&snap(4), &mut ctl);
+        let cmds = ctl.take();
+        // only the quota command remains
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], Command::SetQuota(_)));
+    }
+
+    #[test]
+    fn pinned_clamps_zero_cores_to_one() {
+        let p = PinnedPolicy::new(0, Khz(300_000));
+        assert!(p.name.contains("pinned-1c") || p.n_online == 1);
+    }
+
+    #[test]
+    fn noop_issues_nothing() {
+        let mut p = NoopPolicy::new();
+        let mut ctl = CpuControl::new();
+        p.on_sample(&snap(4), &mut ctl);
+        assert!(ctl.commands().is_empty());
+        assert_eq!(p.name(), "noop");
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulation configuration.
+
+use crate::error::SimError;
+use mobicore_model::DeviceProfile;
+
+/// How much per-tick detail a run keeps in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Keep only running aggregates (cheapest; the default).
+    #[default]
+    Summary,
+    /// Additionally keep one [`TraceSample`](crate::trace::TraceSample)
+    /// per trace period.
+    Full,
+}
+
+/// Configuration of one simulation run.
+///
+/// Build with [`SimConfig::new`] and the `with_*` setters:
+///
+/// ```
+/// use mobicore_sim::SimConfig;
+/// use mobicore_model::profiles;
+///
+/// let cfg = SimConfig::new(profiles::nexus5())
+///     .with_duration_secs(60)
+///     .with_seed(7);
+/// assert_eq!(cfg.duration_us, 60_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The device being simulated.
+    pub profile: DeviceProfile,
+    /// Wall-clock length of the run, µs.
+    pub duration_us: u64,
+    /// Simulation tick, µs (default 1000 = 1 ms).
+    pub tick_us: u64,
+    /// Seed forwarded to workloads built from this config.
+    pub seed: u64,
+    /// Trace retention.
+    pub trace: TraceLevel,
+    /// Period between retained trace samples, µs (default 10 ms).
+    pub trace_period_us: u64,
+    /// CFS bandwidth enforcement period, µs (default 100 ms, the Linux
+    /// default for `cpu.cfs_period_us`).
+    pub bandwidth_period_us: u64,
+    /// Whether the `mpdecision` service starts enabled (it does on a stock
+    /// Nexus 5; the thesis disables it over adb before experimenting).
+    pub mpdecision_enabled: bool,
+    /// Period of the thermal-engine control loop, µs (default 100 ms).
+    pub thermal_poll_us: u64,
+}
+
+impl SimConfig {
+    /// A 60-second, 1 ms-tick run on `profile` with seed 0.
+    pub fn new(profile: DeviceProfile) -> Self {
+        SimConfig {
+            profile,
+            duration_us: 60_000_000,
+            tick_us: 1_000,
+            seed: 0,
+            trace: TraceLevel::Summary,
+            trace_period_us: 10_000,
+            bandwidth_period_us: 100_000,
+            mpdecision_enabled: true,
+            thermal_poll_us: 100_000,
+        }
+    }
+
+    /// Sets the duration in seconds.
+    #[must_use]
+    pub fn with_duration_secs(mut self, secs: u64) -> Self {
+        self.duration_us = secs * 1_000_000;
+        self
+    }
+
+    /// Sets the duration in microseconds.
+    #[must_use]
+    pub fn with_duration_us(mut self, us: u64) -> Self {
+        self.duration_us = us;
+        self
+    }
+
+    /// Sets the workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trace level.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceLevel) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Starts the run with `mpdecision` already disabled (the state the
+    /// thesis puts the phone in before every experiment).
+    #[must_use]
+    pub fn without_mpdecision(mut self) -> Self {
+        self.mpdecision_enabled = false;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for zero durations/ticks or a tick
+    /// larger than the duration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tick_us == 0 {
+            return Err(SimError::BadConfig {
+                reason: "tick_us must be positive".into(),
+            });
+        }
+        if self.duration_us == 0 {
+            return Err(SimError::BadConfig {
+                reason: "duration_us must be positive".into(),
+            });
+        }
+        if self.duration_us < self.tick_us {
+            return Err(SimError::BadConfig {
+                reason: "duration shorter than one tick".into(),
+            });
+        }
+        if self.bandwidth_period_us < self.tick_us {
+            return Err(SimError::BadConfig {
+                reason: "bandwidth period shorter than one tick".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(SimConfig::new(profiles::nexus5()).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_tick_rejected() {
+        let mut cfg = SimConfig::new(profiles::nexus5());
+        cfg.tick_us = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let cfg = SimConfig::new(profiles::nexus5()).with_duration_us(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn sub_tick_duration_rejected() {
+        let cfg = SimConfig::new(profiles::nexus5()).with_duration_us(500);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = SimConfig::new(profiles::nexus5())
+            .with_duration_secs(2)
+            .with_seed(42)
+            .with_trace(TraceLevel::Full)
+            .without_mpdecision();
+        assert_eq!(cfg.duration_us, 2_000_000);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.trace, TraceLevel::Full);
+        assert!(!cfg.mpdecision_enabled);
+    }
+}

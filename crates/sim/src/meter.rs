@@ -1,0 +1,139 @@
+//! A Monsoon-Power-Monitor-like meter.
+//!
+//! The thesis measures power "directly at the power pins" with the
+//! battery removed (§3.1): the meter sees whole-device instantaneous
+//! power. We integrate energy exactly per tick and keep a decimated
+//! sample series for plotting.
+
+/// Whole-device power meter.
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    /// Accumulated energy in mW·µs (nanojoules).
+    energy_uj: f64,
+    elapsed_us: u64,
+    sample_period_us: u64,
+    next_sample_us: u64,
+    samples: Vec<(u64, f64)>,
+    max_mw: f64,
+    min_mw: f64,
+}
+
+impl PowerMeter {
+    /// A meter decimating its sample series to one point per
+    /// `sample_period_us`.
+    pub fn new(sample_period_us: u64) -> Self {
+        PowerMeter {
+            energy_uj: 0.0,
+            elapsed_us: 0,
+            sample_period_us: sample_period_us.max(1),
+            next_sample_us: 0,
+            samples: Vec::new(),
+            max_mw: f64::NEG_INFINITY,
+            min_mw: f64::INFINITY,
+        }
+    }
+
+    /// Records one tick of dissipation.
+    pub fn record(&mut self, now_us: u64, tick_us: u64, power_mw: f64) {
+        self.energy_uj += power_mw * tick_us as f64;
+        self.elapsed_us += tick_us;
+        self.max_mw = self.max_mw.max(power_mw);
+        self.min_mw = self.min_mw.min(power_mw);
+        if now_us >= self.next_sample_us {
+            self.samples.push((now_us, power_mw));
+            self.next_sample_us = now_us + self.sample_period_us;
+        }
+    }
+
+    /// Average power over everything recorded, mW.
+    pub fn avg_power_mw(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.energy_uj / self.elapsed_us as f64
+        }
+    }
+
+    /// Total energy, millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        // The accumulator is in mW·µs = nanojoules.
+        self.energy_uj / 1_000_000.0
+    }
+
+    /// Peak instantaneous power, mW (0 if nothing recorded).
+    pub fn max_power_mw(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.max_mw
+        }
+    }
+
+    /// Minimum instantaneous power, mW (0 if nothing recorded).
+    pub fn min_power_mw(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.min_mw
+        }
+    }
+
+    /// The decimated `(time_us, power_mw)` series.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_is_energy_over_time() {
+        let mut m = PowerMeter::new(1_000);
+        m.record(0, 1_000, 100.0);
+        m.record(1_000, 1_000, 300.0);
+        assert!((m.avg_power_mw() - 200.0).abs() < 1e-9);
+        // 200 mW over 2 ms = 0.4 mJ.
+        assert!((m.energy_mj() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = PowerMeter::new(1_000);
+        assert_eq!(m.avg_power_mw(), 0.0);
+        assert_eq!(m.energy_mj(), 0.0);
+        assert_eq!(m.max_power_mw(), 0.0);
+        assert_eq!(m.min_power_mw(), 0.0);
+    }
+
+    #[test]
+    fn extremes_tracked() {
+        let mut m = PowerMeter::new(1_000);
+        m.record(0, 1_000, 50.0);
+        m.record(1_000, 1_000, 500.0);
+        m.record(2_000, 1_000, 200.0);
+        assert_eq!(m.max_power_mw(), 500.0);
+        assert_eq!(m.min_power_mw(), 50.0);
+    }
+
+    #[test]
+    fn sampling_decimates() {
+        let mut m = PowerMeter::new(10_000);
+        for i in 0..100u64 {
+            m.record(i * 1_000, 1_000, i as f64);
+        }
+        // one sample per 10 ms over 100 ms
+        assert_eq!(m.samples().len(), 10);
+        assert_eq!(m.samples()[0], (0, 0.0));
+        assert_eq!(m.samples()[1], (10_000, 10.0));
+    }
+
+    #[test]
+    fn zero_sample_period_is_clamped() {
+        let mut m = PowerMeter::new(0);
+        m.record(0, 1_000, 1.0);
+        m.record(1_000, 1_000, 2.0);
+        assert_eq!(m.samples().len(), 2);
+    }
+}

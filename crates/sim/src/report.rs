@@ -1,0 +1,136 @@
+//! End-of-run aggregates.
+
+use crate::trace::Trace;
+use crate::workload::WorkloadReport;
+
+/// Everything a finished simulation reports.
+///
+/// All the quantities the thesis plots per session are here: average
+/// power (Figs 9–10), average frequency and online-core count (Fig 12),
+/// average load (Fig 13), plus the workload metrics (GeekBench-like score,
+/// FPS) for Figs 6–7, 9(b) and 11.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// Run length, µs.
+    pub duration_us: u64,
+    /// Average device power, mW (what the Monsoon averages to).
+    pub avg_power_mw: f64,
+    /// Peak instantaneous power, mW.
+    pub max_power_mw: f64,
+    /// Total energy, mJ.
+    pub energy_mj: f64,
+    /// Average overall CPU utilization `K` (busy time over
+    /// `n_cores · duration`), fraction.
+    pub avg_overall_util: f64,
+    /// Time-average number of online cores.
+    pub avg_online_cores: f64,
+    /// Time-weighted average frequency over online cores, kHz.
+    pub avg_khz_online: f64,
+    /// Time-average package temperature, °C.
+    pub avg_temp_c: f64,
+    /// Peak package temperature, °C.
+    pub max_temp_c: f64,
+    /// Fraction of the run spent with the thermal throttle engaged.
+    pub thermal_throttled_frac: f64,
+    /// Total runtime denied by the bandwidth quota, µs.
+    pub bw_throttled_us: u64,
+    /// Time-average bandwidth quota, fraction.
+    pub avg_quota: f64,
+    /// Total CPU cycles executed.
+    pub executed_cycles: u64,
+    /// Off-lining requests vetoed (core 0 or mpdecision).
+    pub rejected_offline_requests: u64,
+    /// Per-workload metric reports.
+    pub workloads: Vec<WorkloadReport>,
+    /// Time-average platform-floor power, mW (attribution).
+    pub avg_base_mw: f64,
+    /// Time-average cluster/uncore power, mW (attribution).
+    pub avg_cluster_mw: f64,
+    /// Time-average per-core power summed over cores, mW (attribution).
+    pub avg_core_mw: f64,
+    /// Decimated `(t_us, power_mw)` series.
+    pub power_series: Vec<(u64, f64)>,
+    /// Aggregate online time per OPP index across all cores, µs (the
+    /// kernel's `cpufreq/stats/time_in_state` summed over cores).
+    pub time_in_state_us: Vec<u64>,
+    /// Full trace (empty unless `TraceLevel::Full`).
+    pub trace: Trace,
+}
+
+impl SimReport {
+    /// Looks up a workload metric by workload name and metric name.
+    pub fn metric(&self, workload: &str, metric: &str) -> Option<f64> {
+        self.workloads
+            .iter()
+            .find(|w| w.name == workload)
+            .and_then(|w| w.metric(metric))
+    }
+
+    /// The first workload's metric (convenient for single-workload runs).
+    pub fn first_metric(&self, metric: &str) -> Option<f64> {
+        self.workloads.iter().find_map(|w| w.metric(metric))
+    }
+
+    /// Average frequency in MHz (display convenience).
+    pub fn avg_mhz_online(&self) -> f64 {
+        self.avg_khz_online / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "test".into(),
+            duration_us: 1_000_000,
+            avg_power_mw: 500.0,
+            max_power_mw: 900.0,
+            energy_mj: 500.0,
+            avg_overall_util: 0.4,
+            avg_online_cores: 2.5,
+            avg_khz_online: 960_000.0,
+            avg_temp_c: 30.0,
+            max_temp_c: 35.0,
+            thermal_throttled_frac: 0.0,
+            bw_throttled_us: 0,
+            avg_quota: 1.0,
+            executed_cycles: 123,
+            rejected_offline_requests: 0,
+            workloads: vec![
+                WorkloadReport::named("game").with_metric("avg_fps", 17.0),
+                WorkloadReport::named("bench").with_metric("score", 3000.0),
+            ],
+            avg_base_mw: 150.0,
+            avg_cluster_mw: 150.0,
+            avg_core_mw: 200.0,
+            power_series: vec![],
+            time_in_state_us: vec![0; 14],
+            trace: Trace::new(),
+        }
+    }
+
+    #[test]
+    fn metric_lookup_by_workload() {
+        let r = report();
+        assert_eq!(r.metric("game", "avg_fps"), Some(17.0));
+        assert_eq!(r.metric("bench", "score"), Some(3000.0));
+        assert_eq!(r.metric("game", "score"), None);
+        assert_eq!(r.metric("nope", "x"), None);
+    }
+
+    #[test]
+    fn first_metric_scans_all() {
+        let r = report();
+        assert_eq!(r.first_metric("score"), Some(3000.0));
+        assert_eq!(r.first_metric("missing"), None);
+    }
+
+    #[test]
+    fn mhz_conversion() {
+        assert_eq!(report().avg_mhz_online(), 960.0);
+    }
+}

@@ -1,0 +1,619 @@
+//! The simulation driver: wires cores, scheduler, bandwidth, thermal,
+//! meter, sysfs and the policy into a discrete-time loop.
+
+use crate::adb::{self, AdbCommand};
+use crate::bandwidth::BandwidthController;
+use crate::builtin::NoopPolicy;
+use crate::config::{SimConfig, TraceLevel};
+use crate::cores::CpuSet;
+use crate::error::SimError;
+use crate::meter::PowerMeter;
+use crate::policy::{Command, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
+use crate::report::SimReport;
+use crate::sched::{schedule_tick, TickParams};
+use crate::sysfs::{paths, SysFs};
+use crate::thermal::ThermalModel;
+use crate::trace::{Trace, TraceSample};
+use crate::workload::{Workload, WorkloadRt};
+use mobicore_model::{Khz, Quota};
+
+/// One simulated device run.
+///
+/// ```
+/// use mobicore_sim::{SimConfig, Simulation, builtin::PinnedPolicy};
+/// use mobicore_model::{profiles, Khz};
+///
+/// let cfg = SimConfig::new(profiles::nexus5()).with_duration_us(500_000);
+/// let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, Khz(960_000))))?;
+/// let report = sim.run();
+/// assert!(report.avg_power_mw > 0.0);
+/// # Ok::<(), mobicore_sim::SimError>(())
+/// ```
+pub struct Simulation {
+    cfg: SimConfig,
+    now_us: u64,
+    cpus: CpuSet,
+    bw: BandwidthController,
+    thermal: ThermalModel,
+    meter: PowerMeter,
+    sysfs: SysFs,
+    trace: Trace,
+    rt: WorkloadRt,
+    workloads: Vec<Box<dyn Workload>>,
+    policy: Box<dyn CpuPolicy>,
+    mpdecision_enabled: bool,
+    started: bool,
+    next_sample_us: u64,
+    last_sample_us: u64,
+    next_trace_us: u64,
+    executed_cycles: u64,
+    window_max_runnable: usize,
+    /// Component energy attribution, mW·µs.
+    base_energy: f64,
+    cluster_energy: f64,
+    core_energy: f64,
+    /// Sysfs writes that parsed to nonsense (kernel would return EINVAL).
+    pub invalid_sysfs_writes: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("device", &self.cfg.profile.name())
+            .field("policy", &self.policy.name())
+            .field("now_us", &self.now_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of `cfg.profile` driven by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] when the configuration fails
+    /// [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, policy: Box<dyn CpuPolicy>) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let profile = &cfg.profile;
+        let cpus = CpuSet::new(profile);
+        let bw = BandwidthController::new(cfg.bandwidth_period_us, profile.n_cores());
+        let thermal = ThermalModel::new(
+            *profile.thermal(),
+            profile.opps().max_index(),
+            cfg.thermal_poll_us,
+        );
+        let meter = PowerMeter::new(cfg.trace_period_us);
+        let mut sysfs = SysFs::new();
+        let freq_list: Vec<String> = profile
+            .opps()
+            .iter()
+            .map(|o| o.khz.0.to_string())
+            .collect();
+        for i in 0..profile.n_cores() {
+            sysfs.register_rw(paths::online(i), "1");
+            sysfs.register_ro(
+                paths::scaling_cur_freq(i),
+                profile.opps().min_khz().0.to_string(),
+            );
+            sysfs.register_rw(
+                paths::scaling_setspeed(i),
+                profile.opps().min_khz().0.to_string(),
+            );
+            sysfs.register_rw(paths::scaling_governor(i), "ondemand");
+            sysfs.register_rw(
+                paths::scaling_min_freq(i),
+                profile.opps().min_khz().0.to_string(),
+            );
+            sysfs.register_rw(
+                paths::scaling_max_freq(i),
+                profile.opps().max_khz().0.to_string(),
+            );
+            sysfs.register_ro(
+                paths::cpuinfo_min_freq(i),
+                profile.opps().min_khz().0.to_string(),
+            );
+            sysfs.register_ro(
+                paths::cpuinfo_max_freq(i),
+                profile.opps().max_khz().0.to_string(),
+            );
+            sysfs.register_ro(
+                paths::scaling_available_frequencies(i),
+                freq_list.join(" "),
+            );
+            sysfs.register_ro(paths::time_in_state(i), "");
+        }
+        sysfs.register_ro(paths::THERMAL_TEMP, "25000");
+        sysfs.register_rw(
+            paths::CFS_QUOTA,
+            (cfg.bandwidth_period_us * profile.n_cores() as u64).to_string(),
+        );
+        sysfs.register_ro(paths::CFS_PERIOD, cfg.bandwidth_period_us.to_string());
+        sysfs.register_rw(
+            paths::MPDECISION,
+            if cfg.mpdecision_enabled { "1" } else { "0" },
+        );
+        let sampling = policy.sampling_period_us().max(cfg.tick_us);
+        Ok(Simulation {
+            mpdecision_enabled: cfg.mpdecision_enabled,
+            cfg,
+            now_us: 0,
+            cpus,
+            bw,
+            thermal,
+            meter,
+            sysfs,
+            trace: Trace::new(),
+            rt: WorkloadRt::new(),
+            workloads: Vec::new(),
+            policy,
+            started: false,
+            next_sample_us: sampling,
+            last_sample_us: 0,
+            next_trace_us: 0,
+            executed_cycles: 0,
+            window_max_runnable: 0,
+            base_energy: 0.0,
+            cluster_energy: 0.0,
+            core_energy: 0.0,
+            invalid_sysfs_writes: 0,
+        })
+    }
+
+    /// A simulation with no policy at all (cores stay at boot state).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::new`].
+    pub fn without_policy(cfg: SimConfig) -> Result<Self, SimError> {
+        Self::new(cfg, Box::new(NoopPolicy::new()))
+    }
+
+    /// Adds a workload. Must be called before the first [`Simulation::step`].
+    pub fn add_workload(&mut self, w: Box<dyn Workload>) -> &mut Self {
+        assert!(!self.started, "workloads must be added before the run starts");
+        self.workloads.push(w);
+        self
+    }
+
+    /// Current simulation time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// The device being simulated.
+    pub fn profile(&self) -> &mobicore_model::DeviceProfile {
+        &self.cfg.profile
+    }
+
+    /// Number of online cores right now.
+    pub fn online_count(&self) -> usize {
+        self.cpus.online_count()
+    }
+
+    /// Package temperature right now, °C.
+    pub fn temp_c(&self) -> f64 {
+        self.thermal.temp_c()
+    }
+
+    /// Current bandwidth quota.
+    pub fn quota(&self) -> Quota {
+        self.bw.quota()
+    }
+
+    /// Whether `mpdecision` currently vetoes off-lining.
+    pub fn mpdecision_enabled(&self) -> bool {
+        self.mpdecision_enabled
+    }
+
+    /// Direct sysfs read (like `adb shell cat`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchAttribute`] for unknown paths.
+    pub fn sysfs_read(&self, path: &str) -> Result<String, SimError> {
+        self.sysfs.read(path).map(str::to_string)
+    }
+
+    /// Direct sysfs write (takes effect next tick).
+    ///
+    /// # Errors
+    ///
+    /// See [`SysFs::write`].
+    pub fn sysfs_write(&mut self, path: &str, value: &str) -> Result<(), SimError> {
+        self.sysfs.write(path, value)
+    }
+
+    /// Executes an `adb shell`-style command line.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadShellCommand`] for unparsable lines plus any sysfs
+    /// error the command runs into.
+    pub fn adb(&mut self, line: &str) -> Result<String, SimError> {
+        match adb::parse(line)? {
+            AdbCommand::Cat { path } => self.sysfs_read(&path),
+            AdbCommand::Echo { value, path } => {
+                self.sysfs_write(&path, &value)?;
+                Ok(String::new())
+            }
+            AdbCommand::Ls { prefix } => Ok(self
+                .sysfs
+                .list(&prefix)
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")),
+            AdbCommand::StopMpdecision => {
+                self.mpdecision_enabled = false;
+                self.sysfs.refresh(paths::MPDECISION, "0");
+                Ok(String::new())
+            }
+            AdbCommand::StartMpdecision => {
+                self.mpdecision_enabled = true;
+                self.sysfs.refresh(paths::MPDECISION, "1");
+                Ok(String::new())
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for w in &mut self.workloads {
+            w.on_start(&mut self.rt);
+        }
+    }
+
+    fn apply_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::SetFreq { core, khz } => {
+                if core < self.cpus.len() {
+                    let idx = self.cfg.profile.opps().ceil_index(khz);
+                    self.cpus.request_opp(
+                        core,
+                        idx,
+                        self.now_us,
+                        self.cfg.profile.dvfs_latency_us(),
+                    );
+                }
+            }
+            Command::SetFreqAll { khz } => {
+                let idx = self.cfg.profile.opps().ceil_index(khz);
+                for i in 0..self.cpus.len() {
+                    self.cpus.request_opp(
+                        i,
+                        idx,
+                        self.now_us,
+                        self.cfg.profile.dvfs_latency_us(),
+                    );
+                }
+            }
+            Command::SetOnline { core, online } => {
+                if core >= self.cpus.len() {
+                    return;
+                }
+                if !online && (core == 0 || self.mpdecision_enabled) {
+                    self.cpus.rejected_offline_requests += 1;
+                    return;
+                }
+                self.cpus.request_online(
+                    core,
+                    online,
+                    self.now_us,
+                    self.cfg.profile.hotplug_on_latency_us(),
+                );
+            }
+            Command::SetQuota(q) => {
+                self.bw.set_quota(q, self.now_us);
+            }
+        }
+    }
+
+    fn process_sysfs_writes(&mut self) {
+        let writes = self.sysfs.take_writes();
+        for (path, value) in writes {
+            let mut handled = false;
+            for i in 0..self.cpus.len() {
+                if path == paths::online(i) {
+                    match value.trim() {
+                        "0" => self.apply_command(Command::SetOnline {
+                            core: i,
+                            online: false,
+                        }),
+                        "1" => self.apply_command(Command::SetOnline {
+                            core: i,
+                            online: true,
+                        }),
+                        _ => self.invalid_sysfs_writes += 1,
+                    }
+                    handled = true;
+                    break;
+                }
+                if path == paths::scaling_setspeed(i) {
+                    match value.trim().parse::<u32>() {
+                        Ok(khz) => self.apply_command(Command::SetFreq {
+                            core: i,
+                            khz: Khz(khz),
+                        }),
+                        Err(_) => self.invalid_sysfs_writes += 1,
+                    }
+                    handled = true;
+                    break;
+                }
+                if path == paths::scaling_min_freq(i) {
+                    match value.trim().parse::<u32>() {
+                        Ok(khz) => {
+                            self.cpus.core_mut(i).limit_min_opp =
+                                self.cfg.profile.opps().ceil_index(Khz(khz));
+                        }
+                        Err(_) => self.invalid_sysfs_writes += 1,
+                    }
+                    handled = true;
+                    break;
+                }
+                if path == paths::scaling_max_freq(i) {
+                    match value.trim().parse::<u32>() {
+                        Ok(khz) => {
+                            let idx = self
+                                .cfg
+                                .profile
+                                .opps()
+                                .floor_index(Khz(khz))
+                                .unwrap_or(0);
+                            self.cpus.core_mut(i).limit_max_opp = idx;
+                        }
+                        Err(_) => self.invalid_sysfs_writes += 1,
+                    }
+                    handled = true;
+                    break;
+                }
+                if path == paths::scaling_governor(i) {
+                    handled = true; // informational only
+                    break;
+                }
+            }
+            if handled {
+                continue;
+            }
+            if path == paths::CFS_QUOTA {
+                match value.trim().parse::<u64>() {
+                    Ok(us) => {
+                        let frac = us as f64
+                            / (self.cfg.bandwidth_period_us as f64 * self.cpus.len() as f64);
+                        self.apply_command(Command::SetQuota(Quota::new(frac)));
+                    }
+                    Err(_) => self.invalid_sysfs_writes += 1,
+                }
+            } else if path == paths::MPDECISION {
+                match value.trim() {
+                    "0" => self.mpdecision_enabled = false,
+                    "1" => self.mpdecision_enabled = true,
+                    _ => self.invalid_sysfs_writes += 1,
+                }
+            }
+        }
+    }
+
+    fn build_snapshot(&mut self) -> PolicySnapshot {
+        let window = (self.now_us - self.last_sample_us).max(self.cfg.tick_us);
+        let busy = self.cpus.drain_window();
+        let profile = &self.cfg.profile;
+        let cores: Vec<CoreSnapshot> = (0..self.cpus.len())
+            .map(|i| {
+                let c = self.cpus.core(i);
+                CoreSnapshot {
+                    online: c.online,
+                    cur_khz: self.cpus.effective_khz(profile, i),
+                    target_khz: profile.opps().get_clamped(c.target_opp).khz,
+                    util: mobicore_model::Utilization::new(busy[i] as f64 / window as f64),
+                    busy_us: busy[i],
+                }
+            })
+            .collect();
+        let total_busy: u64 = busy.iter().sum();
+        PolicySnapshot {
+            now_us: self.now_us,
+            window_us: window,
+            overall_util: mobicore_model::Utilization::new(
+                total_busy as f64 / (window as f64 * self.cpus.len() as f64),
+            ),
+            cores,
+            quota: self.bw.quota(),
+            mpdecision_enabled: self.mpdecision_enabled,
+            max_runnable_threads: std::mem::take(&mut self.window_max_runnable),
+            temp_c: self.thermal.temp_c(),
+        }
+    }
+
+    fn refresh_sysfs(&mut self) {
+        let n = self.cpus.len();
+        for i in 0..n {
+            let khz = self.cpus.effective_khz(&self.cfg.profile, i);
+            self.sysfs
+                .refresh(&paths::scaling_cur_freq(i), khz.0.to_string());
+            self.sysfs.refresh(
+                &paths::online(i),
+                if self.cpus.core(i).online { "1" } else { "0" },
+            );
+        }
+        self.sysfs.refresh(
+            paths::THERMAL_TEMP,
+            format!("{}", (self.thermal.temp_c() * 1_000.0) as i64),
+        );
+        self.sysfs
+            .refresh(paths::CFS_QUOTA, self.bw.cfs_quota_us().to_string());
+        self.sysfs.refresh(
+            paths::MPDECISION,
+            if self.mpdecision_enabled { "1" } else { "0" },
+        );
+        // time_in_state in the kernel's format: "<khz> <10ms units>".
+        for i in 0..n {
+            let body: String = self
+                .cpus
+                .core(i)
+                .time_in_state_us
+                .iter()
+                .enumerate()
+                .map(|(idx, &us)| {
+                    format!(
+                        "{} {}\n",
+                        self.cfg.profile.opps().get_clamped(idx).khz.0,
+                        us / 10_000
+                    )
+                })
+                .collect();
+            self.sysfs.refresh(&paths::time_in_state(i), body);
+        }
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn step(&mut self) {
+        self.start_if_needed();
+        let tick = self.cfg.tick_us;
+        let now = self.now_us;
+
+        // 1. asynchronous sysfs writes land
+        self.process_sysfs_writes();
+        // 2. hotplug transitions mature
+        self.cpus.tick_hotplug(now);
+        // 3. policy sampling
+        if now >= self.next_sample_us {
+            let snap = self.build_snapshot();
+            let mut ctl = CpuControl::new();
+            self.policy.on_sample(&snap, &mut ctl);
+            for cmd in ctl.take() {
+                self.apply_command(cmd);
+            }
+            self.last_sample_us = now;
+            self.next_sample_us = now + self.policy.sampling_period_us().max(tick);
+        }
+        // 4. workloads observe completions and queue work
+        for w in &mut self.workloads {
+            w.on_tick(now, tick, &mut self.rt);
+        }
+        self.rt.clear_completions();
+        // 5. schedule and execute
+        self.window_max_runnable = self.window_max_runnable.max(self.rt.runnable_count());
+        let online = self.cpus.online_ids();
+        let allowance = self.bw.begin_tick(now, tick);
+        let khz: Vec<Khz> = (0..self.cpus.len())
+            .map(|i| self.cpus.effective_khz(&self.cfg.profile, i))
+            .collect();
+        // Sub-tick DVFS stalls: time each core loses to an in-flight
+        // frequency transition within this tick.
+        let stall_us: Vec<u64> = (0..self.cpus.len())
+            .map(|i| {
+                let until = self.cpus.core(i).stalled_until_us;
+                until.saturating_sub(now).min(tick)
+            })
+            .collect();
+        let outcome = schedule_tick(
+            &mut self.rt,
+            &TickParams {
+                now_us: now,
+                tick_us: tick,
+                n_cores: self.cpus.len(),
+                online: &online,
+                khz: &khz,
+                global_allowance_us: allowance,
+                rotation: (now / tick) as usize,
+                stall_us: &stall_us,
+            },
+        );
+        self.bw.charge(outcome.used_runtime_us, outcome.denied_us);
+        self.executed_cycles += outcome.executed_cycles;
+        for i in 0..self.cpus.len() {
+            let f = self.cpus.effective_khz(&self.cfg.profile, i);
+            self.cpus.account_tick(i, outcome.busy_us[i], tick, f);
+            self.cpus.account_time_in_state(i, tick);
+        }
+        // 6. power, thermal, trace
+        let acts = self
+            .cpus
+            .activities(&outcome.busy_us, tick, self.cfg.profile.idle_ladder());
+        let breakdown = self
+            .cfg
+            .profile
+            .power(&acts)
+            .expect("activity vector sized to profile");
+        let power = breakdown.total_mw();
+        self.base_energy += breakdown.base_mw * tick as f64;
+        self.cluster_energy += breakdown.cluster_mw * tick as f64;
+        self.core_energy += breakdown.core_mw.iter().sum::<f64>() * tick as f64;
+        self.meter.record(now, tick, power);
+        let cap = self.thermal.tick(now, tick, power);
+        self.cpus.thermal_cap_opp = cap;
+        if now >= self.next_trace_us {
+            self.refresh_sysfs();
+            if self.cfg.trace == TraceLevel::Full {
+                self.trace.push(TraceSample {
+                    t_us: now,
+                    power_mw: power,
+                    temp_c: self.thermal.temp_c(),
+                    quota: self.bw.quota().as_fraction(),
+                    khz: khz.iter().map(|k| k.0).collect(),
+                    util_pct: outcome
+                        .busy_us
+                        .iter()
+                        .map(|&b| (b as f32 / tick as f32) * 100.0)
+                        .collect(),
+                });
+            }
+            self.next_trace_us = now + self.cfg.trace_period_us;
+        }
+        self.now_us += tick;
+    }
+
+    /// Runs to the configured duration and reports.
+    pub fn run(&mut self) -> SimReport {
+        while self.now_us < self.cfg.duration_us {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Builds the report for whatever has run so far.
+    pub fn report(&self) -> SimReport {
+        let duration = self.now_us.max(1);
+        let n = self.cpus.len() as f64;
+        let total_busy: u64 = self.cpus.iter().map(|c| c.total_busy_us).sum();
+        let total_online: u64 = self.cpus.iter().map(|c| c.total_online_us).sum();
+        let khz_integral: u128 = self.cpus.iter().map(|c| c.khz_us_integral).sum();
+        let avg_khz = if total_online == 0 {
+            0.0
+        } else {
+            khz_integral as f64 / total_online as f64
+        };
+        SimReport {
+            policy: self.policy.name().to_string(),
+            duration_us: self.now_us,
+            avg_power_mw: self.meter.avg_power_mw(),
+            max_power_mw: self.meter.max_power_mw(),
+            energy_mj: self.meter.energy_mj(),
+            avg_overall_util: total_busy as f64 / (duration as f64 * n),
+            avg_online_cores: total_online as f64 / duration as f64,
+            avg_khz_online: avg_khz,
+            avg_temp_c: self.thermal.avg_temp_c(),
+            max_temp_c: self.thermal.max_temp_c,
+            thermal_throttled_frac: self.thermal.throttled_time_us as f64 / duration as f64,
+            bw_throttled_us: self.bw.throttled_us,
+            avg_quota: self.bw.avg_quota(),
+            executed_cycles: self.executed_cycles,
+            rejected_offline_requests: self.cpus.rejected_offline_requests,
+            workloads: self
+                .workloads
+                .iter()
+                .map(|w| w.report(self.now_us, &self.rt))
+                .collect(),
+            avg_base_mw: self.base_energy / duration as f64,
+            avg_cluster_mw: self.cluster_energy / duration as f64,
+            avg_core_mw: self.core_energy / duration as f64,
+            power_series: self.meter.samples().to_vec(),
+            time_in_state_us: self.cpus.time_in_state_total(),
+            trace: self.trace.clone(),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A sysfs-like attribute tree.
+//!
+//! Everything the thesis tweaks on the real phone goes through sysfs
+//! paths under `/sys/devices/system/cpu/...`; we mirror that tree so the
+//! tooling (and the adb-style shell of [`crate::adb`]) reads naturally.
+//! Reads return the value as of the last refresh; writes are queued and
+//! applied by the simulator at the next tick boundary, like real sysfs
+//! stores taking effect asynchronously from the writer's point of view.
+
+use crate::error::SimError;
+use std::collections::BTreeMap;
+
+/// One attribute.
+#[derive(Debug, Clone)]
+struct Attr {
+    value: String,
+    writable: bool,
+}
+
+/// The attribute tree.
+#[derive(Debug, Clone, Default)]
+pub struct SysFs {
+    attrs: BTreeMap<String, Attr>,
+    pending_writes: Vec<(String, String)>,
+}
+
+impl SysFs {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a read-only attribute.
+    pub fn register_ro(&mut self, path: impl Into<String>, value: impl Into<String>) {
+        self.attrs.insert(
+            path.into(),
+            Attr {
+                value: value.into(),
+                writable: false,
+            },
+        );
+    }
+
+    /// Registers a writable attribute.
+    pub fn register_rw(&mut self, path: impl Into<String>, value: impl Into<String>) {
+        self.attrs.insert(
+            path.into(),
+            Attr {
+                value: value.into(),
+                writable: true,
+            },
+        );
+    }
+
+    /// Reads an attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchAttribute`] if the path is not registered.
+    pub fn read(&self, path: &str) -> Result<&str, SimError> {
+        self.attrs
+            .get(path)
+            .map(|a| a.value.as_str())
+            .ok_or_else(|| SimError::NoSuchAttribute { path: path.into() })
+    }
+
+    /// Queues a write. The new value is observable only after the
+    /// simulator processes pending writes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSuchAttribute`] for unknown paths,
+    /// [`SimError::ReadOnlyAttribute`] for read-only ones.
+    pub fn write(&mut self, path: &str, value: impl Into<String>) -> Result<(), SimError> {
+        let attr = self
+            .attrs
+            .get(path)
+            .ok_or_else(|| SimError::NoSuchAttribute { path: path.into() })?;
+        if !attr.writable {
+            return Err(SimError::ReadOnlyAttribute { path: path.into() });
+        }
+        self.pending_writes.push((path.to_string(), value.into()));
+        Ok(())
+    }
+
+    /// Updates a value from the simulator side (refresh), without going
+    /// through the pending queue. Creates the attribute read-only if it
+    /// does not exist.
+    pub fn refresh(&mut self, path: &str, value: impl Into<String>) {
+        match self.attrs.get_mut(path) {
+            Some(a) => a.value = value.into(),
+            None => self.register_ro(path, value),
+        }
+    }
+
+    /// Drains queued writes in order, committing each value.
+    pub fn take_writes(&mut self) -> Vec<(String, String)> {
+        let writes = std::mem::take(&mut self.pending_writes);
+        for (path, value) in &writes {
+            if let Some(a) = self.attrs.get_mut(path) {
+                a.value = value.clone();
+            }
+        }
+        writes
+    }
+
+    /// Lists registered paths under a prefix (an `ls -R`-flavoured view).
+    pub fn list(&self, prefix: &str) -> Vec<&str> {
+        self.attrs
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// Canonical path helpers for the CPU tree.
+pub mod paths {
+    /// `/sys/devices/system/cpu/cpu<i>/online`
+    pub fn online(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/online")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_cur_freq`
+    pub fn scaling_cur_freq(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_cur_freq")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_setspeed`
+    pub fn scaling_setspeed(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_setspeed")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_governor`
+    pub fn scaling_governor(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_governor")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/cpuinfo_min_freq`
+    pub fn cpuinfo_min_freq(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/cpuinfo_min_freq")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/cpuinfo_max_freq`
+    pub fn cpuinfo_max_freq(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/cpuinfo_max_freq")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_available_frequencies`
+    pub fn scaling_available_frequencies(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_available_frequencies")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_min_freq`
+    pub fn scaling_min_freq(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_min_freq")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/scaling_max_freq`
+    pub fn scaling_max_freq(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/scaling_max_freq")
+    }
+    /// `/sys/devices/system/cpu/cpu<i>/cpufreq/stats/time_in_state`
+    pub fn time_in_state(core: usize) -> String {
+        format!("/sys/devices/system/cpu/cpu{core}/cpufreq/stats/time_in_state")
+    }
+    /// `/sys/class/thermal/thermal_zone0/temp` (millidegrees, like Linux)
+    pub const THERMAL_TEMP: &str = "/sys/class/thermal/thermal_zone0/temp";
+    /// `/sys/fs/cgroup/cpu/cpu.cfs_quota_us`
+    pub const CFS_QUOTA: &str = "/sys/fs/cgroup/cpu/cpu.cfs_quota_us";
+    /// `/sys/fs/cgroup/cpu/cpu.cfs_period_us`
+    pub const CFS_PERIOD: &str = "/sys/fs/cgroup/cpu/cpu.cfs_period_us";
+    /// `/sys/module/mpdecision/parameters/enabled`
+    pub const MPDECISION: &str = "/sys/module/mpdecision/parameters/enabled";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut fs = SysFs::new();
+        fs.register_rw("/a/b", "1");
+        assert_eq!(fs.read("/a/b").unwrap(), "1");
+        fs.write("/a/b", "0").unwrap();
+        // not visible until committed
+        assert_eq!(fs.read("/a/b").unwrap(), "1");
+        let writes = fs.take_writes();
+        assert_eq!(writes, vec![("/a/b".to_string(), "0".to_string())]);
+        assert_eq!(fs.read("/a/b").unwrap(), "0");
+    }
+
+    #[test]
+    fn read_only_rejected() {
+        let mut fs = SysFs::new();
+        fs.register_ro("/r", "x");
+        assert!(matches!(
+            fs.write("/r", "y"),
+            Err(SimError::ReadOnlyAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_path_rejected() {
+        let mut fs = SysFs::new();
+        assert!(matches!(
+            fs.read("/nope"),
+            Err(SimError::NoSuchAttribute { .. })
+        ));
+        assert!(matches!(
+            fs.write("/nope", "1"),
+            Err(SimError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn refresh_bypasses_queue() {
+        let mut fs = SysFs::new();
+        fs.register_ro("/temp", "25000");
+        fs.refresh("/temp", "31000");
+        assert_eq!(fs.read("/temp").unwrap(), "31000");
+        // refresh also creates
+        fs.refresh("/new", "7");
+        assert_eq!(fs.read("/new").unwrap(), "7");
+    }
+
+    #[test]
+    fn list_by_prefix_sorted() {
+        let mut fs = SysFs::new();
+        fs.register_ro("/sys/b", "");
+        fs.register_ro("/sys/a", "");
+        fs.register_ro("/other", "");
+        assert_eq!(fs.list("/sys/"), vec!["/sys/a", "/sys/b"]);
+        assert_eq!(fs.list("/"), vec!["/other", "/sys/a", "/sys/b"]);
+    }
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(paths::online(2), "/sys/devices/system/cpu/cpu2/online");
+        assert!(paths::scaling_cur_freq(0).ends_with("cpu0/cpufreq/scaling_cur_freq"));
+    }
+}

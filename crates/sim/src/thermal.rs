@@ -1,0 +1,181 @@
+//! RC thermal dynamics and the throttling engine.
+//!
+//! Integrates `dT/dt = (P · R_th − (T − T_amb)) / τ` every tick and runs a
+//! thermal-engine control loop (like msm_thermal / core_control on the
+//! real MSM8974) that steps the allowed OPP cap down when the package
+//! crosses the trip temperature and back up once it cools past the clear
+//! temperature. This is what flattens sustained multi-core power at high
+//! frequency (paper Figure 4) and pins the full-stress steady temperature
+//! near the 42.1 °C the IR picture shows (Figure 2(a)).
+
+use mobicore_model::ThermalParams;
+
+/// Thermal state of the package plus the throttle controller.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    params: ThermalParams,
+    temp_c: f64,
+    max_opp: usize,
+    cap_opp: usize,
+    next_poll_us: u64,
+    poll_period_us: u64,
+    /// Total time spent with an active cap, µs (observability).
+    pub throttled_time_us: u64,
+    /// Peak temperature seen, °C.
+    pub max_temp_c: f64,
+    temp_integral: f64,
+    integral_us: u64,
+}
+
+impl ThermalModel {
+    /// A package at ambient with no cap.
+    pub fn new(params: ThermalParams, max_opp: usize, poll_period_us: u64) -> Self {
+        ThermalModel {
+            temp_c: params.ambient_c,
+            max_temp_c: params.ambient_c,
+            params,
+            max_opp,
+            cap_opp: max_opp,
+            next_poll_us: 0,
+            poll_period_us,
+            throttled_time_us: 0,
+            temp_integral: 0.0,
+            integral_us: 0,
+        }
+    }
+
+    /// Current package temperature, °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// The OPP cap the throttle currently enforces.
+    pub fn cap_opp(&self) -> usize {
+        self.cap_opp
+    }
+
+    /// Whether the throttle is currently engaged.
+    pub fn throttling(&self) -> bool {
+        self.cap_opp < self.max_opp
+    }
+
+    /// Time-weighted average temperature over the run, °C.
+    pub fn avg_temp_c(&self) -> f64 {
+        if self.integral_us == 0 {
+            self.temp_c
+        } else {
+            self.temp_integral / self.integral_us as f64
+        }
+    }
+
+    /// Integrates one tick of dissipation and runs the control loop when
+    /// its poll period elapses. Returns the (possibly updated) OPP cap.
+    pub fn tick(&mut self, now_us: u64, tick_us: u64, power_mw: f64) -> usize {
+        let dt_s = tick_us as f64 / 1_000_000.0;
+        let steady = self.params.steady_state_c(power_mw);
+        // Exact first-order step: T += (T_ss − T)·(1 − e^(−dt/τ)).
+        let alpha = 1.0 - (-dt_s / self.params.tau_s).exp();
+        self.temp_c += (steady - self.temp_c) * alpha;
+        self.max_temp_c = self.max_temp_c.max(self.temp_c);
+        self.temp_integral += self.temp_c * tick_us as f64;
+        self.integral_us += tick_us;
+        if self.throttling() {
+            self.throttled_time_us += tick_us;
+        }
+        if now_us >= self.next_poll_us {
+            self.next_poll_us = now_us + self.poll_period_us;
+            if self.temp_c > self.params.trip_c {
+                self.cap_opp = self.cap_opp.saturating_sub(1);
+            } else if self.temp_c < self.params.clear_c && self.cap_opp < self.max_opp {
+                self.cap_opp += 1;
+            }
+        }
+        self.cap_opp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ThermalParams {
+        ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 7.0,
+            tau_s: 2.0,
+            trip_c: 42.0,
+            clear_c: 40.0,
+        }
+    }
+
+    #[test]
+    fn warms_toward_steady_state() {
+        let mut t = ThermalModel::new(params(), 13, 100_000);
+        // 2 W → steady 39 °C; run 20 s (10 τ).
+        for i in 0..20_000u64 {
+            t.tick(i * 1_000, 1_000, 2_000.0);
+        }
+        assert!((t.temp_c() - 39.0).abs() < 0.1, "{}", t.temp_c());
+        assert!(!t.throttling(), "39 °C is below the 42 °C trip");
+    }
+
+    #[test]
+    fn cools_back_to_ambient() {
+        let mut t = ThermalModel::new(params(), 13, 100_000);
+        for i in 0..10_000u64 {
+            t.tick(i * 1_000, 1_000, 2_000.0);
+        }
+        for i in 10_000..40_000u64 {
+            t.tick(i * 1_000, 1_000, 0.0);
+        }
+        assert!((t.temp_c() - 25.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn throttle_engages_above_trip_and_releases() {
+        let mut t = ThermalModel::new(params(), 13, 100_000);
+        // 3 W → steady 46 °C: must throttle.
+        let mut now = 0u64;
+        for _ in 0..30_000u64 {
+            t.tick(now, 1_000, 3_000.0);
+            now += 1_000;
+        }
+        assert!(t.throttling());
+        let engaged_cap = t.cap_opp();
+        assert!(engaged_cap < 13);
+        assert!(t.throttled_time_us > 0);
+        // Cool down with no power: cap steps back up to max.
+        for _ in 0..120_000u64 {
+            t.tick(now, 1_000, 0.0);
+            now += 1_000;
+        }
+        assert!(!t.throttling(), "cap is {}", t.cap_opp());
+    }
+
+    #[test]
+    fn cap_never_exceeds_max_or_underflows() {
+        let mut t = ThermalModel::new(params(), 3, 1_000);
+        let mut now = 0u64;
+        // Massive power: cap walks to 0 and stays.
+        for _ in 0..100_000u64 {
+            t.tick(now, 1_000, 50_000.0);
+            now += 1_000;
+        }
+        assert_eq!(t.cap_opp(), 0);
+        for _ in 0..400_000u64 {
+            t.tick(now, 1_000, 0.0);
+            now += 1_000;
+        }
+        assert_eq!(t.cap_opp(), 3);
+    }
+
+    #[test]
+    fn max_and_avg_temperature_tracked() {
+        let mut t = ThermalModel::new(params(), 13, 100_000);
+        for i in 0..5_000u64 {
+            t.tick(i * 1_000, 1_000, 2_000.0);
+        }
+        assert!(t.max_temp_c >= t.avg_temp_c());
+        assert!(t.avg_temp_c() > 25.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace recording — the "file recording historical information of the
+//! hardware states" the thesis' kernel application produces (§3.1).
+//!
+//! Full traces keep one [`TraceSample`] per trace period; every run also
+//! keeps cheap running aggregates. A compact binary encoding (via
+//! `bytes`) is provided so long traces can be shipped around without the
+//! `Vec` overhead.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One retained trace row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Sample time, µs.
+    pub t_us: u64,
+    /// Device power at the sample, mW.
+    pub power_mw: f64,
+    /// Package temperature, °C.
+    pub temp_c: f64,
+    /// Bandwidth quota in force.
+    pub quota: f64,
+    /// Per-core effective frequency, kHz (0 = offline).
+    pub khz: Vec<u32>,
+    /// Per-core utilization over the last tick, percent.
+    pub util_pct: Vec<f32>,
+}
+
+/// In-memory trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, s: TraceSample) {
+        self.samples.push(s);
+    }
+
+    /// The retained samples in time order.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Encodes the trace to a compact little-endian binary blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.samples.len() as u32);
+        for s in &self.samples {
+            buf.put_u64_le(s.t_us);
+            buf.put_f64_le(s.power_mw);
+            buf.put_f64_le(s.temp_c);
+            buf.put_f64_le(s.quota);
+            buf.put_u8(s.khz.len() as u8);
+            for &k in &s.khz {
+                buf.put_u32_le(k);
+            }
+            for &u in &s.util_pct {
+                buf.put_f32_le(u);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a blob produced by [`Trace::to_bytes`].
+    ///
+    /// Returns `None` on truncated or malformed input.
+    pub fn from_bytes(mut data: Bytes) -> Option<Self> {
+        if data.remaining() < 4 {
+            return None;
+        }
+        let n = data.get_u32_le() as usize;
+        let mut samples = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            if data.remaining() < 8 + 8 + 8 + 8 + 1 {
+                return None;
+            }
+            let t_us = data.get_u64_le();
+            let power_mw = data.get_f64_le();
+            let temp_c = data.get_f64_le();
+            let quota = data.get_f64_le();
+            let cores = data.get_u8() as usize;
+            if data.remaining() < cores * (4 + 4) {
+                return None;
+            }
+            let khz = (0..cores).map(|_| data.get_u32_le()).collect();
+            let util_pct = (0..cores).map(|_| data.get_f32_le()).collect();
+            samples.push(TraceSample {
+                t_us,
+                power_mw,
+                temp_c,
+                quota,
+                khz,
+                util_pct,
+            });
+        }
+        Some(Trace { samples })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64) -> TraceSample {
+        TraceSample {
+            t_us: t,
+            power_mw: 123.5,
+            temp_c: 31.25,
+            quota: 0.9,
+            khz: vec![300_000, 0, 960_000, 2_265_600],
+            util_pct: vec![10.0, 0.0, 55.5, 100.0],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut tr = Trace::new();
+        tr.push(sample(0));
+        tr.push(sample(10_000));
+        let bytes = tr.to_bytes();
+        let back = Trace::from_bytes(bytes).unwrap();
+        assert_eq!(back, tr);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        let back = Trace::from_bytes(tr.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut tr = Trace::new();
+        tr.push(sample(0));
+        let bytes = tr.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 3);
+        assert!(Trace::from_bytes(truncated).is_none());
+        assert!(Trace::from_bytes(Bytes::from_static(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn length_prefix_must_match() {
+        // Claim 5 samples but provide none.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        assert!(Trace::from_bytes(buf.freeze()).is_none());
+    }
+}

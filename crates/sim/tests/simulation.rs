@@ -1,0 +1,287 @@
+//! Step-level behaviour of the simulation driver itself.
+
+use mobicore_model::{profiles, Khz, Quota, Utilization};
+use mobicore_sim::builtin::{NoopPolicy, PinnedPolicy};
+use mobicore_sim::{
+    CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation, TraceLevel, Workload,
+    WorkloadReport, WorkloadRt,
+};
+
+/// A policy that records every snapshot it is handed.
+struct Recorder {
+    samples: std::sync::Arc<std::sync::Mutex<Vec<PolicySnapshot>>>,
+    period_us: u64,
+}
+
+impl CpuPolicy for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn sampling_period_us(&self) -> u64 {
+        self.period_us
+    }
+    fn on_sample(&mut self, snap: &PolicySnapshot, _ctl: &mut CpuControl) {
+        self.samples.lock().expect("not poisoned").push(snap.clone());
+    }
+}
+
+struct ConstantLoad {
+    threads: Vec<usize>,
+    per_tick_cycles: u64,
+}
+
+impl Workload for ConstantLoad {
+    fn name(&self) -> &str {
+        "const"
+    }
+    fn on_start(&mut self, rt: &mut WorkloadRt) {
+        self.threads.push(rt.spawn_thread());
+    }
+    fn on_tick(&mut self, _now: u64, _tick: u64, rt: &mut WorkloadRt) {
+        for &t in &self.threads {
+            if rt.pending_cycles(t) < self.per_tick_cycles {
+                rt.push_work(t, self.per_tick_cycles, 0);
+            }
+        }
+    }
+    fn report(&self, _n: u64, _rt: &WorkloadRt) -> WorkloadReport {
+        WorkloadReport::named("const")
+    }
+}
+
+#[test]
+fn sampling_cadence_is_respected() {
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile).with_duration_us(1_000_000);
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(Recorder {
+            samples: samples.clone(),
+            period_us: 50_000,
+        }),
+    )
+    .unwrap();
+    sim.run();
+    let snaps = samples.lock().expect("not poisoned");
+    // 1 s / 50 ms = 20 boundaries (first at t = 50 ms).
+    assert!((19..=21).contains(&snaps.len()), "{}", snaps.len());
+    for w in snaps.windows(2) {
+        assert_eq!(w[1].now_us - w[0].now_us, 50_000);
+        assert_eq!(w[1].window_us, 50_000);
+    }
+}
+
+#[test]
+fn snapshot_utilization_matches_offered_load() {
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let profile = profiles::nexus5();
+    let f_min = profile.opps().min_khz();
+    let cfg = SimConfig::new(profile).with_duration_us(2_000_000);
+    // No policy commands: cores stay at f_min; feed half a core's worth.
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(Recorder {
+            samples: samples.clone(),
+            period_us: 100_000,
+        }),
+    )
+    .unwrap();
+    sim.add_workload(Box::new(ConstantLoad {
+        threads: vec![],
+        per_tick_cycles: f_min.cycles_in_us(500),
+    }));
+    sim.run();
+    let snaps = samples.lock().expect("not poisoned");
+    let late = &snaps[snaps.len() / 2..];
+    let avg_overall: f64 = late
+        .iter()
+        .map(|s| s.overall_util.as_fraction())
+        .sum::<f64>()
+        / late.len() as f64;
+    // Half a core over 4 cores = 12.5 % overall.
+    assert!((avg_overall - 0.125).abs() < 0.03, "{avg_overall}");
+}
+
+#[test]
+fn quota_default_and_mpdecision_flags_visible_to_policy() {
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile).with_duration_us(200_000); // mpdecision on
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(Recorder {
+            samples: samples.clone(),
+            period_us: 20_000,
+        }),
+    )
+    .unwrap();
+    sim.run();
+    let snaps = samples.lock().expect("not poisoned");
+    assert!(snaps.iter().all(|s| s.mpdecision_enabled));
+    assert!(snaps.iter().all(|s| s.quota == Quota::FULL));
+    assert!(snaps.iter().all(|s| s.temp_c >= 24.9));
+}
+
+#[test]
+#[should_panic(expected = "before the run starts")]
+fn adding_workloads_after_start_panics() {
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile);
+    let mut sim = Simulation::without_policy(cfg).unwrap();
+    sim.step();
+    sim.add_workload(Box::new(ConstantLoad {
+        threads: vec![],
+        per_tick_cycles: 1,
+    }));
+}
+
+#[test]
+fn report_extremes_bracket_the_average() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(3)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(2, f_max))).unwrap();
+    sim.add_workload(Box::new(ConstantLoad {
+        threads: vec![],
+        per_tick_cycles: f_max.cycles_in_us(700),
+    }));
+    let r = sim.run();
+    assert!(r.max_power_mw >= r.avg_power_mw);
+    assert!(r.avg_base_mw + r.avg_cluster_mw + r.avg_core_mw <= r.avg_power_mw + 1e-6);
+    assert!(
+        (r.avg_base_mw + r.avg_cluster_mw + r.avg_core_mw - r.avg_power_mw).abs() < 1.0,
+        "attribution sums to the total"
+    );
+}
+
+#[test]
+fn trace_level_full_retains_samples_summary_does_not() {
+    let profile = profiles::nexus5();
+    let mk = |level: TraceLevel| {
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_us(500_000)
+            .with_trace(level);
+        let mut sim = Simulation::new(cfg, Box::new(NoopPolicy::new())).unwrap();
+        sim.run()
+    };
+    assert!(mk(TraceLevel::Summary).trace.is_empty());
+    let full = mk(TraceLevel::Full);
+    // one sample per 10 ms trace period over 500 ms
+    assert!((45..=55).contains(&full.trace.len()), "{}", full.trace.len());
+}
+
+#[test]
+fn time_in_state_visible_in_sysfs() {
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile.clone()).with_duration_secs(2);
+    let mut sim =
+        Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(960_000)))).unwrap();
+    for _ in 0..2_000 {
+        sim.step();
+    }
+    let body = sim
+        .adb("cat /sys/devices/system/cpu/cpu0/cpufreq/stats/time_in_state")
+        .unwrap();
+    // kernel format: "<khz> <10ms units>" per line, 14 lines.
+    assert_eq!(body.lines().count(), 14);
+    let at_960: u64 = body
+        .lines()
+        .find(|l| l.starts_with("960000 "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("row for 960 MHz");
+    // ~2 s at 960 MHz = ~200 ten-millisecond units (minus the settle time
+    // at the boot frequency).
+    assert!((150..=205).contains(&at_960), "{at_960}");
+}
+
+#[test]
+fn effective_frequency_capped_by_thermal_engine() {
+    // Force a throttle and verify scaling_cur_freq reflects the cap, not
+    // the policy's request.
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(90)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
+    sim.add_workload(Box::new(ConstantLoad {
+        threads: vec![],
+        per_tick_cycles: u64::MAX / 8,
+    }));
+    // Only one thread: push 3 more workloads to saturate all cores.
+    for _ in 0..3 {
+        sim.add_workload(Box::new(ConstantLoad {
+            threads: vec![],
+            per_tick_cycles: u64::MAX / 8,
+        }));
+    }
+    let r = sim.run();
+    assert!(r.thermal_throttled_frac > 0.5, "{}", r.thermal_throttled_frac);
+    let cur: u32 = sim
+        .adb("cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(cur < f_max.0, "throttled below the request: {cur}");
+}
+
+#[test]
+fn overall_util_uses_all_cores_snapshot_convention() {
+    // §2.2: overall utilization averages over ALL cores, offline included.
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    struct OfflineThenRecord {
+        inner: Recorder,
+        done: bool,
+    }
+    impl CpuPolicy for OfflineThenRecord {
+        fn name(&self) -> &str {
+            "offline-then-record"
+        }
+        fn sampling_period_us(&self) -> u64 {
+            self.inner.period_us
+        }
+        fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+            if !self.done {
+                self.done = true;
+                ctl.set_online(2, false);
+                ctl.set_online(3, false);
+                ctl.set_freq_all(Khz(2_265_600));
+            }
+            self.inner.on_sample(snap, ctl);
+        }
+    }
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(4)
+        .without_mpdecision();
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(OfflineThenRecord {
+            inner: Recorder {
+                samples: samples.clone(),
+                period_us: 100_000,
+            },
+            done: false,
+        }),
+    )
+    .unwrap();
+    // Two saturating threads on the two remaining cores.
+    for _ in 0..2 {
+        sim.add_workload(Box::new(ConstantLoad {
+            threads: vec![],
+            per_tick_cycles: f_max.cycles_in_us(10_000),
+        }));
+    }
+    sim.run();
+    let snaps = samples.lock().expect("not poisoned");
+    let last = snaps.last().expect("sampled");
+    assert_eq!(last.cores.iter().filter(|c| c.online).count(), 2);
+    // Two saturated cores of four: overall K ≈ 0.5, online average ≈ 1.0.
+    assert!((last.overall_util.as_fraction() - 0.5).abs() < 0.08, "{:?}", last.overall_util);
+    assert!(last.online_avg_util() > Utilization::new(0.9));
+}

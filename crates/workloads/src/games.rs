@@ -1,0 +1,456 @@
+//! Frame-structured game workloads (paper §6).
+//!
+//! > "Total of 5 modern representative games are tested, including Real
+//! > Racing 3, Subway Surf, Badland, Angry Birds, and Asphalt 8 ... The
+//! > games have been designed to run on multicore architecture and are
+//! > multithreaded."
+//!
+//! Each game renders frames: a main thread does the critical per-frame
+//! work, worker threads do parallel work, then a fixed GPU pass follows
+//! (the thesis pins the GPU at its highest frequency so it is never the
+//! bottleneck, §5.1). The next frame's CPU work starts as soon as the
+//! current frame's CPU work completes (pipelined game loop). Per-frame
+//! work is noisy and a scene-change process occasionally shifts the mean —
+//! the "specific dynamicity of games" the paper blames for the spread in
+//! savings.
+//!
+//! Per-title parameters are calibrated so the Android default policy lands
+//! in the 15–20 FPS band the thesis measures (§5.1).
+
+use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Vsync ceiling: no more than 60 presents per second.
+pub const VSYNC_MIN_FRAME_US: u64 = 16_667;
+
+/// Static description of one game title.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameProfile {
+    /// Title.
+    pub name: String,
+    /// Critical-path (main/render thread) cycles per frame.
+    pub main_cycles: u64,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Cycles per frame per worker thread.
+    pub worker_cycles: u64,
+    /// Coefficient of variation of per-frame work (uniform noise).
+    pub frame_cv: f64,
+    /// Mean seconds between scene changes.
+    pub scene_period_s: f64,
+    /// Scene multiplier range (lo, hi).
+    pub scene_mult: (f64, f64),
+    /// GPU render time per frame, µs (fixed: GPU pinned at max).
+    pub gpu_us: u64,
+    /// Engine frame-rate cap (fixed-timestep game loops pace themselves;
+    /// this is why the thesis sees games "running between 15 and 20 FPS"
+    /// with the experience unaffected, §5.1).
+    pub engine_cap_fps: f64,
+}
+
+impl GameProfile {
+    /// Real Racing 3 — heavy and steady; the title where MobiCore finds
+    /// almost nothing to optimize (0.04 % saving in the paper).
+    pub fn real_racing_3() -> Self {
+        GameProfile {
+            name: "Real Racing 3".into(),
+            main_cycles: 135_000_000,
+            workers: 1,
+            worker_cycles: 125_000_000,
+            frame_cv: 0.05,
+            scene_period_s: 8.0,
+            scene_mult: (0.95, 1.10),
+            gpu_us: 7_000,
+            engine_cap_fps: 18.0,
+        }
+    }
+
+    /// Subway Surf — bursty and thread-hungry; the best case for MobiCore
+    /// (11.7 % saving, largest frequency delta, 3.9 cores under default).
+    pub fn subway_surf() -> Self {
+        GameProfile {
+            name: "Subway Surf".into(),
+            main_cycles: 75_000_000,
+            workers: 3,
+            worker_cycles: 60_000_000,
+            frame_cv: 0.30,
+            scene_period_s: 2.5,
+            scene_mult: (0.55, 1.40),
+            gpu_us: 6_000,
+            engine_cap_fps: 22.0,
+        }
+    }
+
+    /// Badland — moderate side-scroller.
+    pub fn badland() -> Self {
+        GameProfile {
+            name: "Badland".into(),
+            main_cycles: 100_000_000,
+            workers: 1,
+            worker_cycles: 65_000_000,
+            frame_cv: 0.15,
+            scene_period_s: 4.0,
+            scene_mult: (0.80, 1.20),
+            gpu_us: 6_500,
+            engine_cap_fps: 20.0,
+        }
+    }
+
+    /// Angry Birds — lighter with physics bursts.
+    pub fn angry_birds() -> Self {
+        GameProfile {
+            name: "Angry Birds".into(),
+            main_cycles: 60_000_000,
+            workers: 1,
+            worker_cycles: 35_000_000,
+            frame_cv: 0.20,
+            scene_period_s: 3.0,
+            scene_mult: (0.50, 1.25),
+            gpu_us: 5_500,
+            engine_cap_fps: 25.0,
+        }
+    }
+
+    /// Asphalt 8 — heavy racer with parallel workers.
+    pub fn asphalt_8() -> Self {
+        GameProfile {
+            name: "Asphalt 8".into(),
+            main_cycles: 115_000_000,
+            workers: 2,
+            worker_cycles: 85_000_000,
+            frame_cv: 0.10,
+            scene_period_s: 6.0,
+            scene_mult: (0.90, 1.15),
+            gpu_us: 7_500,
+            engine_cap_fps: 17.0,
+        }
+    }
+
+    /// The five games of paper §6, numbered 1–5 in paper order.
+    pub fn all() -> Vec<GameProfile> {
+        vec![
+            Self::real_racing_3(),
+            Self::subway_surf(),
+            Self::badland(),
+            Self::angry_birds(),
+            Self::asphalt_8(),
+        ]
+    }
+}
+
+const MAIN_PART: u64 = 0;
+
+/// A running game session.
+#[derive(Debug)]
+pub struct GameApp {
+    profile: GameProfile,
+    seed: u64,
+    rng: Option<StdRng>,
+    main_thread: ThreadId,
+    worker_threads: Vec<ThreadId>,
+    frame: u64,
+    parts_outstanding: u64,
+    frame_cpu_done_us: u64,
+    last_present_us: u64,
+    frames_presented: u64,
+    frame_times_us: Vec<u64>,
+    scene_mult_now: f64,
+    next_scene_change_us: u64,
+    started_at_us: Option<u64>,
+    spawned: bool,
+    /// Swapchain/engine backpressure: next frame's CPU work may not start
+    /// before this time (keeps fast frames at the engine's fixed-timestep
+    /// rate, and everything under vsync).
+    next_issue_at_us: Option<u64>,
+    last_issue_us: u64,
+}
+
+impl GameApp {
+    /// A session of `profile` seeded with `seed`.
+    pub fn new(profile: GameProfile, seed: u64) -> Self {
+        GameApp {
+            profile,
+            seed,
+            rng: None,
+            main_thread: 0,
+            worker_threads: Vec::new(),
+            frame: 0,
+            parts_outstanding: 0,
+            frame_cpu_done_us: 0,
+            last_present_us: 0,
+            frames_presented: 0,
+            frame_times_us: Vec::new(),
+            scene_mult_now: 1.0,
+            next_scene_change_us: 0,
+            started_at_us: None,
+            spawned: false,
+            next_issue_at_us: None,
+            last_issue_us: 0,
+        }
+    }
+
+    /// The engine's pacing interval: one frame per `engine_cap_fps`, never
+    /// faster than vsync.
+    fn pacing_us(&self) -> u64 {
+        let cap = self.profile.engine_cap_fps.max(1.0);
+        ((1_000_000.0 / cap) as u64).max(VSYNC_MIN_FRAME_US)
+    }
+
+    /// Frames presented so far.
+    pub fn frames_presented(&self) -> u64 {
+        self.frames_presented
+    }
+
+    fn issue_frame(&mut self, rt: &mut WorkloadRt, now_us: u64) {
+        fn jitter(rng: &mut StdRng, cv: f64) -> f64 {
+            if cv > 0.0 {
+                rng.random_range((1.0 - 1.7 * cv).max(0.1)..=(1.0 + 1.7 * cv))
+            } else {
+                1.0
+            }
+        }
+        {
+            let (lo, hi) = self.profile.scene_mult;
+            let period = self.profile.scene_period_s * 1_000_000.0;
+            let rng = self.rng.as_mut().expect("on_start ran");
+            if now_us >= self.next_scene_change_us {
+                self.scene_mult_now = rng.random_range(lo..=hi);
+                self.next_scene_change_us =
+                    now_us + rng.random_range((period * 0.5) as u64..=(period * 1.5) as u64);
+            }
+        }
+        let cv = self.profile.frame_cv;
+        let mult = self.scene_mult_now;
+        let main_cycles = {
+            let rng = self.rng.as_mut().expect("on_start ran");
+            ((self.profile.main_cycles as f64) * mult * jitter(rng, cv)).max(1.0) as u64
+        };
+        self.frame += 1;
+        let tag_base = self.frame << 4;
+        rt.push_work(self.main_thread, main_cycles, tag_base | MAIN_PART);
+        self.parts_outstanding = 1;
+        for i in 0..self.worker_threads.len() {
+            let cycles = {
+                let rng = self.rng.as_mut().expect("on_start ran");
+                ((self.profile.worker_cycles as f64) * mult * jitter(rng, cv)).max(1.0) as u64
+            };
+            rt.push_work(self.worker_threads[i], cycles, tag_base | (i as u64 + 1));
+            self.parts_outstanding += 1;
+        }
+        self.frame_cpu_done_us = 0;
+    }
+}
+
+impl Workload for GameApp {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn on_start(&mut self, rt: &mut WorkloadRt) {
+        self.rng = Some(StdRng::seed_from_u64(self.seed));
+        self.main_thread = rt.spawn_thread();
+        for _ in 0..self.profile.workers {
+            self.worker_threads.push(rt.spawn_thread());
+        }
+        self.spawned = true;
+    }
+
+    fn on_tick(&mut self, now_us: u64, _tick_us: u64, rt: &mut WorkloadRt) {
+        if self.started_at_us.is_none() {
+            self.started_at_us = Some(now_us);
+            self.last_present_us = now_us;
+            self.last_issue_us = now_us;
+            self.issue_frame(rt, now_us);
+            return;
+        }
+        let this_frame = self.frame << 4;
+        let completions: Vec<_> = rt.completions().to_vec();
+        for c in completions {
+            // Only this game's threads count: completions from co-scheduled
+            // workloads share the same event stream.
+            let ours = c.thread == self.main_thread || self.worker_threads.contains(&c.thread);
+            if ours && c.tag & !0xF == this_frame {
+                self.parts_outstanding = self.parts_outstanding.saturating_sub(1);
+                self.frame_cpu_done_us = self.frame_cpu_done_us.max(c.time_us);
+            }
+        }
+        if self.parts_outstanding == 0 && self.frame > 0 && self.next_issue_at_us.is_none() {
+            // CPU work done: present after the GPU pass, no faster than
+            // vsync allows.
+            let present = (self.frame_cpu_done_us + self.profile.gpu_us)
+                .max(self.last_present_us + VSYNC_MIN_FRAME_US);
+            self.frame_times_us.push(present - self.last_present_us);
+            self.last_present_us = present;
+            self.frames_presented += 1;
+            // Pipelined, engine-paced game loop: the next frame's CPU work
+            // starts when a swapchain buffer frees (one vsync before this
+            // frame's present) but never faster than the engine's fixed
+            // timestep allows.
+            let swapchain_free = present.saturating_sub(VSYNC_MIN_FRAME_US);
+            let engine_ready = self.last_issue_us + self.pacing_us();
+            self.next_issue_at_us = Some(swapchain_free.max(engine_ready));
+        }
+        if let Some(at) = self.next_issue_at_us {
+            if now_us >= at {
+                self.next_issue_at_us = None;
+                self.last_issue_us = now_us;
+                self.issue_frame(rt, now_us);
+            }
+        }
+    }
+
+    fn report(&self, now_us: u64, _rt: &WorkloadRt) -> WorkloadReport {
+        let elapsed_s = (now_us - self.started_at_us.unwrap_or(0)) as f64 / 1_000_000.0;
+        let avg_fps = if elapsed_s > 0.0 {
+            self.frames_presented as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let avg_frame_ms = if self.frame_times_us.is_empty() {
+            0.0
+        } else {
+            self.frame_times_us.iter().sum::<u64>() as f64
+                / self.frame_times_us.len() as f64
+                / 1_000.0
+        };
+        let worst_frame_ms =
+            self.frame_times_us.iter().copied().max().unwrap_or(0) as f64 / 1_000.0;
+        let p95_frame_ms = {
+            let mut sorted = self.frame_times_us.clone();
+            sorted.sort_unstable();
+            if sorted.is_empty() {
+                0.0
+            } else {
+                let idx = ((sorted.len() - 1) as f64 * 0.95).round() as usize;
+                sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0
+            }
+        };
+        // Jank: frames that took more than twice the engine's pacing
+        // interval — the stutters a player actually notices.
+        let jank_threshold = 2 * self.pacing_us();
+        let jank_frames = self
+            .frame_times_us
+            .iter()
+            .filter(|&&t| t > jank_threshold)
+            .count();
+        WorkloadReport::named(self.name())
+            .with_metric("avg_fps", avg_fps)
+            .with_metric("frames", self.frames_presented as f64)
+            .with_metric("avg_frame_ms", avg_frame_ms)
+            .with_metric("p95_frame_ms", p95_frame_ms)
+            .with_metric("worst_frame_ms", worst_frame_ms)
+            .with_metric("jank_frames", jank_frames as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::{profiles, Khz};
+    use mobicore_sim::builtin::PinnedPolicy;
+    use mobicore_sim::{SimConfig, Simulation};
+
+    fn run_game(profile: GameProfile, n_cores: usize, khz: Khz, secs: u64) -> f64 {
+        let device = profiles::nexus5();
+        let cfg = SimConfig::new(device)
+            .with_duration_secs(secs)
+            .without_mpdecision()
+            .with_seed(1);
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(n_cores, khz))).unwrap();
+        sim.add_workload(Box::new(GameApp::new(profile, 1)));
+        let report = sim.run();
+        report.first_metric("avg_fps").unwrap()
+    }
+
+    #[test]
+    fn five_games_defined() {
+        let games = GameProfile::all();
+        assert_eq!(games.len(), 5);
+        let names: Vec<&str> = games.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Real Racing 3",
+                "Subway Surf",
+                "Badland",
+                "Angry Birds",
+                "Asphalt 8"
+            ]
+        );
+    }
+
+    #[test]
+    fn full_hardware_reaches_playable_fps() {
+        // §5.1: games run 15–20 FPS on the Nexus 5 with everything
+        // available (the exact band is checked per-policy in the
+        // experiments; here: clearly playable, clearly under vsync).
+        for game in [GameProfile::real_racing_3(), GameProfile::badland()] {
+            let fps = run_game(game.clone(), 4, Khz(2_265_600), 20);
+            assert!(
+                (12.0..30.0).contains(&fps),
+                "{}: {fps} FPS at full hardware",
+                game.name
+            );
+        }
+    }
+
+    #[test]
+    fn fps_scales_with_frequency() {
+        let slow = run_game(GameProfile::angry_birds(), 4, Khz(652_800), 15);
+        let fast = run_game(GameProfile::angry_birds(), 4, Khz(2_265_600), 15);
+        assert!(fast > slow * 1.8, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn single_core_hurts_multithreaded_games() {
+        let one = run_game(GameProfile::subway_surf(), 1, Khz(2_265_600), 15);
+        let four = run_game(GameProfile::subway_surf(), 4, Khz(2_265_600), 15);
+        assert!(four > one * 1.2, "one {one} four {four}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_game(GameProfile::badland(), 4, Khz(960_000), 5);
+        let b = run_game(GameProfile::badland(), 4, Khz(960_000), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reports_frame_metrics() {
+        let device = profiles::nexus5();
+        let cfg = SimConfig::new(device)
+            .with_duration_secs(10)
+            .without_mpdecision();
+        let mut sim =
+            Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(2_265_600)))).unwrap();
+        sim.add_workload(Box::new(GameApp::new(GameProfile::asphalt_8(), 3)));
+        let report = sim.run();
+        assert!(report.first_metric("frames").unwrap() > 50.0);
+        let avg_ms = report.first_metric("avg_frame_ms").unwrap();
+        let p95_ms = report.first_metric("p95_frame_ms").unwrap();
+        let worst_ms = report.first_metric("worst_frame_ms").unwrap();
+        assert!(worst_ms >= p95_ms && p95_ms >= avg_ms * 0.8);
+        assert!(avg_ms >= VSYNC_MIN_FRAME_US as f64 / 1_000.0 * 0.99);
+        assert!(report.first_metric("jank_frames").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn vsync_caps_fps_for_trivial_games() {
+        let tiny = GameProfile {
+            name: "tiny".into(),
+            main_cycles: 1_000_000,
+            workers: 0,
+            worker_cycles: 0,
+            frame_cv: 0.0,
+            scene_period_s: 100.0,
+            scene_mult: (1.0, 1.0),
+            gpu_us: 1_000,
+            engine_cap_fps: 120.0,
+        };
+        let fps = run_game(tiny, 4, Khz(2_265_600), 10);
+        assert!(fps <= 60.5, "vsync cap violated: {fps}");
+        assert!(fps > 55.0, "trivial game should pin vsync: {fps}");
+    }
+}

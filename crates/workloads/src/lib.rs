@@ -1,0 +1,41 @@
+//! # mobicore-workloads
+//!
+//! Synthetic applications standing in for the software the MobiCore
+//! thesis runs on its Nexus 5 (see DESIGN.md §2):
+//!
+//! * [`busyloop`] — the in-house "kernel application" (§3.1): busy loops
+//!   with no memory accesses, a fixed iteration count per burst and a
+//!   ~40 ms idleness period, configurable to any target utilization;
+//! * [`geekbench`] — a GeekBench-4-flavoured scored benchmark with
+//!   single- and multi-core phases and memory-stall saturation (Figs 6, 7
+//!   and 9(b));
+//! * [`games`] — frame-structured game workloads with per-title thread
+//!   counts, per-frame work and dynamicity (the five games of §6:
+//!   Real Racing 3, Subway Surf, Badland, Angry Birds, Asphalt 8);
+//! * [`rate`] — a deterministic piecewise-constant demand generator used
+//!   by governor unit tests and the burst/slow-mode experiments;
+//! * [`apps`] — everyday-phone patterns: app-launch storms (the burst
+//!   mode of Table 2) and video playback (the steadiest light load);
+//! * [`traces`] — record/replay of utilization traces for perfectly fair
+//!   cross-policy comparisons.
+//!
+//! All workloads are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod busyloop;
+pub mod games;
+pub mod geekbench;
+pub mod rate;
+pub mod scenario;
+pub mod traces;
+
+pub use apps::{AppLaunch, VideoPlayback};
+pub use busyloop::BusyLoop;
+pub use games::{GameApp, GameProfile};
+pub use geekbench::GeekBenchApp;
+pub use rate::RateLoad;
+pub use scenario::Scenario;
+pub use traces::{TraceWorkload, UtilTrace};

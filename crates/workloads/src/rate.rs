@@ -1,0 +1,214 @@
+//! A deterministic piecewise-constant demand generator.
+//!
+//! Pushes exactly `rate · f_ref · tick` cycles per tick onto one thread
+//! per core's worth of demand — the cleanest way to hand a governor a
+//! known utilization step (burst-mode / slow-mode transitions of §5.2)
+//! without busy-loop phase noise.
+
+use mobicore_model::Khz;
+use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
+
+/// One demand phase: hold `rate` until `until_us`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePhase {
+    /// Phase end, µs (phases must be sorted ascending).
+    pub until_us: u64,
+    /// Demand as a fraction of `n_threads · f_ref` (may exceed 1 to
+    /// model overload).
+    pub rate: f64,
+}
+
+/// The rate-controlled load.
+#[derive(Debug)]
+pub struct RateLoad {
+    phases: Vec<RatePhase>,
+    f_ref: Khz,
+    n_threads: usize,
+    threads: Vec<ThreadId>,
+    carry_cycles: f64,
+    next_tag: u64,
+}
+
+impl RateLoad {
+    /// A load over `n_threads` threads whose total demand rate is
+    /// `phase.rate · n_threads · f_ref`.
+    pub fn new(n_threads: usize, f_ref: Khz, phases: Vec<RatePhase>) -> Self {
+        assert!(
+            phases.windows(2).all(|w| w[0].until_us <= w[1].until_us),
+            "phases must be sorted by until_us"
+        );
+        RateLoad {
+            phases,
+            f_ref,
+            n_threads: n_threads.max(1),
+            threads: Vec::new(),
+            carry_cycles: 0.0,
+            next_tag: 0,
+        }
+    }
+
+    /// A constant-rate load for the whole run.
+    pub fn constant(n_threads: usize, f_ref: Khz, rate: f64) -> Self {
+        RateLoad::new(
+            n_threads,
+            f_ref,
+            vec![RatePhase {
+                until_us: u64::MAX,
+                rate,
+            }],
+        )
+    }
+
+    fn rate_at(&self, now_us: u64) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| now_us < p.until_us)
+            .map_or(0.0, |p| p.rate)
+    }
+}
+
+impl Workload for RateLoad {
+    fn name(&self) -> &str {
+        "rate-load"
+    }
+
+    fn on_start(&mut self, rt: &mut WorkloadRt) {
+        for _ in 0..self.n_threads {
+            self.threads.push(rt.spawn_thread());
+        }
+    }
+
+    fn on_tick(&mut self, now_us: u64, tick_us: u64, rt: &mut WorkloadRt) {
+        let rate = self.rate_at(now_us);
+        if rate <= 0.0 {
+            return;
+        }
+        let demand = rate * self.n_threads as f64 * self.f_ref.cycles_in_us(tick_us) as f64
+            + self.carry_cycles;
+        let whole = demand.floor();
+        self.carry_cycles = demand - whole;
+        let per_thread = (whole as u64) / self.n_threads as u64;
+        if per_thread == 0 {
+            self.carry_cycles += whole;
+            return;
+        }
+        for &t in &self.threads {
+            // Cap queue growth: a starved system should not accumulate an
+            // unbounded backlog (a real app would drop work or block).
+            if rt.pending_cycles(t) < 20 * per_thread {
+                rt.push_work(t, per_thread, self.next_tag);
+                self.next_tag += 1;
+            }
+        }
+    }
+
+    fn report(&self, _now_us: u64, rt: &WorkloadRt) -> WorkloadReport {
+        WorkloadReport::named(self.name())
+            .with_metric("executed_cycles", rt.total_executed_cycles() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+    use mobicore_sim::builtin::PinnedPolicy;
+    use mobicore_sim::{SimConfig, Simulation};
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_phases_rejected() {
+        let _ = RateLoad::new(
+            1,
+            Khz(300_000),
+            vec![
+                RatePhase {
+                    until_us: 100,
+                    rate: 0.5,
+                },
+                RatePhase {
+                    until_us: 50,
+                    rate: 0.1,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn rate_lookup_follows_phases() {
+        let load = RateLoad::new(
+            1,
+            Khz(300_000),
+            vec![
+                RatePhase {
+                    until_us: 1_000,
+                    rate: 0.2,
+                },
+                RatePhase {
+                    until_us: 2_000,
+                    rate: 0.9,
+                },
+            ],
+        );
+        assert_eq!(load.rate_at(0), 0.2);
+        assert_eq!(load.rate_at(999), 0.2);
+        assert_eq!(load.rate_at(1_000), 0.9);
+        assert_eq!(load.rate_at(5_000), 0.0, "past the last phase: idle");
+    }
+
+    #[test]
+    fn pinned_core_sees_requested_utilization() {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(2)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        sim.add_workload(Box::new(RateLoad::constant(1, khz, 0.4)));
+        let report = sim.run();
+        let per_core = report.avg_overall_util * 4.0;
+        assert!((per_core - 0.4).abs() < 0.05, "got {per_core}");
+    }
+
+    #[test]
+    fn overload_saturates_at_full_utilization() {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(2)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        sim.add_workload(Box::new(RateLoad::constant(1, khz, 3.0)));
+        let report = sim.run();
+        let per_core = report.avg_overall_util * 4.0;
+        assert!(per_core > 0.95, "got {per_core}");
+    }
+
+    #[test]
+    fn step_change_shows_up_in_utilization() {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_us(4_000_000)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        sim.add_workload(Box::new(RateLoad::new(
+            1,
+            khz,
+            vec![
+                RatePhase {
+                    until_us: 2_000_000,
+                    rate: 0.1,
+                },
+                RatePhase {
+                    until_us: 4_000_000,
+                    rate: 0.9,
+                },
+            ],
+        )));
+        let report = sim.run();
+        let per_core = report.avg_overall_util * 4.0;
+        // average of 0.1 and 0.9
+        assert!((per_core - 0.5).abs() < 0.07, "got {per_core}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Composite scenarios: schedule sub-workloads over time windows — a
+//! "day in the phone's life" (video, then idle, then a game, then an app
+//! launch storm) as a single [`Workload`].
+//!
+//! Each phase's inner workload only receives ticks inside its window;
+//! outside it the phase is silent (its threads exist but get no new
+//! work). This is how the thesis' distinct experimental sessions compose
+//! into one long realistic run for battery-life projections.
+
+use mobicore_sim::{Workload, WorkloadReport, WorkloadRt};
+
+struct Phase {
+    start_us: u64,
+    end_us: u64,
+    inner: Box<dyn Workload>,
+}
+
+/// A timeline of sub-workloads.
+///
+/// ```
+/// use mobicore_workloads::{Scenario, BusyLoop, VideoPlayback};
+/// use mobicore_model::Khz;
+///
+/// let scenario = Scenario::new()
+///     .phase_secs(0, 30, Box::new(VideoPlayback::new(12_000_000)))
+///     .phase_secs(30, 60, Box::new(BusyLoop::with_target_util(2, 0.4, Khz(2_265_600), 7)));
+/// assert_eq!(scenario.phase_count(), 2);
+/// ```
+#[derive(Default)]
+pub struct Scenario {
+    phases: Vec<Phase>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("phases", &self.phases.len())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// An empty scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a phase active in `[start_us, end_us)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_us <= start_us`.
+    #[must_use]
+    pub fn phase(mut self, start_us: u64, end_us: u64, inner: Box<dyn Workload>) -> Self {
+        assert!(end_us > start_us, "phase must have positive length");
+        self.phases.push(Phase {
+            start_us,
+            end_us,
+            inner,
+        });
+        self
+    }
+
+    /// Adds a phase with second-resolution bounds.
+    #[must_use]
+    pub fn phase_secs(self, start_s: u64, end_s: u64, inner: Box<dyn Workload>) -> Self {
+        self.phase(start_s * 1_000_000, end_s * 1_000_000, inner)
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl Workload for Scenario {
+    fn name(&self) -> &str {
+        "scenario"
+    }
+
+    fn on_start(&mut self, rt: &mut WorkloadRt) {
+        // Spawn every phase's threads up front so thread ids are stable
+        // (a real app's threads exist before they are busy).
+        for p in &mut self.phases {
+            p.inner.on_start(rt);
+        }
+    }
+
+    fn on_tick(&mut self, now_us: u64, tick_us: u64, rt: &mut WorkloadRt) {
+        for p in &mut self.phases {
+            if now_us >= p.start_us && now_us < p.end_us {
+                // Absolute time flows through: completion timestamps are
+                // absolute, and every workload anchors its own start on
+                // its first tick.
+                p.inner.on_tick(now_us, tick_us, rt);
+            }
+        }
+    }
+
+    fn report(&self, now_us: u64, rt: &WorkloadRt) -> WorkloadReport {
+        let mut out = WorkloadReport::named(self.name());
+        for p in &self.phases {
+            let inner_now = now_us.clamp(p.start_us, p.end_us);
+            let r = p.inner.report(inner_now, rt);
+            for m in r.metrics {
+                out = out.with_metric(format!("{}.{}", r.name, m.name), m.value);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusyLoop, VideoPlayback};
+    use mobicore_model::profiles;
+    use mobicore_sim::builtin::PinnedPolicy;
+    use mobicore_sim::{SimConfig, Simulation, TraceLevel};
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn rejects_empty_window() {
+        let _ = Scenario::new().phase(5, 5, Box::new(VideoPlayback::new(1)));
+    }
+
+    #[test]
+    fn phases_run_only_in_their_windows() {
+        let profile = profiles::nexus5();
+        let f = profile.opps().max_khz();
+        let scenario = Scenario::new()
+            // seconds 0–2: video; seconds 3–5: heavy busy loop
+            .phase_secs(0, 2, Box::new(VideoPlayback::new(12_000_000)))
+            .phase_secs(3, 5, Box::new(BusyLoop::with_target_util(4, 1.0, f, 1)));
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(5)
+            .with_trace(TraceLevel::Full)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f))).unwrap();
+        sim.add_workload(Box::new(scenario));
+        let r = sim.run();
+        // video frames only from the 2-second window: ~60
+        let frames = r.first_metric("video-playback.frames").unwrap();
+        assert!((40.0..80.0).contains(&frames), "{frames}");
+        // the busy phase drives power far above the video phase
+        let idle_window: Vec<f64> = r
+            .trace
+            .samples()
+            .iter()
+            .filter(|s| s.t_us >= 2_200_000 && s.t_us < 2_800_000)
+            .map(|s| s.power_mw)
+            .collect();
+        let busy_window: Vec<f64> = r
+            .trace
+            .samples()
+            .iter()
+            .filter(|s| s.t_us >= 3_500_000 && s.t_us < 4_500_000)
+            .map(|s| s.power_mw)
+            .collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            avg(&busy_window) > avg(&idle_window) * 1.5,
+            "busy {} vs gap {}",
+            avg(&busy_window),
+            avg(&idle_window)
+        );
+    }
+
+    #[test]
+    fn report_prefixes_inner_metrics() {
+        let profile = profiles::nexus5();
+        let f = profile.opps().max_khz();
+        let scenario = Scenario::new()
+            .phase_secs(0, 1, Box::new(VideoPlayback::new(1_000_000)))
+            .phase_secs(1, 2, Box::new(BusyLoop::with_target_util(1, 0.5, f, 1)));
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(2)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f))).unwrap();
+        sim.add_workload(Box::new(scenario));
+        let r = sim.run();
+        assert!(r.first_metric("video-playback.frames").is_some());
+        assert!(r.first_metric("busyloop.bursts").is_some());
+    }
+
+    #[test]
+    fn overlapping_phases_coexist() {
+        let profile = profiles::nexus5();
+        let f = profile.opps().max_khz();
+        let scenario = Scenario::new()
+            .phase_secs(0, 3, Box::new(VideoPlayback::new(6_000_000)))
+            .phase_secs(0, 3, Box::new(BusyLoop::with_target_util(1, 0.3, f, 2)));
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(3)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f))).unwrap();
+        sim.add_workload(Box::new(scenario));
+        let r = sim.run();
+        assert!(r.first_metric("video-playback.frames").unwrap() > 60.0);
+        assert!(r.first_metric("busyloop.bursts").unwrap() > 10.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the synthetic workloads.
+
+use mobicore_model::profiles;
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_workloads::rate::RatePhase;
+use mobicore_workloads::traces::TracePoint;
+use mobicore_workloads::{BusyLoop, GameApp, GameProfile, RateLoad, UtilTrace, VideoPlayback};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The busy loop's achieved per-core duty cycle tracks its target for
+    /// any target and pinned frequency (when hardware == reference).
+    #[test]
+    fn busyloop_duty_tracks_target(
+        target_pct in 10u32..=95,
+        opp in 0usize..14,
+        seed in 0u64..500,
+    ) {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().get_clamped(opp).khz;
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(4)
+            .with_seed(seed)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        let target = f64::from(target_pct) / 100.0;
+        sim.add_workload(Box::new(BusyLoop::with_target_util(1, target, khz, seed)));
+        let r = sim.run();
+        let per_core = r.avg_overall_util * 4.0;
+        prop_assert!(
+            (per_core - target).abs() < 0.12,
+            "target {target} achieved {per_core} at {khz}"
+        );
+    }
+
+    /// Game sessions are deterministic per seed and FPS stays within
+    /// physical bounds for any title and frequency.
+    #[test]
+    fn games_bounded_and_deterministic(
+        title in 0usize..5,
+        opp in 2usize..14,
+        seed in 0u64..100,
+    ) {
+        let game = GameProfile::all().remove(title);
+        let run = || {
+            let profile = profiles::nexus5();
+            let khz = profile.opps().get_clamped(opp).khz;
+            let cfg = SimConfig::new(profile)
+                .with_duration_secs(6)
+                .with_seed(seed)
+                .without_mpdecision();
+            let mut sim =
+                Simulation::new(cfg, Box::new(PinnedPolicy::new(4, khz))).unwrap();
+            sim.add_workload(Box::new(GameApp::new(game.clone(), seed)));
+            sim.run().first_metric("avg_fps").unwrap()
+        };
+        let fps = run();
+        prop_assert!((0.0..=60.5).contains(&fps), "{fps}");
+        prop_assert_eq!(fps.to_bits(), run().to_bits(), "deterministic");
+    }
+
+    /// Trace CSV round-trips for arbitrary traces.
+    #[test]
+    fn util_trace_csv_round_trip(
+        points in proptest::collection::vec((1u64..10_000_000, 0.0f64..4.0), 0..30)
+    ) {
+        let trace = UtilTrace::new(
+            points
+                .into_iter()
+                .map(|(duration_us, load)| TracePoint { duration_us, load })
+                .collect(),
+        );
+        let back = UtilTrace::from_csv(&trace.to_csv()).expect("own output parses");
+        prop_assert_eq!(back.points().len(), trace.points().len());
+        for (a, b) in back.points().iter().zip(trace.points()) {
+            prop_assert_eq!(a.duration_us, b.duration_us);
+            prop_assert!((a.load - b.load).abs() < 1e-12);
+        }
+    }
+
+    /// RateLoad executed work never exceeds offered demand nor capacity.
+    #[test]
+    fn rate_load_bounded(rate in 0.01f64..3.0, opp in 0usize..14) {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().get_clamped(opp).khz;
+        let f_max = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile)
+            .with_duration_us(1_000_000)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(2, khz))).unwrap();
+        sim.add_workload(Box::new(RateLoad::new(
+            2,
+            f_max,
+            vec![RatePhase { until_us: u64::MAX, rate }],
+        )));
+        let r = sim.run();
+        let offered = rate * 2.0 * f_max.as_hz(); // cycles over 1 s
+        let capacity = 2.0 * khz.as_hz();
+        prop_assert!(r.executed_cycles as f64 <= offered * 1.02 + 1e6);
+        prop_assert!(r.executed_cycles as f64 <= capacity * 1.001 + 1e6);
+    }
+
+    /// Video playback never decodes more frames than time allows and
+    /// never reports a completion rate above ~1.
+    #[test]
+    fn video_rates_bounded(frame_cycles in 1_000_000u64..60_000_000, opp in 0usize..14) {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().get_clamped(opp).khz;
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(3)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        sim.add_workload(Box::new(VideoPlayback::new(frame_cycles)));
+        let r = sim.run();
+        let frames = r.first_metric("frames").unwrap();
+        prop_assert!(frames <= 3.0 * 30.0 + 2.0, "{frames}");
+        let rate = r.first_metric("completion_rate").unwrap();
+        prop_assert!((0.0..=1.1).contains(&rate), "{rate}");
+    }
+}

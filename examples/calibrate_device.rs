@@ -1,0 +1,58 @@
+//! Port MobiCore to "your" phone: run the thesis' §3 characterization
+//! sweep against a power meter (here: the simulator standing in for the
+//! Monsoon), fit a device profile from the samples, and verify the fit
+//! predicts held-out configurations.
+//!
+//! ```text
+//! cargo run --release --example calibrate_device
+//! ```
+
+use mobicore_model::fitting::{fit, sweep_grid, FitShape};
+use mobicore_model::profiles;
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_workloads::BusyLoop;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "real phone" we pretend not to know the parameters of.
+    let secret_device = profiles::nexus5();
+    let opps = secret_device.opps().clone();
+
+    // 1. The characterization sweep: pin (cores, OPP), run the busy-loop
+    //    kernel app at each utilization, read the meter (§3.1).
+    println!("sweeping (cores × frequency × utilization)…");
+    let samples = sweep_grid(&opps, 4, &[0.2, 0.6, 1.0], |n, opp_idx, u| {
+        let khz = opps.get_clamped(opp_idx).khz;
+        let cfg = SimConfig::new(secret_device.clone())
+            .with_duration_secs(5)
+            .without_mpdecision();
+        let mut sim =
+            Simulation::new(cfg, Box::new(PinnedPolicy::new(n, khz))).expect("valid config");
+        sim.add_workload(Box::new(BusyLoop::with_target_util(n, u, khz, 7)));
+        sim.run().avg_power_mw
+    });
+    println!("collected {} samples", samples.len());
+
+    // 2. Least-squares fit of the four linear coefficients.
+    let shape = FitShape::default();
+    let result = fit(&opps, &shape, &samples)?;
+    println!(
+        "fit: base = {:.0} mW, cluster_max = {:.0} mW, idle ×{:.2}, busy ×{:.2} (rmse {:.1} mW)",
+        result.base_mw, result.cluster_max_mw, result.idle_scale, result.busy_scale,
+        result.rmse_mw
+    );
+
+    // 3. Build the profile and check held-out points.
+    let fitted = result.into_profile("my-phone", 4, &opps, &shape)?;
+    println!("held-out configuration check (true vs fitted):");
+    for (n, opp, u) in [(3usize, 7usize, 0.45f64), (2, 11, 0.85), (1, 3, 0.3)] {
+        let truth = secret_device.uniform_power_mw(n, opp, u);
+        let pred = fitted.uniform_power_mw(n, opp, u);
+        println!(
+            "  {n} cores @ opp[{opp:2}] u={u:.2}: {truth:7.1} vs {pred:7.1} mW ({:+.1} %)",
+            (pred - truth) / truth * 100.0
+        );
+    }
+    println!("the fitted profile is ready to drive MobiCore on the new device");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Write your own governor — the `userspace` hook the thesis installs
+//! MobiCore into is open to everyone. This example implements a tiny
+//! "race-to-idle" policy (the §4.1.2 strawman: always run flat out, hope
+//! idle is cheap) and shows why the thesis rejects it on a phone with
+//! per-core rails.
+//!
+//! ```text
+//! cargo run --release --example custom_policy
+//! ```
+
+use mobicore::MobiCore;
+use mobicore_model::profiles;
+use mobicore_sim::{CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation};
+use mobicore_workloads::BusyLoop;
+
+/// Race-to-idle: every core online at f_max all the time; finish work as
+/// fast as possible and idle.
+struct RaceToIdle;
+
+impl CpuPolicy for RaceToIdle {
+    fn name(&self) -> &str {
+        "race-to-idle"
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        for (i, core) in snap.cores.iter().enumerate() {
+            if !core.online {
+                ctl.set_online(i, true);
+            }
+        }
+        ctl.set_freq_all(mobicore_model::Khz(u32::MAX)); // snaps to f_max
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+
+    for policy in [
+        Box::new(RaceToIdle) as Box<dyn CpuPolicy>,
+        Box::new(MobiCore::new(&profile)),
+    ] {
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_secs(20)
+            .with_seed(11)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, policy)?;
+        // A 25 % duty-cycle load: plenty of idle for race-to-idle to "win".
+        sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.25, f_max, 11)));
+        let r = sim.run();
+        println!(
+            "{:14} {:7.1} mW avg | energy {:8.0} mJ | {:.2} cores | {:5.0} MHz",
+            r.policy,
+            r.avg_power_mw,
+            r.energy_mj,
+            r.avg_online_cores,
+            r.avg_mhz_online(),
+        );
+    }
+    println!(
+        "§4.1.2: with 47–120 mW of per-core idle power, racing to idle on \
+         four hot cores loses to off-lining + just-needed frequency."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! A compressed "day in the phone's life" — video, idle browsing, a game
+//! session, an app-launch storm — run under the Android default policy
+//! and under MobiCore, with the battery projection the user actually
+//! feels.
+//!
+//! ```text
+//! cargo run --release --example day_in_the_life
+//! ```
+
+use mobicore::MobiCore;
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::{profiles, Battery};
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+use mobicore_workloads::{AppLaunch, BusyLoop, GameApp, GameProfile, Scenario, VideoPlayback};
+
+fn scenario(f_max: mobicore_model::Khz) -> Scenario {
+    Scenario::new()
+        // 0–30 s: a video
+        .phase_secs(0, 30, Box::new(VideoPlayback::new(12_000_000)))
+        // 30–60 s: light browsing-ish load
+        .phase_secs(30, 60, Box::new(BusyLoop::with_target_util(2, 0.15, f_max, 3)))
+        // 60–100 s: a game session
+        .phase_secs(
+            60,
+            100,
+            Box::new(GameApp::new(GameProfile::angry_birds(), 9)),
+        )
+        // 100–120 s: hopping between apps
+        .phase_secs(100, 120, Box::new(AppLaunch::new(3_000_000, 5)))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let battery = Battery::nexus5();
+
+    println!("120 s mixed-usage timeline under both policies:");
+    for make in [
+        (|p: &mobicore_model::DeviceProfile| {
+            Box::new(AndroidDefaultPolicy::new(p)) as Box<dyn CpuPolicy>
+        }) as fn(&mobicore_model::DeviceProfile) -> Box<dyn CpuPolicy>,
+        |p| Box::new(MobiCore::new(p)),
+    ] {
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_secs(120)
+            .with_seed(9)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, make(&profile))?;
+        sim.add_workload(Box::new(scenario(f_max)));
+        let r = sim.run();
+        println!(
+            "{:16} {:7.1} mW avg (base {:.0} + cluster {:.0} + cores {:.0}) | video frames {:.0} | game fps {:.1} | launches {:.0} | {:.1} h battery",
+            r.policy,
+            r.avg_power_mw,
+            r.avg_base_mw,
+            r.avg_cluster_mw,
+            r.avg_core_mw,
+            r.first_metric("video-playback.frames").unwrap_or(0.0),
+            r.first_metric("Angry Birds.avg_fps").unwrap_or(0.0),
+            r.first_metric("app-launch.launches").unwrap_or(0.0),
+            battery.hours_at(r.avg_power_mw),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Play each of the five games of paper §6 for a short session under both
+//! policies and print the Figure 10–13 quantities.
+//!
+//! ```text
+//! cargo run --release --example game_session
+//! ```
+
+use mobicore::MobiCore;
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::profiles;
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+use mobicore_workloads::{GameApp, GameProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Gaming profile: display on, GPU rendering (see DESIGN.md §2).
+    let profile = profiles::nexus5_gaming();
+    println!("game             policy            mW     fps   MHz  cores");
+    for (i, game) in GameProfile::all().into_iter().enumerate() {
+        for mobicore in [false, true] {
+            let policy: Box<dyn CpuPolicy> = if mobicore {
+                Box::new(MobiCore::new(&profile))
+            } else {
+                Box::new(AndroidDefaultPolicy::new(&profile))
+            };
+            let cfg = SimConfig::new(profile.clone())
+                .with_duration_secs(30)
+                .with_seed(i as u64)
+                .without_mpdecision();
+            let mut sim = Simulation::new(cfg, policy)?;
+            sim.add_workload(Box::new(GameApp::new(game.clone(), i as u64)));
+            let r = sim.run();
+            println!(
+                "{:16} {:16} {:6.0} {:6.1} {:6.0} {:6.2}",
+                game.name,
+                r.policy,
+                r.avg_power_mw,
+                r.first_metric("avg_fps").unwrap_or(0.0),
+                r.avg_mhz_online(),
+                r.avg_online_cores,
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Run the same workload under every stock governor of paper §2.2.1 plus
+//! MobiCore, and rank them by energy and by delivered throughput.
+//!
+//! ```text
+//! cargo run --release --example governor_shootout
+//! ```
+
+use mobicore::MobiCore;
+use mobicore_governors::{
+    Conservative, GovernorPolicy, Interactive, Ondemand, Performance, Powersave,
+};
+use mobicore_model::profiles;
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+use mobicore_workloads::GeekBenchApp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = profiles::nexus5();
+    let opps = profile.opps().clone();
+    let policies: Vec<Box<dyn CpuPolicy>> = vec![
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Performance::new()),
+            opps.clone(),
+        )),
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Ondemand::new()),
+            opps.clone(),
+        )),
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Interactive::new()),
+            opps.clone(),
+        )),
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Conservative::new()),
+            opps.clone(),
+        )),
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Powersave::new()),
+            opps.clone(),
+        )),
+        Box::new(MobiCore::new(&profile)),
+    ];
+
+    println!("policy           score     mW  score/W   energy mJ");
+    for policy in policies {
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_secs(25)
+            .with_seed(3)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, policy)?;
+        sim.add_workload(Box::new(GeekBenchApp::standard(profile.n_cores())));
+        let r = sim.run();
+        let score = r.first_metric("score").unwrap_or(0.0);
+        println!(
+            "{:16} {:6.0} {:6.0} {:8.1} {:10.0}",
+            r.policy,
+            score,
+            r.avg_power_mw,
+            score / r.avg_power_mw * 1_000.0,
+            r.energy_mj,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the MobiCore reproduction workspace.
+//!
+//! This root package exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`). Library users
+//! should depend on the individual crates:
+//!
+//! * [`mobicore`] — the MobiCore policy (the paper's contribution),
+//! * [`mobicore_model`] — device models and the CPU energy model,
+//! * [`mobicore_sim`] — the mobile-SoC simulator,
+//! * [`mobicore_governors`] — stock governors and hotplug policies,
+//! * [`mobicore_workloads`] — busy-loop, GeekBench-like and game workloads,
+//! * [`mobicore_experiments`] — the per-figure/table experiment harness.
+
+pub use mobicore;
+pub use mobicore_experiments;
+pub use mobicore_governors;
+pub use mobicore_model;
+pub use mobicore_sim;
+pub use mobicore_workloads;

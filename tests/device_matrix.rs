@@ -1,0 +1,84 @@
+//! Generality matrix: the MobiCore policy against the Android default on
+//! every device profile in the workspace — the six Figure-1 phones plus
+//! the synthetic octa-core — on the same moderate workload.
+
+use mobicore::MobiCore;
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::{profiles, DeviceProfile};
+use mobicore_sim::{CpuPolicy, SimConfig, SimReport, Simulation};
+use mobicore_workloads::BusyLoop;
+
+fn session(profile: &DeviceProfile, mobicore: bool) -> SimReport {
+    let f_max = profile.opps().max_khz();
+    let policy: Box<dyn CpuPolicy> = if mobicore {
+        Box::new(MobiCore::new(profile))
+    } else {
+        Box::new(AndroidDefaultPolicy::new(profile))
+    };
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(12)
+        .with_seed(33)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, policy).expect("valid config");
+    sim.add_workload(Box::new(BusyLoop::with_target_util(
+        profile.n_cores(),
+        0.3,
+        f_max,
+        33,
+    )));
+    sim.run()
+}
+
+#[test]
+fn mobicore_is_safe_on_every_device() {
+    let mut devices = profiles::figure1_fleet();
+    devices.push(profiles::synthetic_octa());
+    for profile in devices {
+        let android = session(&profile, false);
+        let mob = session(&profile, true);
+        // Never meaningfully worse in power…
+        assert!(
+            mob.avg_power_mw <= android.avg_power_mw * 1.05,
+            "{}: mobicore {} vs android {}",
+            profile.name(),
+            mob.avg_power_mw,
+            android.avg_power_mw
+        );
+        // …and never more hardware.
+        assert!(
+            mob.avg_online_cores <= android.avg_online_cores + 0.1,
+            "{}: cores {} vs {}",
+            profile.name(),
+            mob.avg_online_cores,
+            android.avg_online_cores
+        );
+        // Physicality on every device.
+        for r in [&android, &mob] {
+            assert!(r.avg_power_mw > 0.0 && r.avg_power_mw < 6_000.0);
+            assert!(r.avg_online_cores >= 1.0);
+            assert!(r.avg_online_cores <= profile.n_cores() as f64 + 1e-9);
+            assert!(r.max_temp_c < 100.0);
+        }
+    }
+}
+
+#[test]
+fn multicore_devices_benefit_most() {
+    // The thesis' framing: the opportunity grows with the core count.
+    // Single-core phones give MobiCore little to work with (no DCS), so
+    // the relative saving on a quad must exceed the single-core saving.
+    let single = profiles::nexus_s();
+    let quad = profiles::nexus5();
+    let saving = |p: &DeviceProfile| {
+        let a = session(p, false).avg_power_mw;
+        let m = session(p, true).avg_power_mw;
+        (a - m) / a
+    };
+    let s1 = saving(&single);
+    let s4 = saving(&quad);
+    assert!(
+        s4 > s1 - 0.02,
+        "quad saving {s4:.3} should not trail single-core saving {s1:.3}"
+    );
+    assert!(s4 > 0.02, "a quad must show a real saving: {s4:.3}");
+}

@@ -1,0 +1,186 @@
+//! End-to-end scenarios across the whole stack: device model → simulator
+//! → governors → MobiCore → workloads.
+
+use mobicore::{FrequencyRule, MobiCore, MobiCoreConfig};
+use mobicore_governors::AndroidDefaultPolicy;
+use mobicore_model::profiles;
+use mobicore_sim::{CpuPolicy, SimConfig, SimReport, Simulation};
+use mobicore_workloads::{BusyLoop, GameApp, GameProfile, GeekBenchApp};
+
+fn run(
+    policy: Box<dyn CpuPolicy>,
+    workload: Box<dyn mobicore_sim::Workload>,
+    secs: u64,
+) -> SimReport {
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(secs)
+        .with_seed(99)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, policy).expect("valid config");
+    sim.add_workload(workload);
+    sim.run()
+}
+
+#[test]
+fn headline_result_mobicore_beats_default_on_static_load() {
+    // The core claim of the thesis, Fig 9(a).
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let android = run(
+        Box::new(AndroidDefaultPolicy::new(&profile)),
+        Box::new(BusyLoop::with_target_util(4, 0.2, f_max, 5)),
+        15,
+    );
+    let mobicore = run(
+        Box::new(MobiCore::new(&profile)),
+        Box::new(BusyLoop::with_target_util(4, 0.2, f_max, 5)),
+        15,
+    );
+    assert!(
+        mobicore.avg_power_mw < android.avg_power_mw,
+        "mobicore {} vs android {}",
+        mobicore.avg_power_mw,
+        android.avg_power_mw
+    );
+    // And it uses fewer hardware resources (Fig 12).
+    assert!(mobicore.avg_online_cores < android.avg_online_cores);
+    assert!(mobicore.avg_khz_online < android.avg_khz_online);
+}
+
+#[test]
+fn energy_equals_avg_power_times_time() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let r = run(
+        Box::new(MobiCore::new(&profile)),
+        Box::new(BusyLoop::with_target_util(2, 0.5, f_max, 1)),
+        5,
+    );
+    let expect = r.avg_power_mw * r.duration_us as f64 / 1_000_000.0;
+    assert!((r.energy_mj - expect).abs() / expect < 1e-9);
+}
+
+#[test]
+fn report_quantities_are_physical() {
+    let profile = profiles::nexus5();
+    let r = run(
+        Box::new(AndroidDefaultPolicy::new(&profile)),
+        Box::new(GameApp::new(GameProfile::badland(), 2)),
+        10,
+    );
+    assert!(r.avg_power_mw > 100.0, "below platform floor");
+    assert!(r.avg_power_mw < 4_000.0, "above anything a phone can do");
+    assert!((0.0..=1.0).contains(&r.avg_overall_util));
+    assert!((1.0..=4.0).contains(&r.avg_online_cores));
+    assert!(r.avg_khz_online >= 300_000.0 && r.avg_khz_online <= 2_265_600.0);
+    assert!(r.avg_temp_c >= 25.0 && r.max_temp_c < 100.0);
+    assert!((0.2..=1.0).contains(&r.avg_quota));
+}
+
+#[test]
+fn geekbench_efficiency_ranking_matches_fig9b() {
+    let profile = profiles::nexus5();
+    let android = run(
+        Box::new(AndroidDefaultPolicy::new(&profile)),
+        Box::new(GeekBenchApp::standard(4)),
+        15,
+    );
+    let mobicore = run(
+        Box::new(MobiCore::new(&profile)),
+        Box::new(GeekBenchApp::standard(4)),
+        15,
+    );
+    let a_eff = android.first_metric("score").unwrap() / android.avg_power_mw;
+    let m_eff = mobicore.first_metric("score").unwrap() / mobicore.avg_power_mw;
+    assert!(
+        m_eff > a_eff,
+        "score/W: mobicore {m_eff} vs android {a_eff}"
+    );
+}
+
+#[test]
+fn optimal_point_variant_also_beats_default() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = MobiCoreConfig {
+        rule: FrequencyRule::OptimalPoint,
+        ..MobiCoreConfig::default()
+    };
+    let android = run(
+        Box::new(AndroidDefaultPolicy::new(&profile)),
+        Box::new(BusyLoop::with_target_util(4, 0.3, f_max, 8)),
+        15,
+    );
+    let opt = run(
+        Box::new(MobiCore::with_config(&profile, cfg)),
+        Box::new(BusyLoop::with_target_util(4, 0.3, f_max, 8)),
+        15,
+    );
+    assert!(opt.avg_power_mw < android.avg_power_mw);
+}
+
+#[test]
+fn multiple_workloads_coexist() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(10)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile))).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(1, 0.2, f_max, 1)));
+    sim.add_workload(Box::new(GameApp::new(GameProfile::angry_birds(), 2)));
+    let r = sim.run();
+    assert_eq!(r.workloads.len(), 2);
+    assert!(r.first_metric("bursts").unwrap() > 0.0);
+    assert!(r.metric("Angry Birds", "avg_fps").unwrap() > 1.0);
+}
+
+#[test]
+fn thermal_throttling_caps_sustained_power() {
+    // 4 cores flat out must converge toward the sustainable budget.
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let budget = profile.thermal().sustainable_power_mw();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(120)
+        .without_mpdecision();
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(mobicore_sim::builtin::PinnedPolicy::new(4, f_max)),
+    )
+    .unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f_max, 0)));
+    let r = sim.run();
+    // The tail of the run is pinned at the budget; the average includes
+    // the warm-up spike, so allow generous headroom.
+    assert!(
+        r.avg_power_mw < budget * 1.25,
+        "avg {} vs budget {budget}",
+        r.avg_power_mw
+    );
+    assert!(r.thermal_throttled_frac > 0.3, "{}", r.thermal_throttled_frac);
+    assert!(r.max_temp_c > profile.thermal().trip_c - 1.0);
+}
+
+#[test]
+fn mpdecision_lifecycle_over_adb() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile.clone()).with_duration_secs(6);
+    let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile))).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(1, 0.1, f_max, 4)));
+    assert!(sim.mpdecision_enabled());
+    // While mpdecision runs, MobiCore's offline requests bounce.
+    for _ in 0..2_000 {
+        sim.step();
+    }
+    assert_eq!(sim.online_count(), 4);
+    sim.adb("stop mpdecision").unwrap();
+    for _ in 0..2_000 {
+        sim.step();
+    }
+    assert!(sim.online_count() < 4, "DCS unlocked after stop mpdecision");
+    let r = sim.report();
+    assert!(r.rejected_offline_requests > 0);
+}

@@ -1,0 +1,220 @@
+//! Failure injection and pathological inputs: the stack must stay
+//! physical, bounded and responsive when pushed far outside the paper's
+//! operating envelope.
+
+use mobicore::MobiCore;
+use mobicore_model::{profiles, DeviceProfile, Khz, Quota, ThermalParams};
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation};
+use mobicore_workloads::{BusyLoop, RateLoad, VideoPlayback};
+
+#[test]
+fn thermal_runaway_walks_cap_to_the_floor_and_survives() {
+    // A device with an absurdly tight thermal budget: the cap must walk
+    // all the way down, and the simulation must keep making progress.
+    let base = profiles::nexus5();
+    let profile = DeviceProfile::builder("hot-device", 4)
+        .opps(base.opps().clone())
+        .platform_base_mw(base.platform_base_mw())
+        .thermal(ThermalParams {
+            ambient_c: 25.0,
+            r_th_c_per_w: 60.0, // 10× the Nexus 5
+            tau_s: 2.0,
+            trip_c: 35.0,
+            clear_c: 33.0,
+        })
+        .build()
+        .expect("valid profile");
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(60)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f_max, 1)));
+    let r = sim.run();
+    assert!(r.thermal_throttled_frac > 0.8, "{}", r.thermal_throttled_frac);
+    // Sustained power pinned near the 167 mW/°C budget: (35−25)/60 W.
+    let budget = profile.thermal().sustainable_power_mw();
+    assert!(
+        r.avg_power_mw < budget * 3.0,
+        "runaway contained: {} vs budget {budget}",
+        r.avg_power_mw
+    );
+    assert!(r.executed_cycles > 0, "still makes progress");
+    // The transient overshoots while the cap walks down one OPP per poll.
+    assert!(r.max_temp_c < 100.0, "bounded transient: {}", r.max_temp_c);
+    // The throttle bottoms out at the lowest OPP (it cannot off-line
+    // cores); the physical bound is the steady state at that floor.
+    let floor_mw = profile.uniform_power_mw(4, 0, 1.0);
+    let floor_steady = profile.thermal().steady_state_c(floor_mw);
+    assert!(
+        r.avg_temp_c <= floor_steady + 2.0,
+        "settles at the floor equilibrium: {} vs {}",
+        r.avg_temp_c,
+        floor_steady
+    );
+    // ... and the cap really did walk to the bottom: average frequency
+    // collapses to (near) f_min.
+    assert!(
+        r.avg_khz_online < 500_000.0,
+        "cap at the floor: {} kHz",
+        r.avg_khz_online
+    );
+}
+
+#[test]
+fn quota_floor_guarantees_forward_progress() {
+    // A malicious policy that keeps slamming the quota to its minimum:
+    // the floor (20 %) must still let work through.
+    struct Starver;
+    impl CpuPolicy for Starver {
+        fn name(&self) -> &str {
+            "starver"
+        }
+        fn on_sample(&mut self, _s: &PolicySnapshot, ctl: &mut CpuControl) {
+            ctl.set_quota(Quota::new(0.0)); // clamps to MIN_FRACTION
+        }
+    }
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(5)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(Starver)).unwrap();
+    sim.add_workload(Box::new(RateLoad::constant(4, f_max, 1.0)));
+    let r = sim.run();
+    assert!((r.avg_quota - Quota::MIN_FRACTION).abs() < 0.02, "{}", r.avg_quota);
+    assert!(r.bw_throttled_us > 0, "the load is being throttled");
+    // 20 % of 4 cores ≈ 0.8 cores' worth of runtime must still flow.
+    assert!(
+        r.avg_overall_util > 0.15,
+        "forward progress under the floor: {}",
+        r.avg_overall_util
+    );
+}
+
+#[test]
+fn hotplug_thrash_does_not_corrupt_state() {
+    // A policy that flips cores every sample.
+    struct Thrasher {
+        tick: u64,
+    }
+    impl CpuPolicy for Thrasher {
+        fn name(&self) -> &str {
+            "thrasher"
+        }
+        fn sampling_period_us(&self) -> u64 {
+            20_000
+        }
+        fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+            self.tick += 1;
+            for i in 1..snap.cores.len() {
+                ctl.set_online(i, (self.tick + i as u64).is_multiple_of(2));
+            }
+            ctl.set_freq_all(Khz(if self.tick.is_multiple_of(2) { 300_000 } else { 2_265_600 }));
+        }
+    }
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(10)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(Thrasher { tick: 0 })).unwrap();
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.5, f_max, 2)));
+    let r = sim.run();
+    assert!((1.0..=4.0).contains(&r.avg_online_cores));
+    assert!(r.avg_power_mw > 0.0 && r.avg_power_mw < 4_000.0);
+    assert!(r.executed_cycles > 0);
+}
+
+#[test]
+fn thread_storm_is_survivable() {
+    // 512 runnable threads on 4 cores: the scheduler must stay bounded
+    // and fair enough that every thread eventually runs.
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(5)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
+    // 512 threads demanding ~1.3× the whole platform.
+    sim.add_workload(Box::new(RateLoad::constant(512, f_max, 0.01)));
+    let r = sim.run();
+    assert!(r.avg_overall_util > 0.9, "storm saturates cores: {}", r.avg_overall_util);
+    assert!(r.executed_cycles > 0);
+}
+
+#[test]
+fn giant_work_items_do_not_overflow() {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    struct Giant;
+    impl mobicore_sim::Workload for Giant {
+        fn name(&self) -> &str {
+            "giant"
+        }
+        fn on_start(&mut self, rt: &mut mobicore_sim::WorkloadRt) {
+            let t = rt.spawn_thread();
+            rt.push_work(t, u64::MAX / 4, 0);
+        }
+        fn on_tick(&mut self, _n: u64, _t: u64, _rt: &mut mobicore_sim::WorkloadRt) {}
+        fn report(&self, _n: u64, rt: &mobicore_sim::WorkloadRt) -> mobicore_sim::WorkloadReport {
+            mobicore_sim::WorkloadReport::named("giant")
+                .with_metric("executed", rt.total_executed_cycles() as f64)
+        }
+    }
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(2)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, f_max))).unwrap();
+    sim.add_workload(Box::new(Giant));
+    let r = sim.run();
+    let executed = r.first_metric("executed").unwrap();
+    // ~2 s at 2.2656 GHz
+    assert!((executed - 2.0 * f_max.as_hz()).abs() / (2.0 * f_max.as_hz()) < 0.02);
+}
+
+#[test]
+fn mobicore_handles_a_device_with_one_core_and_one_opp() {
+    // Degenerate hardware: nothing to scale, nothing to off-line —
+    // MobiCore must be a graceful no-op.
+    let opps = mobicore_model::profiles::opp_ladder(&[1_000_000], 1_000, 1_000, 50.0, 200.0, 2e-10);
+    let profile = DeviceProfile::builder("potato", 1)
+        .opps(opps)
+        .build()
+        .expect("valid profile");
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(5)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile))).unwrap();
+    sim.add_workload(Box::new(VideoPlayback::new(5_000_000)));
+    let r = sim.run();
+    assert_eq!(r.avg_online_cores, 1.0);
+    assert!((r.avg_khz_online - 1_000_000.0).abs() < 1.0);
+    assert!(r.first_metric("frames").unwrap() > 100.0);
+}
+
+#[test]
+fn video_starves_gracefully_under_powersave() {
+    // Powersave pins f_min; a decode that needs more must miss deadlines
+    // in a *measurable* way, not wedge.
+    use mobicore_governors::{GovernorPolicy, Powersave};
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(5)
+        .without_mpdecision();
+    let mut sim = Simulation::new(
+        cfg,
+        Box::new(GovernorPolicy::dvfs_only(
+            Box::new(Powersave::new()),
+            profile.opps().clone(),
+        )),
+    )
+    .unwrap();
+    // 20 M cycles per 33 ms frame needs ≈ 600 MHz; f_min is 300 MHz.
+    sim.add_workload(Box::new(VideoPlayback::new(20_000_000)));
+    let r = sim.run();
+    assert!(r.first_metric("deadline_misses").unwrap() > 0.0);
+    assert!(r.first_metric("completion_rate").unwrap() < 0.8);
+    assert!(r.first_metric("frames").unwrap() > 0.0, "no wedge");
+}

@@ -1,0 +1,164 @@
+//! Behavioural contrasts between the stock governors (§2.2.1), measured
+//! end-to-end: reaction to a load burst and settling after it ends.
+
+use mobicore_governors::{Conservative, GovernorPolicy, Interactive, Ondemand, Schedutil};
+use mobicore_model::{profiles, Khz};
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation, TraceLevel};
+use mobicore_workloads::rate::RatePhase;
+use mobicore_workloads::RateLoad;
+
+/// Runs a 1 s idle → burst step under `policy` and returns the time (µs
+/// after the burst starts) at which any core first reaches `khz_goal`,
+/// if ever.
+fn time_to_reach(policy: Box<dyn CpuPolicy>, khz_goal: u32) -> Option<u64> {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(3)
+        .with_trace(TraceLevel::Full)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, policy).unwrap();
+    sim.add_workload(Box::new(RateLoad::new(
+        4,
+        f_max,
+        vec![
+            RatePhase {
+                until_us: 1_000_000,
+                rate: 0.02,
+            },
+            RatePhase {
+                until_us: 3_000_000,
+                rate: 0.95,
+            },
+        ],
+    )));
+    let r = sim.run();
+    r.trace
+        .samples()
+        .iter()
+        .filter(|s| s.t_us >= 1_000_000)
+        .find(|s| s.khz.iter().any(|&k| k >= khz_goal))
+        .map(|s| s.t_us - 1_000_000)
+}
+
+fn dvfs_only(g: Box<dyn mobicore_governors::DvfsGovernor + Send>) -> Box<dyn CpuPolicy> {
+    Box::new(GovernorPolicy::dvfs_only(
+        g,
+        profiles::nexus5().opps().clone(),
+    ))
+}
+
+#[test]
+fn ondemand_bursts_to_max_within_a_couple_of_samples() {
+    let t = time_to_reach(dvfs_only(Box::new(Ondemand::new())), 2_265_600)
+        .expect("ondemand reaches f_max");
+    assert!(t <= 80_000, "burst latency {t} µs");
+}
+
+#[test]
+fn interactive_reaches_hispeed_first_then_max() {
+    let hispeed = time_to_reach(dvfs_only(Box::new(Interactive::new())), 1_190_400)
+        .expect("interactive reaches hispeed");
+    let max = time_to_reach(dvfs_only(Box::new(Interactive::new())), 2_265_600)
+        .expect("interactive reaches f_max eventually");
+    assert!(hispeed <= max, "hispeed {hispeed} before max {max}");
+    assert!(max <= 200_000, "still latency-sensitive: {max} µs");
+}
+
+#[test]
+fn conservative_is_the_slowest_to_ramp() {
+    let od = time_to_reach(dvfs_only(Box::new(Ondemand::new())), 2_265_600).unwrap();
+    let cons = time_to_reach(dvfs_only(Box::new(Conservative::new())), 2_265_600)
+        .expect("conservative gets there in 2 s of sustained load");
+    assert!(
+        cons > od * 3,
+        "conservative ({cons} µs) much slower than ondemand ({od} µs)"
+    );
+}
+
+#[test]
+fn schedutil_tracks_demand_without_full_burst() {
+    // 95 % of 4 threads over 4 cores: schedutil targets 1.25 · util, so
+    // it runs high but reaches f_max only when genuinely needed.
+    let t = time_to_reach(dvfs_only(Box::new(Schedutil::new())), 1_958_400);
+    assert!(t.is_some(), "schedutil climbs under sustained load");
+}
+
+#[test]
+fn all_governors_settle_back_after_the_burst() {
+    // Burst then idle: by the end every governor must be far below f_max
+    // (except performance, not under test here).
+    for gov in [
+        dvfs_only(Box::new(Ondemand::new())),
+        dvfs_only(Box::new(Interactive::new())),
+        dvfs_only(Box::new(Schedutil::new())),
+    ] {
+        let name = gov.name().to_string();
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(4)
+            .with_trace(TraceLevel::Full)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, gov).unwrap();
+        sim.add_workload(Box::new(RateLoad::new(
+            4,
+            f_max,
+            vec![
+                RatePhase {
+                    until_us: 1_000_000,
+                    rate: 0.95,
+                },
+                RatePhase {
+                    until_us: 4_000_000,
+                    rate: 0.01,
+                },
+            ],
+        )));
+        let r = sim.run();
+        let tail: Vec<u32> = r
+            .trace
+            .samples()
+            .iter()
+            .filter(|s| s.t_us >= 3_500_000)
+            .flat_map(|s| s.khz.iter().copied())
+            .collect();
+        let max_tail = tail.iter().copied().max().unwrap_or(0);
+        assert!(
+            max_tail <= 1_036_800,
+            "{name} still at {max_tail} kHz half a second after the load died"
+        );
+    }
+}
+
+#[test]
+fn powersave_and_performance_never_move() {
+    use mobicore_governors::{Performance, Powersave};
+    for (gov, expect) in [
+        (
+            dvfs_only(Box::new(Powersave::new())),
+            Khz(300_000),
+        ),
+        (
+            dvfs_only(Box::new(Performance::new())),
+            Khz(2_265_600),
+        ),
+    ] {
+        let profile = profiles::nexus5();
+        let f_max = profile.opps().max_khz();
+        let cfg = SimConfig::new(profile)
+            .with_duration_secs(2)
+            .with_trace(TraceLevel::Full)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, gov).unwrap();
+        sim.add_workload(Box::new(RateLoad::constant(4, f_max, 0.5)));
+        let r = sim.run();
+        // Skip the boot settle (cores start at f_min before the first
+        // sample).
+        for s in r.trace.samples().iter().filter(|s| s.t_us > 100_000) {
+            for &k in &s.khz {
+                assert_eq!(k, expect.0, "at t={}", s.t_us);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use mobicore::bandwidth::BandwidthAnalyzer;
+use mobicore::{MobiCoreConfig};
+use mobicore_model::energy::{mobicore_frequency, CpuEnergyModel};
+use mobicore_model::operating_point::OperatingPointOptimizer;
+use mobicore_model::{profiles, Khz, Quota, Utilization};
+use mobicore_sim::builtin::PinnedPolicy;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_workloads::{BusyLoop, RateLoad};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. (9) never asks for more than ondemand chose, and is monotone
+    /// in the utilization signal.
+    #[test]
+    fn eq9_bounded_and_monotone(
+        f_od in 300_000u32..2_265_600,
+        k1 in 0.0f64..1.0,
+        k2 in 0.0f64..1.0,
+        q in 0.2f64..=1.0,
+        n in 1usize..=4,
+    ) {
+        let f1 = mobicore_frequency(Khz(f_od), Utilization::new(k1), Quota::new(q), n, 4);
+        prop_assert!(f1 <= Khz(f_od));
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        let f_lo = mobicore_frequency(Khz(f_od), Utilization::new(lo), Quota::new(q), n, 4);
+        let f_hi = mobicore_frequency(Khz(f_od), Utilization::new(hi), Quota::new(q), n, 4);
+        prop_assert!(f_lo <= f_hi);
+    }
+
+    /// Fewer online cores never yields a lower Eq. (9) frequency.
+    #[test]
+    fn eq9_monotone_in_core_count(
+        f_od in 300_000u32..2_265_600,
+        k in 0.0f64..1.0,
+    ) {
+        let mut prev = Khz(u32::MAX);
+        for n in 1..=4usize {
+            let f = mobicore_frequency(Khz(f_od), Utilization::new(k), Quota::FULL, n, 4);
+            prop_assert!(f <= prev, "n={n}: {f:?} > {prev:?}");
+            prev = f;
+        }
+    }
+
+    /// The operating-point optimizer always returns a point that covers
+    /// the demand, for any feasible load.
+    #[test]
+    fn optimizer_point_covers_demand(load in 0.0f64..=1.0) {
+        let p = profiles::nexus5();
+        let opt = OperatingPointOptimizer::new(&p);
+        let pt = opt.best_for_global_load(load).expect("load <= 1 is feasible");
+        let cap = p.capacity_hz(pt.cores, pt.opp_idx);
+        prop_assert!(cap + 1e-6 >= opt.demand_hz(load));
+        prop_assert!((1..=4).contains(&pt.cores));
+    }
+
+    /// The optimizer's chosen power is a lower bound over all feasible
+    /// points (it really is the argmin).
+    #[test]
+    fn optimizer_is_argmin(load in 0.0f64..0.99) {
+        let p = profiles::nexus5();
+        let opt = OperatingPointOptimizer::new(&p);
+        let best = opt.best_for_global_load(load).unwrap();
+        let pts = opt.feasible_points(load).unwrap();
+        let best_power = pts
+            .iter()
+            .find(|e| e.point == best)
+            .expect("best is feasible")
+            .power_mw;
+        for e in &pts {
+            prop_assert!(best_power <= e.power_mw + 1e-9);
+        }
+    }
+
+    /// Device power is monotone in utilization and in frequency for any
+    /// uniform configuration.
+    #[test]
+    fn device_power_monotone(
+        n in 1usize..=4,
+        opp in 0usize..14,
+        u1 in 0.0f64..=1.0,
+        u2 in 0.0f64..=1.0,
+    ) {
+        let p = profiles::nexus5();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(p.uniform_power_mw(n, opp, lo) <= p.uniform_power_mw(n, opp, hi) + 1e-9);
+        if opp + 1 < 14 {
+            prop_assert!(
+                p.uniform_power_mw(n, opp, hi) <= p.uniform_power_mw(n, opp + 1, hi) + 1e-9
+            );
+        }
+    }
+
+    /// The fitted analytic model is positive and monotone in frequency at
+    /// full utilization.
+    #[test]
+    fn energy_model_sane(khz in 300_000u32..2_265_600) {
+        let p = profiles::nexus5();
+        let m = CpuEnergyModel::fit(p.opps(), profiles::NEXUS5_CEFF_F, 450.0);
+        let pw = m.core_power_mw(Khz(khz), Utilization::FULL);
+        prop_assert!(pw > 0.0);
+        let pw_hi = m.core_power_mw(Khz(khz + 1_000), Utilization::FULL);
+        prop_assert!(pw_hi >= pw);
+    }
+
+    /// The Table-2 analyzer always returns a quota within bounds and
+    /// FULL above the 40 % threshold.
+    #[test]
+    fn bandwidth_analyzer_bounds(seq in proptest::collection::vec(0.0f64..1.0, 1..40)) {
+        let mut a = BandwidthAnalyzer::new(MobiCoreConfig::default());
+        for u in seq {
+            let d = a.decide(Utilization::new(u));
+            prop_assert!((Quota::MIN_FRACTION..=1.0).contains(&d.quota.as_fraction()));
+            prop_assert!(d.scale == 1.0 || d.scale == 0.9);
+            if u >= 0.4 {
+                prop_assert_eq!(d.quota, Quota::FULL);
+            }
+        }
+    }
+
+    /// Conservation: a pinned simulation can never execute more cycles
+    /// than its online capacity, and busy time never exceeds wall time.
+    #[test]
+    fn simulation_conserves_capacity(
+        n in 1usize..=4,
+        opp in 0usize..14,
+        rate in 0.05f64..2.0,
+    ) {
+        let p = profiles::nexus5();
+        let khz = p.opps().get_clamped(opp).khz;
+        let cfg = SimConfig::new(p.clone())
+            .with_duration_us(2_000_000)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(n, khz))).unwrap();
+        sim.add_workload(Box::new(RateLoad::constant(n, khz, rate)));
+        let r = sim.run();
+        let capacity = khz.as_hz() * n as f64 * 2.0; // 2 seconds
+        prop_assert!(r.executed_cycles as f64 <= capacity * 1.001,
+            "executed {} > capacity {capacity}", r.executed_cycles);
+        prop_assert!(r.avg_overall_util <= 1.0 + 1e-9);
+    }
+}
+
+/// Non-proptest sweep: the busy loop's achieved duty cycle tracks its
+/// target across the whole range when hardware matches the reference.
+#[test]
+fn busyloop_duty_cycle_sweep() {
+    let p = profiles::nexus5();
+    let khz = p.opps().max_khz();
+    for target in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let cfg = SimConfig::new(p.clone())
+            .with_duration_secs(5)
+            .without_mpdecision();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, khz))).unwrap();
+        sim.add_workload(Box::new(BusyLoop::with_target_util(1, target, khz, 3)));
+        let r = sim.run();
+        let per_core = r.avg_overall_util * 4.0;
+        assert!(
+            (per_core - target).abs() < 0.1,
+            "target {target} achieved {per_core}"
+        );
+    }
+}
