@@ -7,3 +7,8 @@
 //! * `figures` — time to regenerate each paper table/figure (quick mode),
 //!   asserting the shape checks still pass;
 //! * `ablations` — wall time of each MobiCore design variant.
+
+#![forbid(unsafe_code)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::float_cmp))]

@@ -1,0 +1,220 @@
+//! `checker` — the command-line front end of `mobicore-checker`.
+//!
+//! ```text
+//! checker [--profile NAME|all] [--config LABEL|all] [--set FIELD=VALUE]...
+//!         [--quick] [--json] [--list]
+//! ```
+//!
+//! Exit codes: 0 = every invariant held on every selected pair, 1 =
+//! violations or error-level config diagnostics, 2 = usage error.
+
+#![deny(unsafe_code)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+
+use mobicore::config::MobiCoreConfig;
+use mobicore_checker::{
+    builtin_configs, builtin_profiles, check, profile_by_name, CheckerConfig, Report,
+};
+use std::process::ExitCode;
+
+struct Args {
+    profiles: Vec<String>,
+    configs: Vec<String>,
+    overrides: Vec<(String, f64)>,
+    quick: bool,
+    json: bool,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: checker [--profile NAME|all] [--config default|without_quota|without_dcs|all]\n\
+     \x20              [--set FIELD=VALUE]... [--quick] [--json] [--list]\n\
+     \n\
+     Verifies the MobiCore policy invariants over the discretized state space\n\
+     of each selected (device profile, configuration) pair. --set overrides a\n\
+     numeric MobiCoreConfig field on every selected configuration (e.g.\n\
+     --set quota_min=0.9) so a candidate tuning can be vetted before a run."
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        profiles: Vec::new(),
+        configs: Vec::new(),
+        overrides: Vec::new(),
+        quick: false,
+        json: false,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => args.profiles.push(
+                it.next()
+                    .ok_or_else(|| "--profile needs a value".to_string())?
+                    .clone(),
+            ),
+            "--config" => args.configs.push(
+                it.next()
+                    .ok_or_else(|| "--config needs a value".to_string())?
+                    .clone(),
+            ),
+            "--set" => {
+                let kv = it
+                    .next()
+                    .ok_or_else(|| "--set needs FIELD=VALUE".to_string())?;
+                let (field, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set {kv}: expected FIELD=VALUE"))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--set {kv}: `{value}` is not a number"))?;
+                args.overrides.push((field.to_string(), value));
+            }
+            "--quick" => args.quick = true,
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Applies one `--set FIELD=VALUE` override to a configuration.
+fn apply_override(cfg: &mut MobiCoreConfig, field: &str, value: f64) -> Result<(), String> {
+    match field {
+        "offline_threshold_pct" => cfg.offline_threshold_pct = value,
+        "low_load_threshold_pct" => cfg.low_load_threshold_pct = value,
+        "delta_up_pct" => cfg.delta_up_pct = value,
+        "delta_down_pct" => cfg.delta_down_pct = value,
+        "scaling_factor" => cfg.scaling_factor = value,
+        "quota_headroom" => cfg.quota_headroom = value,
+        "quota_min" => cfg.quota_min = value,
+        "quota_max" => cfg.quota_max = value,
+        "capacity_target" => cfg.capacity_target = value,
+        "freq_deadband" => cfg.freq_deadband = value,
+        "sampling_us" => {
+            if !(value.is_finite() && (0.0..=1e15).contains(&value)) {
+                return Err(format!("sampling_us={value} is not a sane microsecond count"));
+            }
+            // Integer-valued by construction after the range gate above.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                cfg.sampling_us = value as u64;
+            }
+        }
+        other => return Err(format!("unknown MobiCoreConfig field `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("checker: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        println!("profiles:");
+        for p in builtin_profiles() {
+            println!("  {} ({} cores, {} OPPs)", p.name(), p.n_cores(), p.opps().len());
+        }
+        println!("configs:");
+        for (label, _) in builtin_configs() {
+            println!("  {label}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let profiles = if args.profiles.is_empty() || args.profiles.iter().any(|p| p == "all") {
+        builtin_profiles()
+    } else {
+        let mut v = Vec::new();
+        for name in &args.profiles {
+            match profile_by_name(name) {
+                Some(p) => v.push(p),
+                None => {
+                    eprintln!("checker: unknown profile `{name}` (try --list)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        v
+    };
+
+    let all_configs = builtin_configs();
+    let configs: Vec<(&str, MobiCoreConfig)> =
+        if args.configs.is_empty() || args.configs.iter().any(|c| c == "all") {
+            all_configs
+        } else {
+            let mut v = Vec::new();
+            for label in &args.configs {
+                match all_configs.iter().find(|(l, _)| l == label) {
+                    Some(&(l, c)) => v.push((l, c)),
+                    None => {
+                        eprintln!("checker: unknown config `{label}` (try --list)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            v
+        };
+
+    let ck = if args.quick {
+        CheckerConfig::quick()
+    } else {
+        CheckerConfig::exhaustive()
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    for profile in &profiles {
+        for (label, base) in &configs {
+            let mut cfg = *base;
+            for (field, value) in &args.overrides {
+                if let Err(msg) = apply_override(&mut cfg, field, *value) {
+                    eprintln!("checker: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+            reports.push(check(profile, &cfg, label, &ck));
+        }
+    }
+
+    let ok = reports.iter().all(Report::ok);
+    if args.json {
+        let body: Vec<String> = reports.iter().map(Report::json).collect();
+        println!("{{\"ok\":{ok},\"reports\":[{}]}}", body.join(","));
+    } else {
+        for r in &reports {
+            println!("{}", r.human());
+        }
+        let total_states: usize = reports
+            .iter()
+            .flat_map(|r| r.invariants.iter())
+            .map(|i| i.states_checked)
+            .sum();
+        let failed = reports.iter().filter(|r| !r.ok()).count();
+        println!(
+            "checked {} (profile, config) pairs, {} states: {}",
+            reports.len(),
+            total_states,
+            if ok {
+                "all invariants hold".to_string()
+            } else {
+                format!("{failed} pair(s) FAILED")
+            }
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

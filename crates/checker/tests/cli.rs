@@ -1,0 +1,91 @@
+//! End-to-end tests for the `checker` binary: exit codes, report text, and
+//! the `--json` / `--list` surfaces, driven through the real executable.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_checker"))
+        .args(args)
+        .output()
+        .expect("checker binary should spawn")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn clean_profile_exits_zero() {
+    let out = run(&["--profile", "Nexus 5", "--quick"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("all invariants hold"), "{text}");
+    assert!(text.contains("== Nexus 5 / default =="), "{text}");
+}
+
+#[test]
+fn bad_tunable_exits_one_with_pointed_diagnostic() {
+    let out = run(&[
+        "--profile",
+        "Nexus 5",
+        "--quick",
+        "--set",
+        "quota_min=0.9",
+        "--set",
+        "quota_max=0.3",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("error: `quota_min`"),
+        "diagnostic should point at the offending field:\n{text}"
+    );
+    assert!(text.contains("FAILED"), "{text}");
+}
+
+#[test]
+fn unknown_flag_exits_two_with_usage() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage: checker"));
+}
+
+#[test]
+fn unknown_profile_exits_two() {
+    let out = run(&["--profile", "nexus5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown profile"));
+}
+
+#[test]
+fn unknown_config_field_exits_two() {
+    let out = run(&["--quick", "--set", "warp_factor=9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown MobiCoreConfig field"));
+}
+
+#[test]
+fn json_mode_emits_one_object_with_verdict() {
+    let out = run(&["--profile", "Nexus 4", "--config", "default", "--quick", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let line = text.trim();
+    assert!(line.starts_with("{\"ok\":true,\"reports\":["), "{line}");
+    assert!(line.ends_with("]}"), "{line}");
+    assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
+    assert!(line.contains("\"profile\":\"Nexus 4\""), "{line}");
+}
+
+#[test]
+fn list_mode_names_profiles_and_configs() {
+    let out = run(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for needle in ["profiles:", "Nexus 5", "Synthetic Octa", "configs:", "without_dcs"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}

@@ -70,43 +70,63 @@ impl BandwidthAnalyzer {
         self.last_mode
     }
 
-    /// Runs one sampling period of Algorithm 4.1.2.
-    pub fn decide(&mut self, util: Utilization) -> BandwidthDecision {
-        let delta_pct = match self.prev_util {
+    /// One sampling period of Algorithm 4.1.2 as a **pure transition
+    /// function**: previous-window utilization in, decision out, no
+    /// hidden state. [`decide`](Self::decide) and the model checker both
+    /// go through here, so what is verified is what runs.
+    pub fn transition(
+        cfg: &MobiCoreConfig,
+        prev_util: Option<Utilization>,
+        util: Utilization,
+    ) -> (BandwidthDecision, WorkloadMode) {
+        let delta_pct = match prev_util {
             Some(prev) => util.delta(prev) * 100.0,
             None => 0.0,
         };
-        self.prev_util = Some(util);
 
-        if util.as_percent() >= self.cfg.low_load_threshold_pct {
+        if util.as_percent() >= cfg.low_load_threshold_pct {
             // High overall load: the analysis is skipped and the CPUs get
-            // the whole bandwidth.
-            self.last_mode = WorkloadMode::HighLoad;
-            return BandwidthDecision {
-                quota: Quota::FULL,
-                scale: 1.0,
-                k_effective: util,
-            };
+            // the whole bandwidth (bounded by the configured quota cap).
+            let quota = Quota::new(1.0f64.clamp(cfg.quota_min, cfg.quota_max));
+            return (
+                BandwidthDecision {
+                    quota,
+                    scale: 1.0,
+                    k_effective: util,
+                },
+                WorkloadMode::HighLoad,
+            );
         }
-        let scale = if delta_pct < -self.cfg.delta_down_pct {
-            self.last_mode = WorkloadMode::Slow;
-            self.cfg.scaling_factor
-        } else if delta_pct > self.cfg.delta_up_pct {
-            self.last_mode = WorkloadMode::Burst;
-            1.0
+        let (scale, mode) = if delta_pct < -cfg.delta_down_pct {
+            (cfg.scaling_factor, WorkloadMode::Slow)
+        } else if delta_pct > cfg.delta_up_pct {
+            (1.0, WorkloadMode::Burst)
         } else {
-            self.last_mode = WorkloadMode::Steady;
-            1.0
+            (1.0, WorkloadMode::Steady)
         };
         let k_effective = Utilization::new(util.as_fraction() * scale);
         // Table 2 line 2: the installed bandwidth tracks the (scaled)
-        // utilization, plus headroom against measurement noise.
-        let quota = Quota::new(k_effective.as_fraction() + self.cfg.quota_headroom);
-        BandwidthDecision {
-            quota,
-            scale,
-            k_effective,
-        }
+        // utilization, plus headroom against measurement noise, kept
+        // inside the configured [quota_min, quota_max] interval.
+        let raw = k_effective.as_fraction() + cfg.quota_headroom;
+        let quota = Quota::new(raw.clamp(cfg.quota_min, cfg.quota_max));
+        (
+            BandwidthDecision {
+                quota,
+                scale,
+                k_effective,
+            },
+            mode,
+        )
+    }
+
+    /// Runs one sampling period of Algorithm 4.1.2, updating the ΔU
+    /// reference.
+    pub fn decide(&mut self, util: Utilization) -> BandwidthDecision {
+        let (decision, mode) = Self::transition(&self.cfg, self.prev_util, util);
+        self.prev_util = Some(util);
+        self.last_mode = mode;
+        decision
     }
 }
 

@@ -13,7 +13,7 @@
 //!   cores at a lower frequency" half of the operating-point curve.
 
 use crate::config::MobiCoreConfig;
-use mobicore_model::Quota;
+use mobicore_model::{quantize_usize, Quota};
 use mobicore_sim::PolicySnapshot;
 
 /// The DCS decision for one window.
@@ -46,7 +46,7 @@ impl DcsPass {
     pub fn min_cores_for_demand(&self, snap: &PolicySnapshot, quota: Quota) -> usize {
         let n_max = snap.cores.len();
         let demand = snap.overall_util.as_fraction() * quota.as_fraction() * n_max as f64;
-        let by_capacity = (demand / self.cfg.capacity_target).ceil().max(1.0) as usize;
+        let by_capacity = quantize_usize((demand / self.cfg.capacity_target).ceil().max(1.0));
         by_capacity.min(snap.max_runnable_threads.max(1))
     }
 

@@ -95,12 +95,12 @@ impl CpuPolicy for ThermalAwareMobiCore {
         for cmd in staged.take() {
             match cmd {
                 Command::SetFreq { core, khz } if factor < 1.0 => {
-                    let derated = Khz((f64::from(khz.0) * factor) as u32);
+                    let derated = Khz::from_f64(f64::from(khz.0) * factor);
                     let snapped = self.profile.opps().snap_up(derated).khz;
                     ctl.set_freq(core, snapped);
                 }
                 Command::SetFreqAll { khz } if factor < 1.0 => {
-                    let derated = Khz((f64::from(khz.0) * factor) as u32);
+                    let derated = Khz::from_f64(f64::from(khz.0) * factor);
                     ctl.set_freq_all(self.profile.opps().snap_up(derated).khz);
                 }
                 other => match other {

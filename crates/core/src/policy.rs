@@ -4,7 +4,7 @@
 use crate::bandwidth::{BandwidthAnalyzer, WorkloadMode};
 use crate::config::{FrequencyRule, MobiCoreConfig};
 use crate::dcs::DcsPass;
-use mobicore_governors::dvfs::{DvfsGovernor, Ondemand};
+use mobicore_governors::dvfs::Ondemand;
 use mobicore_model::energy::{mobicore_frequency, CpuEnergyModel};
 use mobicore_model::operating_point::OperatingPointOptimizer;
 use mobicore_model::{DeviceProfile, Khz, Quota, Utilization};
@@ -28,6 +28,103 @@ pub struct DecisionSummary {
     pub f_new: Khz,
 }
 
+/// The up-threshold of the embedded ondemand estimator (the kernel
+/// default MobiCore inherits).
+pub const ONDEMAND_UP_THRESHOLD: f64 = 80.0;
+
+/// Everything the Figure-8 automaton remembers between samples. The
+/// whole per-window decision is a pure function of this plus the
+/// snapshot — see [`step`] — which is what lets `mobicore-checker`
+/// enumerate the reachable state space exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyState {
+    /// The embedded ondemand estimator's last estimate (its ramp state).
+    pub ondemand_khz: Option<Khz>,
+    /// The previous window's overall utilization (the ΔU reference of
+    /// Table 2).
+    pub prev_util: Option<Utilization>,
+    /// The frequency last issued to the surviving cores (the deadband
+    /// reference).
+    pub last_issued: Option<Khz>,
+}
+
+/// Everything one pure Eq.-(9) step decides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The per-window decision summary (quota, mode, cores, frequency).
+    pub decision: DecisionSummary,
+    /// The successor automaton state.
+    pub state: PolicyState,
+    /// Core ids the DCS pass takes offline, highest ids first.
+    pub offline: Vec<usize>,
+    /// Core ids the DCS pass brings online, lowest ids first.
+    pub online: Vec<usize>,
+}
+
+/// One full Figure-8 sampling period as a **pure transition function**:
+/// ondemand estimate → Table-2 quota → DCS pass → Eq.-(9) per-core
+/// frequency (with the retarget deadband). No `&mut self`, no
+/// simulator plumbing — [`MobiCore::on_sample`] applies the outcome to
+/// the hardware, and `mobicore-checker` walks the same function over the
+/// whole discretized state space.
+pub fn step(
+    cfg: &MobiCoreConfig,
+    profile: &DeviceProfile,
+    state: PolicyState,
+    snap: &PolicySnapshot,
+) -> StepOutcome {
+    // 1. Initial state: the ondemand DVFS estimate (Fig 8 top).
+    let f_ondemand =
+        Ondemand::transition(ONDEMAND_UP_THRESHOLD, state.ondemand_khz, snap, profile.opps());
+
+    // 2. Expand/reduce the bandwidth (Table 2). The installed CFS quota
+    //    tracks utilization; the *scaling factor* is what folds into the
+    //    utilization signal (`K = K·q`, §4.1.1).
+    let (bw, mode) = BandwidthAnalyzer::transition(cfg, state.prev_util, snap.overall_util);
+    let scale = Quota::new(bw.scale);
+
+    // 3. Re-estimate the number of required active cores.
+    let dcs = DcsPass::new(*cfg).decide(snap, scale);
+
+    // 4. Calculate the new frequency for each core from Eq. (9):
+    //    `f_new = f_ondemand · (K·q) · n_max / n`, snapped up so the
+    //    delivered capacity never falls below the demand.
+    let n_max = profile.n_cores();
+    let raw = mobicore_frequency(
+        f_ondemand,
+        snap.overall_util,
+        scale,
+        dcs.target_online.max(1),
+        n_max,
+    );
+    let mut f_new = profile.opps().snap_up(raw).khz;
+    // Deadband: hold the last target when the new one is within a few
+    // percent — every real retarget stalls the core.
+    if let Some(last) = state.last_issued {
+        let rel = (f64::from(f_new.0) - f64::from(last.0)).abs() / f64::from(last.0).max(1.0);
+        if rel <= cfg.freq_deadband {
+            f_new = last;
+        }
+    }
+    StepOutcome {
+        decision: DecisionSummary {
+            mode,
+            quota: bw.quota,
+            scale: bw.scale,
+            target_online: dcs.target_online,
+            f_ondemand,
+            f_new,
+        },
+        state: PolicyState {
+            ondemand_khz: Some(f_ondemand),
+            prev_util: Some(snap.overall_util),
+            last_issued: Some(f_new),
+        },
+        offline: dcs.offline,
+        online: dcs.online,
+    }
+}
+
 /// The MobiCore CPU-management policy.
 ///
 /// Per sampling period (Figure 8):
@@ -36,11 +133,9 @@ pub struct DecisionSummary {
 pub struct MobiCore {
     cfg: MobiCoreConfig,
     profile: DeviceProfile,
-    ondemand: Ondemand,
-    bandwidth: BandwidthAnalyzer,
     dcs: DcsPass,
     energy_model: CpuEnergyModel,
-    last_issued: Option<Khz>,
+    state: PolicyState,
     last_decision: Option<DecisionSummary>,
     name: String,
     /// Decisions made so far (observability for tests/benches).
@@ -71,15 +166,13 @@ impl MobiCore {
         };
         MobiCore {
             cfg,
-            ondemand: Ondemand::new(),
-            bandwidth: BandwidthAnalyzer::new(cfg),
             dcs: DcsPass::new(cfg),
             energy_model: CpuEnergyModel::fit(
                 profile.opps(),
                 mobicore_model::profiles::NEXUS5_CEFF_F,
                 450.0,
             ),
-            last_issued: None,
+            state: PolicyState::default(),
             last_decision: None,
             profile: profile.clone(),
             name,
@@ -92,22 +185,14 @@ impl MobiCore {
         &self.cfg
     }
 
+    /// The automaton state carried between sampling periods.
+    pub fn state(&self) -> PolicyState {
+        self.state
+    }
+
     /// The most recent sampling period's decision, if any.
     pub fn last_decision(&self) -> Option<DecisionSummary> {
         self.last_decision
-    }
-
-    fn eq9_frequency(
-        &self,
-        f_ondemand: Khz,
-        overall: Utilization,
-        quota: Quota,
-        n_online: usize,
-    ) -> Khz {
-        let n_max = self.profile.n_cores();
-        let raw = mobicore_frequency(f_ondemand, overall, quota, n_online.max(1), n_max);
-        // Snap up so delivered capacity never falls below the demand.
-        self.profile.opps().snap_up(raw).khz
     }
 
     fn optimal_point_frequency(&self, overall: Utilization, quota: Quota) -> (usize, Khz) {
@@ -138,68 +223,63 @@ impl CpuPolicy for MobiCore {
 
     fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
         self.decisions += 1;
-        // 1. Initial state: the ondemand DVFS estimate (Fig 8 top).
-        let f_ondemand = self.ondemand.target(snap, self.profile.opps());
-
-        // 2. Expand/reduce the bandwidth (Table 2). The installed CFS
-        //    quota tracks utilization; the *scaling factor* is what folds
-        //    into the utilization signal (`K = K·q`, §4.1.1).
-        let bw = self.bandwidth.decide(snap.overall_util);
-        ctl.set_quota(bw.quota);
-        let scale = Quota::new(bw.scale);
-
-        // 3. Re-estimate the number of required active cores.
-        let dcs = self.dcs.decide(snap, scale);
-        for &i in &dcs.online {
-            ctl.set_online(i, true);
-        }
-        for &i in &dcs.offline {
-            ctl.set_online(i, false);
-        }
-
-        // 4. Calculate the new frequency for each core from Eq. (9):
-        //    `f_new = f_ondemand · (K·q) · n_max / n`, issued per core
-        //    (the Nexus 5 has per-core rails).
         match self.cfg.rule {
             FrequencyRule::Eq9 => {
-                let mut f_new =
-                    self.eq9_frequency(f_ondemand, snap.overall_util, scale, dcs.target_online);
-                // Deadband: hold the last target when the new one is within
-                // a few percent — every real retarget stalls the core.
-                if let Some(last) = self.last_issued {
-                    let rel = (f64::from(f_new.0) - f64::from(last.0)).abs()
-                        / f64::from(last.0).max(1.0);
-                    if rel <= self.cfg.freq_deadband {
-                        f_new = last;
-                    }
+                // The whole Figure-8 period is the pure [`step`] function;
+                // here we only apply its outcome to the hardware.
+                let out = step(&self.cfg, &self.profile, self.state, snap);
+                ctl.set_quota(out.decision.quota);
+                for &i in &out.online {
+                    ctl.set_online(i, true);
                 }
-                self.last_issued = Some(f_new);
-                self.last_decision = Some(DecisionSummary {
-                    mode: self.bandwidth.last_mode(),
-                    quota: bw.quota,
-                    scale: bw.scale,
-                    target_online: dcs.target_online,
-                    f_ondemand,
-                    f_new,
-                });
+                for &i in &out.offline {
+                    ctl.set_online(i, false);
+                }
                 for (i, core) in snap.cores.iter().enumerate() {
-                    let stays_online = (core.online && !dcs.offline.contains(&i))
-                        || dcs.online.contains(&i);
+                    let stays_online = (core.online && !out.offline.contains(&i))
+                        || out.online.contains(&i);
                     if stays_online {
-                        ctl.set_freq(i, f_new);
+                        ctl.set_freq(i, out.decision.f_new);
                     }
                 }
+                self.last_decision = Some(out.decision);
+                self.state = out.state;
             }
             FrequencyRule::OptimalPoint => {
+                // Same front half of the flow (ondemand → Table 2 → DCS),
+                // but the frequency comes from the energy-model optimizer
+                // instead of Eq. (9).
+                let f_ondemand = Ondemand::transition(
+                    ONDEMAND_UP_THRESHOLD,
+                    self.state.ondemand_khz,
+                    snap,
+                    self.profile.opps(),
+                );
+                let (bw, mode) =
+                    BandwidthAnalyzer::transition(&self.cfg, self.state.prev_util, snap.overall_util);
+                ctl.set_quota(bw.quota);
+                let scale = Quota::new(bw.scale);
+                let dcs = self.dcs.decide(snap, scale);
+                for &i in &dcs.online {
+                    ctl.set_online(i, true);
+                }
+                for &i in &dcs.offline {
+                    ctl.set_online(i, false);
+                }
                 let (n_want, f_new) = self.optimal_point_frequency(snap.overall_util, scale);
                 self.last_decision = Some(DecisionSummary {
-                    mode: self.bandwidth.last_mode(),
+                    mode,
                     quota: bw.quota,
                     scale: bw.scale,
                     target_online: n_want.max(dcs.target_online),
                     f_ondemand,
                     f_new,
                 });
+                self.state = PolicyState {
+                    ondemand_khz: Some(f_ondemand),
+                    prev_util: Some(snap.overall_util),
+                    last_issued: self.state.last_issued,
+                };
                 // The optimizer's core count overrides the DCS pass when
                 // it wants *more* cores (never fewer: the 10 % rule
                 // already vetted the ones it dropped).

@@ -62,9 +62,9 @@ where
     let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let jobs = std::sync::Mutex::new(jobs);
     let results = std::sync::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..n_threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let job = jobs.lock().expect("not poisoned").pop();
                 match job {
                     Some((i, item)) => {
@@ -75,8 +75,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     for (i, r) in results.into_inner().expect("not poisoned") {
         slots[i] = Some(r);
     }

@@ -7,7 +7,7 @@
 //! the per-core choice). The load input follows the kernel convention:
 //! the *busiest* online core's utilization in percent.
 
-use mobicore_model::{Khz, OppTable};
+use mobicore_model::{quantize_u32, Khz, OppTable};
 use mobicore_sim::PolicySnapshot;
 
 /// The busiest online core's load, percent — the signal the kernel
@@ -56,6 +56,30 @@ impl Ondemand {
         self.up_threshold = pct.clamp(1.0, 100.0);
         self
     }
+
+    /// One ondemand estimate as a **pure transition function**: the
+    /// governor's only persistent state (its last estimate) goes in, the
+    /// next estimate comes out. [`DvfsGovernor::target`] and the
+    /// `mobicore-checker` state-space enumeration both call this, so the
+    /// verified automaton is the shipped one.
+    pub fn transition(
+        up_threshold: f64,
+        last_khz: Option<Khz>,
+        snap: &PolicySnapshot,
+        opps: &OppTable,
+    ) -> Khz {
+        let load = max_online_load_pct(snap);
+        let cur = last_khz.unwrap_or_else(|| opps.min_khz());
+        if load >= up_threshold {
+            opps.max_khz()
+        } else {
+            // Scale down proportionally: pick the frequency at which this
+            // load would sit right at the threshold.
+            let want = f64::from(cur.0) * load / up_threshold;
+            opps.snap_up(Khz::from_f64(want.max(f64::from(opps.min_khz().0))))
+                .khz
+        }
+    }
 }
 
 impl Default for Ondemand {
@@ -70,17 +94,7 @@ impl DvfsGovernor for Ondemand {
     }
 
     fn target(&mut self, snap: &PolicySnapshot, opps: &OppTable) -> Khz {
-        let load = max_online_load_pct(snap);
-        let cur = self.last_khz.unwrap_or_else(|| opps.min_khz());
-        let next = if load >= self.up_threshold {
-            opps.max_khz()
-        } else {
-            // Scale down proportionally: pick the frequency at which this
-            // load would sit right at the threshold.
-            let want = f64::from(cur.0) * load / self.up_threshold;
-            opps.snap_up(Khz(want.max(f64::from(opps.min_khz().0)) as u32))
-                .khz
-        };
+        let next = Self::transition(self.up_threshold, self.last_khz, snap, opps);
         self.last_khz = Some(next);
         next
     }
@@ -140,7 +154,7 @@ impl DvfsGovernor for Interactive {
             }
         } else {
             let want = f64::from(cur.0) * load / self.target_load;
-            opps.snap_up(Khz(want.max(f64::from(opps.min_khz().0)) as u32))
+            opps.snap_up(Khz::from_f64(want.max(f64::from(opps.min_khz().0))))
                 .khz
         };
         self.last_khz = Some(next);
@@ -189,7 +203,7 @@ impl DvfsGovernor for Conservative {
     fn target(&mut self, snap: &PolicySnapshot, opps: &OppTable) -> Khz {
         let load = max_online_load_pct(snap);
         let cur = self.last_khz.unwrap_or_else(|| opps.min_khz());
-        let step = (f64::from(opps.max_khz().0) * self.freq_step) as u32;
+        let step = quantize_u32(f64::from(opps.max_khz().0) * self.freq_step);
         let next = if load > self.up_threshold {
             opps.snap_up(Khz(cur.0.saturating_add(step).min(opps.max_khz().0)))
                 .khz
@@ -311,7 +325,7 @@ impl DvfsGovernor for Schedutil {
             / opps.max_khz().as_hz();
         let want = self.margin * cap_util * f64::from(opps.max_khz().0);
         let next = opps
-            .snap_up(Khz(want.max(f64::from(opps.min_khz().0)) as u32))
+            .snap_up(Khz::from_f64(want.max(f64::from(opps.min_khz().0))))
             .khz;
         if next != cur {
             self.last_change_us = Some(snap.now_us);
@@ -417,7 +431,7 @@ mod tests {
         // then 40% load: want ≈ max·40/80 = half of max, snapped up
         let t = g.target(&snap(&[40.0, 0.0, 0.0, 0.0]), &o);
         assert!(t < o.max_khz());
-        assert!(t >= Khz((f64::from(o.max_khz().0) * 0.5) as u32));
+        assert!(t >= Khz::from_f64(f64::from(o.max_khz().0) * 0.5));
     }
 
     #[test]

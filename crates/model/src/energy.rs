@@ -124,7 +124,7 @@ impl CpuEnergyModel {
         let f1 = self.f_max.as_hz();
         let t = ((f.as_hz() - f0) / (f1 - f0)).clamp(0.0, 1.0);
         let mv = f64::from(self.v_min.0) + (f64::from(self.v_max.0) - f64::from(self.v_min.0)) * t;
-        MilliVolts(mv.round() as u32)
+        MilliVolts::from_f64(mv.round())
     }
 
     /// Leakage current at voltage `v`, mA.
@@ -140,7 +140,9 @@ impl CpuEnergyModel {
 
     /// Eq. (4): total power of `n` identical online cores plus cache.
     pub fn total_power_mw(&self, n: usize, f: Khz, u: Utilization) -> f64 {
-        n as f64 * self.core_power_mw(f, u) + self.cache_power_mw(f)
+        let p = n as f64 * self.core_power_mw(f, u) + self.cache_power_mw(f);
+        debug_assert!(p.is_finite() && p >= 0.0, "non-physical power {p} mW");
+        p
     }
 
     /// The `P_cache` term of Eq. (4) (frequency-dependent, core-count
@@ -210,7 +212,10 @@ pub fn mobicore_frequency(
     assert!(n >= 1 && n_max >= 1, "core counts must be positive");
     let per_core = (overall_util.as_fraction() * quota.as_fraction() * n_max as f64 / n as f64)
         .clamp(0.0, 1.0);
-    Khz((f64::from(f_ondemand.0) * per_core).round() as u32)
+    let f_new = Khz::from_f64((f64::from(f_ondemand.0) * per_core).round());
+    // per_core ≤ 1, so the re-evaluation can only lower the ondemand pick.
+    debug_assert!(f_new <= f_ondemand, "Eq. (9) must not exceed f_ondemand");
+    f_new
 }
 
 #[cfg(test)]

@@ -34,6 +34,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod battery;
 pub mod energy;
@@ -55,4 +58,4 @@ pub use opp::{Opp, OppTable};
 pub use profile::{CoreActivity, DeviceProfile, PowerBreakdown};
 pub use quota::Quota;
 pub use thermal::ThermalParams;
-pub use units::{Khz, MilliVolts, Utilization};
+pub use units::{quantize_u32, quantize_u64, quantize_usize, Khz, MilliVolts, Utilization};

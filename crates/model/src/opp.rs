@@ -31,6 +31,10 @@ impl Opp {
     /// Total power of an online core at this OPP running at utilization
     /// `u ∈ [0, 1]`, in mW.
     pub fn core_power_mw(&self, u: f64) -> f64 {
+        debug_assert!(
+            self.idle_mw >= 0.0 && self.busy_extra_mw >= 0.0,
+            "negative OPP power coefficients: {self:?}"
+        );
         self.idle_mw + self.busy_extra_mw * u.clamp(0.0, 1.0)
     }
 }
@@ -112,10 +116,15 @@ impl OppTable {
     /// the hardware cannot hit exactly). Requests above the table clamp to
     /// the top OPP, as cpufreq does with `scaling_max_freq`.
     pub fn ceil_index(&self, khz: Khz) -> usize {
-        match self.opps.binary_search_by(|o| o.khz.cmp(&khz)) {
+        let idx = match self.opps.binary_search_by(|o| o.khz.cmp(&khz)) {
             Ok(i) => i,
             Err(i) => i.min(self.opps.len() - 1),
-        }
+        };
+        debug_assert!(
+            self.opps[idx].khz >= khz || idx == self.max_index(),
+            "ceil_index must deliver at least the requested capacity"
+        );
+        idx
     }
 
     /// Index of the fastest OPP whose frequency is `<= khz`
@@ -132,10 +141,15 @@ impl OppTable {
                 min: self.min_khz(),
             });
         }
-        Ok(match self.opps.binary_search_by(|o| o.khz.cmp(&khz)) {
+        let idx = match self.opps.binary_search_by(|o| o.khz.cmp(&khz)) {
             Ok(i) => i,
             Err(i) => i - 1,
-        })
+        };
+        debug_assert!(
+            self.opps[idx].khz <= khz,
+            "floor_index must never exceed the request"
+        );
+        Ok(idx)
     }
 
     /// Snaps an arbitrary requested frequency to a valid OPP, rounding up

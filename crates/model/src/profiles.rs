@@ -18,7 +18,7 @@
 use crate::opp::{Opp, OppTable};
 use crate::profile::DeviceProfile;
 use crate::thermal::ThermalParams;
-use crate::units::{Khz, MilliVolts};
+use crate::units::{quantize_u32, Khz, MilliVolts};
 
 /// Effective switched capacitance of a Krait 400 core, farads.
 /// `P_dyn = C_eff · V² · f` (Eq. (1)) gives ≈ 652 mW at 2.2656 GHz / 1.2 V.
@@ -53,7 +53,7 @@ pub fn opp_ladder(
     let opps = freqs_khz
         .iter()
         .map(|&khz| {
-            let mv = interp(khz, f_min, f_max, f64::from(mv_min), f64::from(mv_max)).round() as u32;
+            let mv = quantize_u32(interp(khz, f_min, f_max, f64::from(mv_min), f64::from(mv_max)).round());
             let volts = f64::from(mv) / 1_000.0;
             let busy_extra_mw = ceff_f * volts * volts * (f64::from(khz) * 1_000.0) * 1_000.0;
             Opp {
@@ -129,7 +129,10 @@ pub fn nexus5_gaming() -> DeviceProfile {
 fn legacy_ladder(fmax_khz: u32, n_steps: usize, idle_max_mw: f64, ceff_f: f64) -> OppTable {
     let f_min = 200_000u32.min(fmax_khz / 2);
     let freqs: Vec<u32> = (0..n_steps)
-        .map(|i| f_min + ((fmax_khz - f_min) as usize * i / (n_steps - 1)) as u32)
+        .map(|i| {
+            let off = u64::from(fmax_khz - f_min) * i as u64 / (n_steps as u64 - 1);
+            f_min + u32::try_from(off).expect("offset bounded by the frequency span")
+        })
         .collect();
     opp_ladder(&freqs, 900, 1_150, idle_max_mw * 0.4, idle_max_mw, ceff_f)
 }
@@ -221,7 +224,10 @@ pub fn nexus4() -> DeviceProfile {
 pub fn lg_g3() -> DeviceProfile {
     let freqs: Vec<u32> = NEXUS5_FREQS_KHZ
         .iter()
-        .map(|&f| (f as u64 * 2_457_600 / 2_265_600) as u32)
+        .map(|&f| {
+            let scaled = u64::from(f) * 2_457_600 / 2_265_600;
+            u32::try_from(scaled).expect("scaling a kHz ladder stays within u32")
+        })
         .collect();
     DeviceProfile::builder("LG G3", 4)
         .opps(opp_ladder(&freqs, 900, 1_225, 50.0, 130.0, 2.05e-10))

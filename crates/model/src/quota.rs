@@ -6,6 +6,7 @@
 //! "slow mode" and restores it in "burst mode". A [`Quota`] is that value
 //! as a fraction of the full bandwidth.
 
+use crate::units::quantize_u64;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -51,7 +52,7 @@ impl Quota {
     /// given enforcement period and core count (how the value reaches the
     /// kernel on a real device).
     pub fn as_cfs_quota_us(self, period_us: u64, n_cores: usize) -> u64 {
-        (self.0 * period_us as f64 * n_cores as f64).round() as u64
+        quantize_u64((self.0 * period_us as f64 * n_cores as f64).round())
     }
 }
 

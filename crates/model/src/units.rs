@@ -60,6 +60,56 @@ impl Khz {
     }
 }
 
+/// Quantizes a non-negative `f64` quantity (µs, cycles, budget counts) onto
+/// the `u64` grid. Rust float-to-int casts saturate at the integer bounds,
+/// so out-of-range inputs clamp instead of wrapping; negative inputs clamp
+/// to zero (and trip a debug assertion, since callers deal in magnitudes).
+#[must_use]
+pub fn quantize_u64(v: f64) -> u64 {
+    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_u64 expects a non-negative quantity, got {v}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        v.max(0.0) as u64
+    }
+}
+
+/// `u32` variant of [`quantize_u64`] for kHz/mV-sized quantities.
+#[must_use]
+pub fn quantize_u32(v: f64) -> u32 {
+    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_u32 expects a non-negative quantity, got {v}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        v.max(0.0) as u32
+    }
+}
+
+/// `usize` variant of [`quantize_u64`] for counts and indices.
+#[must_use]
+pub fn quantize_usize(v: f64) -> usize {
+    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_usize expects a non-negative quantity, got {v}");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        v.max(0.0) as usize
+    }
+}
+
+impl Khz {
+    /// Quantizes a fractional kHz value (a scaled or interpolated
+    /// frequency) onto the kHz grid, saturating at the `u32` range.
+    #[must_use]
+    pub fn from_f64(khz: f64) -> Self {
+        Khz(quantize_u32(khz))
+    }
+}
+
+impl MilliVolts {
+    /// Quantizes a fractional millivolt value onto the mV grid.
+    #[must_use]
+    pub fn from_f64(mv: f64) -> Self {
+        MilliVolts(quantize_u32(mv))
+    }
+}
+
 impl fmt::Display for Khz {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.1} MHz", self.as_mhz())
@@ -227,6 +277,18 @@ mod tests {
         assert!(a.delta(b) < 0.0);
         assert!(b.delta(a) > 0.0);
         assert_eq!(a.delta(a), 0.0);
+    }
+
+    #[test]
+    fn quantize_truncates_and_saturates() {
+        assert_eq!(quantize_u64(1234.9), 1234);
+        assert_eq!(quantize_u64(0.0), 0);
+        assert_eq!(quantize_u64(1e30), u64::MAX);
+        assert_eq!(quantize_u32(2_265_600.4), 2_265_600);
+        assert_eq!(quantize_u32(1e12), u32::MAX);
+        assert_eq!(quantize_usize(3.999), 3);
+        assert_eq!(Khz::from_f64(300_000.7), Khz(300_000));
+        assert_eq!(MilliVolts::from_f64(899.5), MilliVolts(899));
     }
 
     #[test]

@@ -58,6 +58,88 @@ proptest! {
         }
     }
 
+    /// snap_up is exactly the OPP at ceil_index, and ceil_index is the
+    /// *tightest* covering index: the next-slower OPP would undershoot.
+    #[test]
+    fn snap_up_is_tightest_cover(table in opp_table_strategy(), req in 0u32..6_000_000) {
+        let ceil = table.ceil_index(Khz(req));
+        prop_assert_eq!(table.snap_up(Khz(req)).khz, table.get_clamped(ceil).khz);
+        if ceil > 0 && Khz(req) <= table.max_khz() {
+            prop_assert!(table.get_clamped(ceil - 1).khz < Khz(req));
+        }
+    }
+
+    /// floor_index is the tightest lower bound: the next-faster OPP would
+    /// overshoot the request.
+    #[test]
+    fn floor_index_is_tightest_lower_bound(
+        table in opp_table_strategy(),
+        req in 100_000u32..6_000_000,
+    ) {
+        match table.floor_index(Khz(req)) {
+            Ok(floor) => {
+                prop_assert!(table.get_clamped(floor).khz <= Khz(req));
+                if floor < table.max_index() {
+                    prop_assert!(table.get_clamped(floor + 1).khz > Khz(req));
+                }
+            }
+            Err(_) => prop_assert!(Khz(req) < table.min_khz()),
+        }
+    }
+
+    /// nearest_index really is nearest: no other table entry is strictly
+    /// closer to the request, and ties round up.
+    #[test]
+    fn nearest_index_minimizes_distance(table in opp_table_strategy(), req in 0u32..6_000_000) {
+        let near = table.nearest_index(Khz(req));
+        prop_assert!(near <= table.max_index());
+        let d_near = table.get_clamped(near).khz.0.abs_diff(req);
+        for (i, o) in table.iter().enumerate() {
+            let d = o.khz.0.abs_diff(req);
+            prop_assert!(d_near <= d, "index {} at distance {} beats {} at {}", i, d, near, d_near);
+            // Ties between the two bracketing OPPs must resolve upward.
+            if d == d_near {
+                prop_assert!(near >= i || table.get_clamped(near).khz.0 >= req);
+            }
+        }
+    }
+
+    /// index_of round-trips every table frequency through all the index
+    /// searches: exact hits agree across snap_up/ceil/floor/nearest.
+    #[test]
+    fn index_searches_agree_on_exact_hits(table in opp_table_strategy()) {
+        for (i, o) in table.iter().enumerate() {
+            prop_assert_eq!(table.index_of(o.khz), Some(i));
+            prop_assert_eq!(table.ceil_index(o.khz), i);
+            prop_assert_eq!(table.floor_index(o.khz).expect("in table"), i);
+            prop_assert_eq!(table.nearest_index(o.khz), i);
+            prop_assert_eq!(table.snap_up(o.khz).khz, o.khz);
+        }
+        // Off-table requests have no exact index.
+        prop_assert_eq!(table.index_of(Khz(table.max_khz().0 + 1)), None);
+        prop_assert_eq!(table.index_of(Khz(table.min_khz().0 - 1)), None);
+    }
+
+    /// Requests beyond either table end clamp to the end OPPs for every
+    /// index search that is total.
+    #[test]
+    fn index_searches_clamp_at_the_edges(table in opp_table_strategy(), delta in 1u32..1_000_000) {
+        let above = Khz(table.max_khz().0.saturating_add(delta));
+        prop_assert_eq!(table.ceil_index(above), table.max_index());
+        prop_assert_eq!(table.nearest_index(above), table.max_index());
+        prop_assert_eq!(table.snap_up(above).khz, table.max_khz());
+        prop_assert_eq!(
+            table.floor_index(above).expect("above table floors to top"),
+            table.max_index()
+        );
+
+        let below = Khz(table.min_khz().0.saturating_sub(delta));
+        prop_assert_eq!(table.ceil_index(below), 0);
+        prop_assert_eq!(table.nearest_index(below), 0);
+        prop_assert_eq!(table.snap_up(below).khz, table.min_khz());
+        prop_assert!(table.floor_index(below).is_err());
+    }
+
     /// benchmark_five always spans the table ends and stays in the table.
     #[test]
     fn benchmark_five_in_table(table in opp_table_strategy()) {

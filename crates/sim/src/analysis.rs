@@ -3,6 +3,7 @@
 //! of the hardware states" (§3.1).
 
 use crate::trace::Trace;
+use mobicore_model::quantize_usize;
 
 /// Summary statistics of one full trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +34,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    let idx = quantize_usize(((sorted.len() - 1) as f64 * p).round());
     sorted[idx.min(sorted.len() - 1)]
 }
 

@@ -8,7 +8,7 @@
 //! additionally smooth enforcement to per-tick granularity so a
 //! 1 ms-tick simulation does not see 100 ms on/off beating.
 
-use mobicore_model::Quota;
+use mobicore_model::{quantize_u64, Quota};
 
 /// Global CPU bandwidth controller.
 #[derive(Debug, Clone)]
@@ -64,7 +64,7 @@ impl BandwidthController {
     }
 
     fn budget_per_period_us(&self) -> u64 {
-        (self.quota.as_fraction() * self.period_us as f64 * self.n_cores as f64).round() as u64
+        quantize_u64((self.quota.as_fraction() * self.period_us as f64 * self.n_cores as f64).round())
     }
 
     fn refill(&mut self, now_us: u64) {
@@ -86,7 +86,7 @@ impl BandwidthController {
         self.quota_integral += self.quota.as_fraction() * tick_us as f64;
         self.integral_us += tick_us;
         let smooth =
-            (self.quota.as_fraction() * tick_us as f64 * self.n_cores as f64).round() as u64;
+            quantize_u64((self.quota.as_fraction() * tick_us as f64 * self.n_cores as f64).round());
         smooth.min(self.runtime_left_us)
     }
 

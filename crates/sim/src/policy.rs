@@ -8,7 +8,7 @@
 //! paper's contribution lives in the `mobicore` crate; both implement this
 //! trait.
 
-use mobicore_model::{Khz, Quota, Utilization};
+use mobicore_model::{quantize_u64, Khz, Quota, Utilization};
 
 /// Identifier of a CPU core (`0..n_cores`). Core 0 is the boot core and
 /// can never be off-lined, as on Linux.
@@ -29,6 +29,31 @@ pub struct CoreSnapshot {
     pub util: Utilization,
     /// Raw busy time inside the window, µs.
     pub busy_us: u64,
+}
+
+impl CoreSnapshot {
+    /// An online core that spent `util` of a `window_us` window busy at
+    /// `khz` — the steady-state shape the model checker enumerates.
+    pub fn online_at(khz: Khz, util: Utilization, window_us: u64) -> Self {
+        CoreSnapshot {
+            online: true,
+            cur_khz: khz,
+            target_khz: khz,
+            util,
+            busy_us: quantize_u64(util.as_fraction() * window_us as f64),
+        }
+    }
+
+    /// An offline core (zero utilization, zero clock).
+    pub fn offline() -> Self {
+        CoreSnapshot {
+            online: false,
+            cur_khz: Khz::ZERO,
+            target_khz: Khz::ZERO,
+            util: Utilization::IDLE,
+            busy_us: 0,
+        }
+    }
 }
 
 /// The observation handed to a policy at each sampling boundary.
@@ -59,6 +84,46 @@ pub struct PolicySnapshot {
 }
 
 impl PolicySnapshot {
+    /// A synthetic steady-state observation, for driving policies outside
+    /// the simulator (unit tests, the `mobicore-checker` state-space walk):
+    /// cores `0..n_online` are online at `khz` and share the overall
+    /// utilization `overall` evenly; cores `n_online..n_total` are offline.
+    ///
+    /// `overall` is the platform-wide `K` (normalized by `n_total`), so the
+    /// per-core busy fraction is `overall · n_total / n_online`, clamped —
+    /// exactly the inversion `Eq. (9)` performs.
+    pub fn synthetic(
+        n_total: usize,
+        n_online: usize,
+        khz: Khz,
+        overall: Utilization,
+        window_us: u64,
+    ) -> Self {
+        assert!(n_total >= 1, "need at least one core");
+        let n_online = n_online.clamp(1, n_total);
+        let per_core =
+            Utilization::new(overall.as_fraction() * n_total as f64 / n_online as f64);
+        let cores: Vec<CoreSnapshot> = (0..n_total)
+            .map(|i| {
+                if i < n_online {
+                    CoreSnapshot::online_at(khz, per_core, window_us)
+                } else {
+                    CoreSnapshot::offline()
+                }
+            })
+            .collect();
+        PolicySnapshot {
+            now_us: 0,
+            window_us,
+            cores,
+            overall_util: overall,
+            quota: Quota::FULL,
+            mpdecision_enabled: false,
+            max_runnable_threads: n_total,
+            temp_c: 25.0,
+        }
+    }
+
     /// Number of online cores.
     pub fn online_count(&self) -> usize {
         self.cores.iter().filter(|c| c.online).count()
@@ -212,6 +277,27 @@ mod tests {
             max_runnable_threads: 8,
             temp_c: 25.0,
         }
+    }
+
+    #[test]
+    fn synthetic_snapshot_matches_spec() {
+        let s = PolicySnapshot::synthetic(4, 2, Khz(960_000), Utilization::new(0.25), 20_000);
+        assert_eq!(s.online_count(), 2);
+        assert_eq!(s.cores.len(), 4);
+        assert!(!s.cores[3].online);
+        assert_eq!(s.cores[3].cur_khz, Khz::ZERO);
+        // K = 0.25 over 4 cores on 2 online cores → 0.5 each.
+        assert!((s.online_avg_util().as_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.cores[0].busy_us, 10_000);
+        assert_eq!(s.max_runnable_threads, 4);
+    }
+
+    #[test]
+    fn synthetic_clamps_online_count() {
+        let s = PolicySnapshot::synthetic(2, 0, Khz(300_000), Utilization::IDLE, 20_000);
+        assert_eq!(s.online_count(), 1, "core 0 can never be offline");
+        let s = PolicySnapshot::synthetic(2, 9, Khz(300_000), Utilization::FULL, 20_000);
+        assert_eq!(s.online_count(), 2);
     }
 
     #[test]

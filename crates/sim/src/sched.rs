@@ -153,7 +153,8 @@ pub fn schedule_tick(rt: &mut WorkloadRt, p: &TickParams<'_>) -> TickOutcome {
             0
         } else {
             // Proportional share of the allowance actually used.
-            (u128::from(allowed_us) * u128::from(used_cycles) / u128::from(capacity)) as u64
+            u64::try_from(u128::from(allowed_us) * u128::from(used_cycles) / u128::from(capacity))
+                .expect("share is bounded by allowed_us")
         };
         outcome.busy_us[c] = busy;
         outcome.used_runtime_us += busy;

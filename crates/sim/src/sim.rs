@@ -441,7 +441,7 @@ impl Simulation {
         }
         self.sysfs.refresh(
             paths::THERMAL_TEMP,
-            format!("{}", (self.thermal.temp_c() * 1_000.0) as i64),
+            format!("{}", (self.thermal.temp_c() * 1_000.0).round()),
         );
         self.sysfs
             .refresh(paths::CFS_QUOTA, self.bw.cfs_quota_us().to_string());
@@ -519,7 +519,7 @@ impl Simulation {
                 online: &online,
                 khz: &khz,
                 global_allowance_us: allowance,
-                rotation: (now / tick) as usize,
+                rotation: usize::try_from(now / tick).expect("tick count fits usize"),
                 stall_us: &stall_us,
             },
         );

@@ -61,13 +61,13 @@ impl Trace {
     /// Encodes the trace to a compact little-endian binary blob.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        buf.put_u32_le(self.samples.len() as u32);
+        buf.put_u32_le(u32::try_from(self.samples.len()).expect("trace longer than the u32 wire format"));
         for s in &self.samples {
             buf.put_u64_le(s.t_us);
             buf.put_f64_le(s.power_mw);
             buf.put_f64_le(s.temp_c);
             buf.put_f64_le(s.quota);
-            buf.put_u8(s.khz.len() as u8);
+            buf.put_u8(u8::try_from(s.khz.len()).expect("more cores than the u8 wire format"));
             for &k in &s.khz {
                 buf.put_u32_le(k);
             }

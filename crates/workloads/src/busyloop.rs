@@ -11,7 +11,7 @@
 //! the same iteration count stretches in time and the observed utilization
 //! rises — exactly the feedback a DVFS governor works against.
 
-use mobicore_model::Khz;
+use mobicore_model::{quantize_u64, Khz};
 use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -74,7 +74,7 @@ impl BusyLoop {
         }
         let idle = DEFAULT_IDLE_US;
         let busy_us = util / (1.0 - util) * idle as f64;
-        let burst = (busy_us * f64::from(f_ref.0) / 1_000.0).round() as u64;
+        let burst = quantize_u64((busy_us * f64::from(f_ref.0) / 1_000.0).round());
         BusyLoop::fixed_burst(n_threads, burst.max(1), idle, seed)
     }
 

@@ -17,6 +17,7 @@
 //! Per-title parameters are calibrated so the Android default policy lands
 //! in the 15–20 FPS band the thesis measures (§5.1).
 
+use mobicore_model::{quantize_u64, quantize_usize};
 use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -195,7 +196,7 @@ impl GameApp {
     /// faster than vsync.
     fn pacing_us(&self) -> u64 {
         let cap = self.profile.engine_cap_fps.max(1.0);
-        ((1_000_000.0 / cap) as u64).max(VSYNC_MIN_FRAME_US)
+        quantize_u64(1_000_000.0 / cap).max(VSYNC_MIN_FRAME_US)
     }
 
     /// Frames presented so far.
@@ -218,14 +219,14 @@ impl GameApp {
             if now_us >= self.next_scene_change_us {
                 self.scene_mult_now = rng.random_range(lo..=hi);
                 self.next_scene_change_us =
-                    now_us + rng.random_range((period * 0.5) as u64..=(period * 1.5) as u64);
+                    now_us + rng.random_range(quantize_u64(period * 0.5)..=quantize_u64(period * 1.5));
             }
         }
         let cv = self.profile.frame_cv;
         let mult = self.scene_mult_now;
         let main_cycles = {
             let rng = self.rng.as_mut().expect("on_start ran");
-            ((self.profile.main_cycles as f64) * mult * jitter(rng, cv)).max(1.0) as u64
+            quantize_u64(((self.profile.main_cycles as f64) * mult * jitter(rng, cv)).max(1.0))
         };
         self.frame += 1;
         let tag_base = self.frame << 4;
@@ -234,7 +235,7 @@ impl GameApp {
         for i in 0..self.worker_threads.len() {
             let cycles = {
                 let rng = self.rng.as_mut().expect("on_start ran");
-                ((self.profile.worker_cycles as f64) * mult * jitter(rng, cv)).max(1.0) as u64
+                quantize_u64(((self.profile.worker_cycles as f64) * mult * jitter(rng, cv)).max(1.0))
             };
             rt.push_work(self.worker_threads[i], cycles, tag_base | (i as u64 + 1));
             self.parts_outstanding += 1;
@@ -323,7 +324,7 @@ impl Workload for GameApp {
             if sorted.is_empty() {
                 0.0
             } else {
-                let idx = ((sorted.len() - 1) as f64 * 0.95).round() as usize;
+                let idx = quantize_usize(((sorted.len() - 1) as f64 * 0.95).round());
                 sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0
             }
         };

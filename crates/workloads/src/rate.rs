@@ -5,7 +5,7 @@
 //! known utilization step (burst-mode / slow-mode transitions of §5.2)
 //! without busy-loop phase noise.
 
-use mobicore_model::Khz;
+use mobicore_model::{quantize_u64, Khz};
 use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
 
 /// One demand phase: hold `rate` until `until_us`.
@@ -87,7 +87,7 @@ impl Workload for RateLoad {
             + self.carry_cycles;
         let whole = demand.floor();
         self.carry_cycles = demand - whole;
-        let per_thread = (whole as u64) / self.n_threads as u64;
+        let per_thread = quantize_u64(whole) / self.n_threads as u64;
         if per_thread == 0 {
             self.carry_cycles += whole;
             return;

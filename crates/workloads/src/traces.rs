@@ -4,7 +4,7 @@
 //! makes cross-policy comparisons perfectly fair — the offered load is
 //! byte-identical.
 
-use mobicore_model::Khz;
+use mobicore_model::{quantize_u64, Khz};
 use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
 use serde::{Deserialize, Serialize};
 
@@ -148,7 +148,7 @@ impl Workload for TraceWorkload {
             load * self.n_threads as f64 * self.f_ref.cycles_in_us(tick_us) as f64 + self.carry;
         let whole = demand.floor();
         self.carry = demand - whole;
-        let per_thread = (whole as u64) / self.n_threads as u64;
+        let per_thread = quantize_u64(whole) / self.n_threads as u64;
         if per_thread == 0 {
             self.carry += whole;
             return;

@@ -11,6 +11,11 @@
 //! * [`mobicore_workloads`] — busy-loop, GeekBench-like and game workloads,
 //! * [`mobicore_experiments`] — the per-figure/table experiment harness.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
 pub use mobicore;
 pub use mobicore_experiments;
 pub use mobicore_governors;

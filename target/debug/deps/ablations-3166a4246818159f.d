@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3166a4246818159f.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3166a4246818159f: tests/ablations.rs
+
+tests/ablations.rs:

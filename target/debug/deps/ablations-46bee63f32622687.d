@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-46bee63f32622687.d: tests/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-46bee63f32622687.rmeta: tests/ablations.rs Cargo.toml
+
+tests/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

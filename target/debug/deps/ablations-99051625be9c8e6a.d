@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-99051625be9c8e6a.d: tests/ablations.rs
+
+/root/repo/target/debug/deps/ablations-99051625be9c8e6a: tests/ablations.rs
+
+tests/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-62c28fe7d16838aa.d: crates/experiments/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-62c28fe7d16838aa.rmeta: crates/experiments/src/bin/all.rs Cargo.toml
+
+crates/experiments/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

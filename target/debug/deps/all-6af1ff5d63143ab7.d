@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-6af1ff5d63143ab7.d: crates/experiments/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-6af1ff5d63143ab7.rmeta: crates/experiments/src/bin/all.rs Cargo.toml
+
+crates/experiments/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-de3ae03613b42dab.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-de3ae03613b42dab: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-3a6ffcb4e1ad974e.d: vendored/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-3a6ffcb4e1ad974e.rmeta: vendored/bytes/src/lib.rs Cargo.toml
+
+vendored/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-3b9bc07805ed5623.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-3b9bc07805ed5623: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

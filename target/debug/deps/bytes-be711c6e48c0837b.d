@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-be711c6e48c0837b.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-be711c6e48c0837b.rlib: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-be711c6e48c0837b.rmeta: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

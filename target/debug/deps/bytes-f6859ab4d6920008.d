@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-f6859ab4d6920008.d: vendored/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-f6859ab4d6920008.rmeta: vendored/bytes/src/lib.rs Cargo.toml
+
+vendored/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

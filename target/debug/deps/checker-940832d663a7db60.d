@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-940832d663a7db60.d: crates/checker/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-940832d663a7db60.rmeta: crates/checker/src/main.rs Cargo.toml
+
+crates/checker/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

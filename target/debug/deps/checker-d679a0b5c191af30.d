@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker-d679a0b5c191af30.d: crates/checker/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker-d679a0b5c191af30.rmeta: crates/checker/src/main.rs Cargo.toml
+
+crates/checker/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-e07adf13accbf481.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/checker-e07adf13accbf481: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

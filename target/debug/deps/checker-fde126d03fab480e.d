@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker-fde126d03fab480e.d: crates/checker/src/main.rs
+
+/root/repo/target/debug/deps/checker-fde126d03fab480e: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

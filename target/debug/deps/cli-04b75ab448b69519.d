@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-04b75ab448b69519.d: crates/checker/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-04b75ab448b69519.rmeta: crates/checker/tests/cli.rs Cargo.toml
+
+crates/checker/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_checker=placeholder:checker
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

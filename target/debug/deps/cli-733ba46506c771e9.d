@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-733ba46506c771e9.d: crates/checker/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-733ba46506c771e9: crates/checker/tests/cli.rs
+
+crates/checker/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_checker=/root/repo/target/debug/checker

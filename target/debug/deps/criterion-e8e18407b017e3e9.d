@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-e8e18407b017e3e9.d: vendored/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-e8e18407b017e3e9.rmeta: vendored/criterion/src/lib.rs Cargo.toml
+
+vendored/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decision_path-4fefdb02a49c957c.d: crates/bench/benches/decision_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecision_path-4fefdb02a49c957c.rmeta: crates/bench/benches/decision_path.rs Cargo.toml
+
+crates/bench/benches/decision_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-507ffd2f4d6d03de.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-507ffd2f4d6d03de: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a6fbef9b993dad84.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a6fbef9b993dad84: tests/determinism.rs
+
+tests/determinism.rs:

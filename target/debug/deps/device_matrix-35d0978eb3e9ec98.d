@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_matrix-35d0978eb3e9ec98.d: tests/device_matrix.rs
+
+/root/repo/target/debug/deps/device_matrix-35d0978eb3e9ec98: tests/device_matrix.rs
+
+tests/device_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_matrix-9c70cd39af763bea.d: tests/device_matrix.rs
+
+/root/repo/target/debug/deps/device_matrix-9c70cd39af763bea: tests/device_matrix.rs
+
+tests/device_matrix.rs:

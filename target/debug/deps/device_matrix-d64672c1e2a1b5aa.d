@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_matrix-d64672c1e2a1b5aa.d: tests/device_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_matrix-d64672c1e2a1b5aa.rmeta: tests/device_matrix.rs Cargo.toml
+
+tests/device_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

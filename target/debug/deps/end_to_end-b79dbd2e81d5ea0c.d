@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b79dbd2e81d5ea0c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b79dbd2e81d5ea0c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

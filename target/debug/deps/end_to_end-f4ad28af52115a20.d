@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f4ad28af52115a20.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f4ad28af52115a20: tests/end_to_end.rs
+
+tests/end_to_end.rs:

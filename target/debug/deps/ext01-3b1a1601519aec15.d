@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext01-3b1a1601519aec15.d: crates/experiments/src/bin/ext01.rs
+
+/root/repo/target/debug/deps/ext01-3b1a1601519aec15: crates/experiments/src/bin/ext01.rs
+
+crates/experiments/src/bin/ext01.rs:

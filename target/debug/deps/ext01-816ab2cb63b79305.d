@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext01-816ab2cb63b79305.d: crates/experiments/src/bin/ext01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext01-816ab2cb63b79305.rmeta: crates/experiments/src/bin/ext01.rs Cargo.toml
+
+crates/experiments/src/bin/ext01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

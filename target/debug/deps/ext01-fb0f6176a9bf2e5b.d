@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext01-fb0f6176a9bf2e5b.d: crates/experiments/src/bin/ext01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext01-fb0f6176a9bf2e5b.rmeta: crates/experiments/src/bin/ext01.rs Cargo.toml
+
+crates/experiments/src/bin/ext01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

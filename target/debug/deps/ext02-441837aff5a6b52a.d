@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext02-441837aff5a6b52a.d: crates/experiments/src/bin/ext02.rs
+
+/root/repo/target/debug/deps/ext02-441837aff5a6b52a: crates/experiments/src/bin/ext02.rs
+
+crates/experiments/src/bin/ext02.rs:

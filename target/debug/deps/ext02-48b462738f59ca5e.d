@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext02-48b462738f59ca5e.d: crates/experiments/src/bin/ext02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext02-48b462738f59ca5e.rmeta: crates/experiments/src/bin/ext02.rs Cargo.toml
+
+crates/experiments/src/bin/ext02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

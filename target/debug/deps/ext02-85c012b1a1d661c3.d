@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext02-85c012b1a1d661c3.d: crates/experiments/src/bin/ext02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext02-85c012b1a1d661c3.rmeta: crates/experiments/src/bin/ext02.rs Cargo.toml
+
+crates/experiments/src/bin/ext02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext03-031568d0b91cf505.d: crates/experiments/src/bin/ext03.rs
+
+/root/repo/target/debug/deps/ext03-031568d0b91cf505: crates/experiments/src/bin/ext03.rs
+
+crates/experiments/src/bin/ext03.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext03-42cec2da977f14ef.d: crates/experiments/src/bin/ext03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext03-42cec2da977f14ef.rmeta: crates/experiments/src/bin/ext03.rs Cargo.toml
+
+crates/experiments/src/bin/ext03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext03-e86c7ecc2c9ff3ae.d: crates/experiments/src/bin/ext03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext03-e86c7ecc2c9ff3ae.rmeta: crates/experiments/src/bin/ext03.rs Cargo.toml
+
+crates/experiments/src/bin/ext03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

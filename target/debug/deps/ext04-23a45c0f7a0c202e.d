@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext04-23a45c0f7a0c202e.d: crates/experiments/src/bin/ext04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext04-23a45c0f7a0c202e.rmeta: crates/experiments/src/bin/ext04.rs Cargo.toml
+
+crates/experiments/src/bin/ext04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext04-dda19c2436b1e23e.d: crates/experiments/src/bin/ext04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext04-dda19c2436b1e23e.rmeta: crates/experiments/src/bin/ext04.rs Cargo.toml
+
+crates/experiments/src/bin/ext04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext04-f885f755f6368a47.d: crates/experiments/src/bin/ext04.rs
+
+/root/repo/target/debug/deps/ext04-f885f755f6368a47: crates/experiments/src/bin/ext04.rs
+
+crates/experiments/src/bin/ext04.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext05-92efd4276d939a0f.d: crates/experiments/src/bin/ext05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext05-92efd4276d939a0f.rmeta: crates/experiments/src/bin/ext05.rs Cargo.toml
+
+crates/experiments/src/bin/ext05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

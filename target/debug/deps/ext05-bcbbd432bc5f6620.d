@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext05-bcbbd432bc5f6620.d: crates/experiments/src/bin/ext05.rs
+
+/root/repo/target/debug/deps/ext05-bcbbd432bc5f6620: crates/experiments/src/bin/ext05.rs
+
+crates/experiments/src/bin/ext05.rs:

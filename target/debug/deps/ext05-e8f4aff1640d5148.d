@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext05-e8f4aff1640d5148.d: crates/experiments/src/bin/ext05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext05-e8f4aff1640d5148.rmeta: crates/experiments/src/bin/ext05.rs Cargo.toml
+
+crates/experiments/src/bin/ext05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-644670129a6c737b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-644670129a6c737b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-b3d1dc97d4548b17.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-b3d1dc97d4548b17: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-8f93ba00dcb02bac.d: crates/experiments/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-8f93ba00dcb02bac.rmeta: crates/experiments/src/bin/fig01.rs Cargo.toml
+
+crates/experiments/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-923edbc8f1b309ee.d: crates/experiments/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-923edbc8f1b309ee.rmeta: crates/experiments/src/bin/fig01.rs Cargo.toml
+
+crates/experiments/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

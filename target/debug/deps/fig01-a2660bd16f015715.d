@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-a2660bd16f015715.d: crates/experiments/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-a2660bd16f015715: crates/experiments/src/bin/fig01.rs
+
+crates/experiments/src/bin/fig01.rs:

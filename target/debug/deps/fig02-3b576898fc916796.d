@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-3b576898fc916796.d: crates/experiments/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-3b576898fc916796.rmeta: crates/experiments/src/bin/fig02.rs Cargo.toml
+
+crates/experiments/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

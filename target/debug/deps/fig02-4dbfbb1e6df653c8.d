@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-4dbfbb1e6df653c8.d: crates/experiments/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-4dbfbb1e6df653c8.rmeta: crates/experiments/src/bin/fig02.rs Cargo.toml
+
+crates/experiments/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-69dd01e0addcf652.d: crates/experiments/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-69dd01e0addcf652: crates/experiments/src/bin/fig02.rs
+
+crates/experiments/src/bin/fig02.rs:

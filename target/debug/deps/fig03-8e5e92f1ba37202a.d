@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-8e5e92f1ba37202a.d: crates/experiments/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-8e5e92f1ba37202a.rmeta: crates/experiments/src/bin/fig03.rs Cargo.toml
+
+crates/experiments/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

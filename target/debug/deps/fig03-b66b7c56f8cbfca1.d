@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03-b66b7c56f8cbfca1.d: crates/experiments/src/bin/fig03.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03-b66b7c56f8cbfca1.rmeta: crates/experiments/src/bin/fig03.rs Cargo.toml
+
+crates/experiments/src/bin/fig03.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03-ec17b68623ea722a.d: crates/experiments/src/bin/fig03.rs
+
+/root/repo/target/debug/deps/fig03-ec17b68623ea722a: crates/experiments/src/bin/fig03.rs
+
+crates/experiments/src/bin/fig03.rs:

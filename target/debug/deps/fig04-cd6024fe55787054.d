@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04-cd6024fe55787054.d: crates/experiments/src/bin/fig04.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04-cd6024fe55787054.rmeta: crates/experiments/src/bin/fig04.rs Cargo.toml
+
+crates/experiments/src/bin/fig04.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

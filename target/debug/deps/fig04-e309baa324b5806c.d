@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-e309baa324b5806c.d: crates/experiments/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-e309baa324b5806c: crates/experiments/src/bin/fig04.rs
+
+crates/experiments/src/bin/fig04.rs:

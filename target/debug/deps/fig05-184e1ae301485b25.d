@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05-184e1ae301485b25.d: crates/experiments/src/bin/fig05.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05-184e1ae301485b25.rmeta: crates/experiments/src/bin/fig05.rs Cargo.toml
+
+crates/experiments/src/bin/fig05.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

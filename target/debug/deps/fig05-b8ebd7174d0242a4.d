@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-b8ebd7174d0242a4.d: crates/experiments/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-b8ebd7174d0242a4: crates/experiments/src/bin/fig05.rs
+
+crates/experiments/src/bin/fig05.rs:

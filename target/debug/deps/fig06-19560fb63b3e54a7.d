@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-19560fb63b3e54a7.d: crates/experiments/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-19560fb63b3e54a7: crates/experiments/src/bin/fig06.rs
+
+crates/experiments/src/bin/fig06.rs:

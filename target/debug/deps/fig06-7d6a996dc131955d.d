@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-7d6a996dc131955d.d: crates/experiments/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-7d6a996dc131955d.rmeta: crates/experiments/src/bin/fig06.rs Cargo.toml
+
+crates/experiments/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

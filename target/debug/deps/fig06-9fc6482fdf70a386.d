@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-9fc6482fdf70a386.d: crates/experiments/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-9fc6482fdf70a386.rmeta: crates/experiments/src/bin/fig06.rs Cargo.toml
+
+crates/experiments/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

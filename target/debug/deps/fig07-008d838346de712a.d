@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-008d838346de712a.d: crates/experiments/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-008d838346de712a.rmeta: crates/experiments/src/bin/fig07.rs Cargo.toml
+
+crates/experiments/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

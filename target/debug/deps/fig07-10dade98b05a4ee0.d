@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-10dade98b05a4ee0.d: crates/experiments/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-10dade98b05a4ee0.rmeta: crates/experiments/src/bin/fig07.rs Cargo.toml
+
+crates/experiments/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-cfa57c387e32c84c.d: crates/experiments/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-cfa57c387e32c84c: crates/experiments/src/bin/fig07.rs
+
+crates/experiments/src/bin/fig07.rs:

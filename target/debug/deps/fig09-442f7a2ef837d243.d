@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09-442f7a2ef837d243.d: crates/experiments/src/bin/fig09.rs
+
+/root/repo/target/debug/deps/fig09-442f7a2ef837d243: crates/experiments/src/bin/fig09.rs
+
+crates/experiments/src/bin/fig09.rs:

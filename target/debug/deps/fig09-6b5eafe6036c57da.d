@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09-6b5eafe6036c57da.d: crates/experiments/src/bin/fig09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09-6b5eafe6036c57da.rmeta: crates/experiments/src/bin/fig09.rs Cargo.toml
+
+crates/experiments/src/bin/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0ccc102c03bf7135.d: crates/experiments/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-0ccc102c03bf7135: crates/experiments/src/bin/fig10.rs
+
+crates/experiments/src/bin/fig10.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-d3ad1ee487fc1cd2.d: crates/experiments/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-d3ad1ee487fc1cd2.rmeta: crates/experiments/src/bin/fig10.rs Cargo.toml
+
+crates/experiments/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

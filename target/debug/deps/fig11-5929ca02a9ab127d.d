@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-5929ca02a9ab127d.d: crates/experiments/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-5929ca02a9ab127d.rmeta: crates/experiments/src/bin/fig11.rs Cargo.toml
+
+crates/experiments/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-dadc1b608da441db.d: crates/experiments/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-dadc1b608da441db: crates/experiments/src/bin/fig11.rs
+
+crates/experiments/src/bin/fig11.rs:

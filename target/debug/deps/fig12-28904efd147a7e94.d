@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-28904efd147a7e94.d: crates/experiments/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-28904efd147a7e94.rmeta: crates/experiments/src/bin/fig12.rs Cargo.toml
+
+crates/experiments/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

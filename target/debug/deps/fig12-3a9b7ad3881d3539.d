@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-3a9b7ad3881d3539.d: crates/experiments/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-3a9b7ad3881d3539: crates/experiments/src/bin/fig12.rs
+
+crates/experiments/src/bin/fig12.rs:

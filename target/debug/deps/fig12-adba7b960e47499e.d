@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-adba7b960e47499e.d: crates/experiments/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-adba7b960e47499e.rmeta: crates/experiments/src/bin/fig12.rs Cargo.toml
+
+crates/experiments/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-ad0a4411233f7b48.d: crates/experiments/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-ad0a4411233f7b48: crates/experiments/src/bin/fig13.rs
+
+crates/experiments/src/bin/fig13.rs:

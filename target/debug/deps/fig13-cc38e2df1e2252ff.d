@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-cc38e2df1e2252ff.d: crates/experiments/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-cc38e2df1e2252ff.rmeta: crates/experiments/src/bin/fig13.rs Cargo.toml
+
+crates/experiments/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-d2b246ca353f2456.d: crates/experiments/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-d2b246ca353f2456.rmeta: crates/experiments/src/bin/fig13.rs Cargo.toml
+
+crates/experiments/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/governor_behavior-5700a6653fc44ea8.d: tests/governor_behavior.rs
+
+/root/repo/target/debug/deps/governor_behavior-5700a6653fc44ea8: tests/governor_behavior.rs
+
+tests/governor_behavior.rs:

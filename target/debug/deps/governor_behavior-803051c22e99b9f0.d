@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/governor_behavior-803051c22e99b9f0.d: tests/governor_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgovernor_behavior-803051c22e99b9f0.rmeta: tests/governor_behavior.rs Cargo.toml
+
+tests/governor_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/governor_behavior-e7ff04c71d9dfb56.d: tests/governor_behavior.rs
+
+/root/repo/target/debug/deps/governor_behavior-e7ff04c71d9dfb56: tests/governor_behavior.rs
+
+tests/governor_behavior.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mobicore-0b2f4356aa261459.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/mobicore-0b2f4356aa261459: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/dcs.rs:
+crates/core/src/extensions.rs:
+crates/core/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobicore-11a3addbb3102fb2.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libmobicore-11a3addbb3102fb2.rlib: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+/root/repo/target/debug/deps/libmobicore-11a3addbb3102fb2.rmeta: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/dcs.rs:
+crates/core/src/extensions.rs:
+crates/core/src/policy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobicore-7bfa3eb8b51960c1.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore-7bfa3eb8b51960c1.rmeta: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/dcs.rs:
+crates/core/src/extensions.rs:
+crates/core/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobicore_bench-195a83a50c97f5f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mobicore_bench-195a83a50c97f5f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

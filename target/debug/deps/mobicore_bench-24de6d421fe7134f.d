@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobicore_bench-24de6d421fe7134f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_bench-24de6d421fe7134f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_bench-24de6d421fe7134f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

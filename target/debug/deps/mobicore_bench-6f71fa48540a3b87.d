@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_bench-6f71fa48540a3b87.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_bench-6f71fa48540a3b87.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

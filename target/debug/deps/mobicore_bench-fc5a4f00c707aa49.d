@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_bench-fc5a4f00c707aa49.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_bench-fc5a4f00c707aa49.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobicore_checker-5c89fe1b2798b37d.d: crates/checker/src/lib.rs
+
+/root/repo/target/debug/deps/mobicore_checker-5c89fe1b2798b37d: crates/checker/src/lib.rs
+
+crates/checker/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_checker-8488262f8678909f.d: crates/checker/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_checker-8488262f8678909f.rmeta: crates/checker/src/lib.rs Cargo.toml
+
+crates/checker/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

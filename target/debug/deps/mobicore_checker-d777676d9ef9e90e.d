@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_checker-d777676d9ef9e90e.d: crates/checker/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_checker-d777676d9ef9e90e.rmeta: crates/checker/src/lib.rs Cargo.toml
+
+crates/checker/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

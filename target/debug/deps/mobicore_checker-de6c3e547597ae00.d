@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobicore_checker-de6c3e547597ae00.d: crates/checker/src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_checker-de6c3e547597ae00.rlib: crates/checker/src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_checker-de6c3e547597ae00.rmeta: crates/checker/src/lib.rs
+
+crates/checker/src/lib.rs:

@@ -1,0 +1,32 @@
+/root/repo/target/debug/deps/mobicore_experiments-3f05956fbc3a5fce.d: crates/experiments/src/lib.rs crates/experiments/src/ext01.rs crates/experiments/src/ext02.rs crates/experiments/src/ext03.rs crates/experiments/src/ext04.rs crates/experiments/src/ext05.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/games_suite.rs crates/experiments/src/phone.rs crates/experiments/src/result.rs crates/experiments/src/runner.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_experiments-3f05956fbc3a5fce.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ext01.rs crates/experiments/src/ext02.rs crates/experiments/src/ext03.rs crates/experiments/src/ext04.rs crates/experiments/src/ext05.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/games_suite.rs crates/experiments/src/phone.rs crates/experiments/src/result.rs crates/experiments/src/runner.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ext01.rs:
+crates/experiments/src/ext02.rs:
+crates/experiments/src/ext03.rs:
+crates/experiments/src/ext04.rs:
+crates/experiments/src/ext05.rs:
+crates/experiments/src/fig01.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig04.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/games_suite.rs:
+crates/experiments/src/phone.rs:
+crates/experiments/src/result.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

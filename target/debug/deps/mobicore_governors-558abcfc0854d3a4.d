@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mobicore_governors-558abcfc0854d3a4.d: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+/root/repo/target/debug/deps/libmobicore_governors-558abcfc0854d3a4.rlib: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+/root/repo/target/debug/deps/libmobicore_governors-558abcfc0854d3a4.rmeta: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+crates/governors/src/lib.rs:
+crates/governors/src/adapter.rs:
+crates/governors/src/android.rs:
+crates/governors/src/dvfs.rs:
+crates/governors/src/hotplug.rs:

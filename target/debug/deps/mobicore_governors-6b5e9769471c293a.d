@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_governors-6b5e9769471c293a.d: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+/root/repo/target/debug/deps/mobicore_governors-6b5e9769471c293a: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+crates/governors/src/lib.rs:
+crates/governors/src/adapter.rs:
+crates/governors/src/android.rs:
+crates/governors/src/dvfs.rs:
+crates/governors/src/hotplug.rs:

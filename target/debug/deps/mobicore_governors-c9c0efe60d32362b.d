@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobicore_governors-c9c0efe60d32362b.d: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_governors-c9c0efe60d32362b.rmeta: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs Cargo.toml
+
+crates/governors/src/lib.rs:
+crates/governors/src/adapter.rs:
+crates/governors/src/android.rs:
+crates/governors/src/dvfs.rs:
+crates/governors/src/hotplug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mobicore_model-14f378853d2b7636.d: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_model-14f378853d2b7636.rmeta: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/battery.rs:
+crates/model/src/energy.rs:
+crates/model/src/error.rs:
+crates/model/src/fitting.rs:
+crates/model/src/idle.rs:
+crates/model/src/operating_point.rs:
+crates/model/src/opp.rs:
+crates/model/src/profile.rs:
+crates/model/src/profiles.rs:
+crates/model/src/quota.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

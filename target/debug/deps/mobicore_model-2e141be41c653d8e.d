@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mobicore_model-2e141be41c653d8e.d: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs
+
+/root/repo/target/debug/deps/mobicore_model-2e141be41c653d8e: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs
+
+crates/model/src/lib.rs:
+crates/model/src/battery.rs:
+crates/model/src/energy.rs:
+crates/model/src/error.rs:
+crates/model/src/fitting.rs:
+crates/model/src/idle.rs:
+crates/model/src/operating_point.rs:
+crates/model/src/opp.rs:
+crates/model/src/profile.rs:
+crates/model/src/profiles.rs:
+crates/model/src/quota.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_repro-0fa1ad64e3171927.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_repro-0fa1ad64e3171927.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

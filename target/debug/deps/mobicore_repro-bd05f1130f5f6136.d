@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobicore_repro-bd05f1130f5f6136.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobicore_repro-bd05f1130f5f6136: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobicore_repro-c06b139d54bf8485.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_repro-c06b139d54bf8485.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

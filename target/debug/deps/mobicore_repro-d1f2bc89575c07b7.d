@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobicore_repro-d1f2bc89575c07b7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_repro-d1f2bc89575c07b7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobicore_repro-d1f2bc89575c07b7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobicore_repro-d3f18a06bf422a79.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobicore_repro-d3f18a06bf422a79: src/lib.rs
+
+src/lib.rs:

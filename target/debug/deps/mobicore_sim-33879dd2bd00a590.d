@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mobicore_sim-33879dd2bd00a590.d: crates/sim/src/lib.rs crates/sim/src/adb.rs crates/sim/src/analysis.rs crates/sim/src/bandwidth.rs crates/sim/src/builtin.rs crates/sim/src/config.rs crates/sim/src/cores.rs crates/sim/src/error.rs crates/sim/src/meter.rs crates/sim/src/policy.rs crates/sim/src/report.rs crates/sim/src/sched.rs crates/sim/src/sim.rs crates/sim/src/sysfs.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_sim-33879dd2bd00a590.rmeta: crates/sim/src/lib.rs crates/sim/src/adb.rs crates/sim/src/analysis.rs crates/sim/src/bandwidth.rs crates/sim/src/builtin.rs crates/sim/src/config.rs crates/sim/src/cores.rs crates/sim/src/error.rs crates/sim/src/meter.rs crates/sim/src/policy.rs crates/sim/src/report.rs crates/sim/src/sched.rs crates/sim/src/sim.rs crates/sim/src/sysfs.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/adb.rs:
+crates/sim/src/analysis.rs:
+crates/sim/src/bandwidth.rs:
+crates/sim/src/builtin.rs:
+crates/sim/src/config.rs:
+crates/sim/src/cores.rs:
+crates/sim/src/error.rs:
+crates/sim/src/meter.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/report.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/sysfs.rs:
+crates/sim/src/thermal.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

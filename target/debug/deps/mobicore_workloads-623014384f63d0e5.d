@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobicore_workloads-623014384f63d0e5.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/mobicore_workloads-623014384f63d0e5: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/busyloop.rs:
+crates/workloads/src/games.rs:
+crates/workloads/src/geekbench.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mobicore_workloads-ac428ae889dc2c21.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobicore_workloads-ac428ae889dc2c21.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/busyloop.rs:
+crates/workloads/src/games.rs:
+crates/workloads/src/geekbench.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobicore_workloads-c6deb91ce14af615.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libmobicore_workloads-c6deb91ce14af615.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+/root/repo/target/debug/deps/libmobicore_workloads-c6deb91ce14af615.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/busyloop.rs:
+crates/workloads/src/games.rs:
+crates/workloads/src/geekbench.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/traces.rs:

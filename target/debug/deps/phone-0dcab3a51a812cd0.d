@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phone-0dcab3a51a812cd0.d: crates/experiments/src/bin/phone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphone-0dcab3a51a812cd0.rmeta: crates/experiments/src/bin/phone.rs Cargo.toml
+
+crates/experiments/src/bin/phone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phone-803ceba45a2fc8ef.d: crates/experiments/src/bin/phone.rs
+
+/root/repo/target/debug/deps/phone-803ceba45a2fc8ef: crates/experiments/src/bin/phone.rs
+
+crates/experiments/src/bin/phone.rs:

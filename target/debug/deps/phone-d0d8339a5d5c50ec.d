@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phone-d0d8339a5d5c50ec.d: crates/experiments/src/bin/phone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphone-d0d8339a5d5c50ec.rmeta: crates/experiments/src/bin/phone.rs Cargo.toml
+
+crates/experiments/src/bin/phone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

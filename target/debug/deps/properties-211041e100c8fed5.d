@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-211041e100c8fed5.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-211041e100c8fed5: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ded3012559a3049.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ded3012559a3049: tests/properties.rs
+
+tests/properties.rs:

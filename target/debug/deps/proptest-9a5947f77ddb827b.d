@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9a5947f77ddb827b.d: vendored/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9a5947f77ddb827b: vendored/proptest/src/lib.rs
+
+vendored/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-b8a65fa523ccd75f.d: vendored/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-b8a65fa523ccd75f.rmeta: vendored/proptest/src/lib.rs Cargo.toml
+
+vendored/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

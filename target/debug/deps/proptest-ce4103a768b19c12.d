@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ce4103a768b19c12.d: vendored/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ce4103a768b19c12.rlib: vendored/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ce4103a768b19c12.rmeta: vendored/proptest/src/lib.rs
+
+vendored/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2dd5c80d19c18ed7.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2dd5c80d19c18ed7: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

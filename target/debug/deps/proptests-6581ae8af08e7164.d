@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6581ae8af08e7164.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6581ae8af08e7164: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

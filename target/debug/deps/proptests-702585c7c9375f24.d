@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-702585c7c9375f24.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-702585c7c9375f24: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

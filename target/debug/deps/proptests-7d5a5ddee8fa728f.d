@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7d5a5ddee8fa728f.d: crates/workloads/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7d5a5ddee8fa728f.rmeta: crates/workloads/tests/proptests.rs Cargo.toml
+
+crates/workloads/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

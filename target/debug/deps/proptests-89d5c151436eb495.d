@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-89d5c151436eb495.d: crates/model/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-89d5c151436eb495.rmeta: crates/model/tests/proptests.rs Cargo.toml
+
+crates/model/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a75b0db7a708a094.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a75b0db7a708a094: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-adedd6341ad926a2.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-adedd6341ad926a2.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

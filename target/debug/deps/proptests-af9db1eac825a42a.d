@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-af9db1eac825a42a.d: crates/governors/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-af9db1eac825a42a: crates/governors/tests/proptests.rs
+
+crates/governors/tests/proptests.rs:

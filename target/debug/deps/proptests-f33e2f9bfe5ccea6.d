@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f33e2f9bfe5ccea6.d: crates/governors/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f33e2f9bfe5ccea6.rmeta: crates/governors/tests/proptests.rs Cargo.toml
+
+crates/governors/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

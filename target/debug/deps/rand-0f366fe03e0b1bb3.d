@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0f366fe03e0b1bb3.d: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0f366fe03e0b1bb3: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

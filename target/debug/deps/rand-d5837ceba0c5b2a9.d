@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d5837ceba0c5b2a9.d: vendored/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d5837ceba0c5b2a9.rmeta: vendored/rand/src/lib.rs Cargo.toml
+
+vendored/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2d5ae4f3c0915fbf.d: vendored/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2d5ae4f3c0915fbf.rlib: vendored/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2d5ae4f3c0915fbf.rmeta: vendored/serde/src/lib.rs
+
+vendored/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-3cc95d33e44e6a32.d: vendored/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-3cc95d33e44e6a32: vendored/serde/src/lib.rs
+
+vendored/serde/src/lib.rs:

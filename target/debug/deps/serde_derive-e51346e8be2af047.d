@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-e51346e8be2af047.d: vendored/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-e51346e8be2af047.so: vendored/serde_derive/src/lib.rs Cargo.toml
+
+vendored/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

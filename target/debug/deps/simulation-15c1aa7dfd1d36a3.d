@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-15c1aa7dfd1d36a3.d: crates/sim/tests/simulation.rs
+
+/root/repo/target/debug/deps/simulation-15c1aa7dfd1d36a3: crates/sim/tests/simulation.rs
+
+crates/sim/tests/simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-5ae947d6a57ffd1b.d: crates/sim/tests/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-5ae947d6a57ffd1b.rmeta: crates/sim/tests/simulation.rs Cargo.toml
+
+crates/sim/tests/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-b8f6804e334b29ab.d: crates/bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-b8f6804e334b29ab.rmeta: crates/bench/benches/simulation.rs Cargo.toml
+
+crates/bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_analysis-0abbe3132de18a8b.d: tests/static_analysis.rs
+
+/root/repo/target/debug/deps/static_analysis-0abbe3132de18a8b: tests/static_analysis.rs
+
+tests/static_analysis.rs:

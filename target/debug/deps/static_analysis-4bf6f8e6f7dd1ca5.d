@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_analysis-4bf6f8e6f7dd1ca5.d: tests/static_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_analysis-4bf6f8e6f7dd1ca5.rmeta: tests/static_analysis.rs Cargo.toml
+
+tests/static_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

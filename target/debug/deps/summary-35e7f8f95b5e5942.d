@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-35e7f8f95b5e5942.d: crates/experiments/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-35e7f8f95b5e5942: crates/experiments/src/bin/summary.rs
+
+crates/experiments/src/bin/summary.rs:

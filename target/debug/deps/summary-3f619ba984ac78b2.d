@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-3f619ba984ac78b2.d: crates/experiments/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-3f619ba984ac78b2.rmeta: crates/experiments/src/bin/summary.rs Cargo.toml
+
+crates/experiments/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-5b7ec4b56e14958b.d: crates/experiments/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-5b7ec4b56e14958b.rmeta: crates/experiments/src/bin/summary.rs Cargo.toml
+
+crates/experiments/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysfs_adb-6202785f427da16d.d: tests/sysfs_adb.rs
+
+/root/repo/target/debug/deps/sysfs_adb-6202785f427da16d: tests/sysfs_adb.rs
+
+tests/sysfs_adb.rs:

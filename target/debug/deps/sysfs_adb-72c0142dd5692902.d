@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sysfs_adb-72c0142dd5692902.d: tests/sysfs_adb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsysfs_adb-72c0142dd5692902.rmeta: tests/sysfs_adb.rs Cargo.toml
+
+tests/sysfs_adb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

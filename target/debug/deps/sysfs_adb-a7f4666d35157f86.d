@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sysfs_adb-a7f4666d35157f86.d: tests/sysfs_adb.rs
+
+/root/repo/target/debug/deps/sysfs_adb-a7f4666d35157f86: tests/sysfs_adb.rs
+
+tests/sysfs_adb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-845a5bf8d5e83cb2.d: crates/experiments/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-845a5bf8d5e83cb2.rmeta: crates/experiments/src/bin/table1.rs Cargo.toml
+
+crates/experiments/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c9a14fae9998e0cf.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c9a14fae9998e0cf: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3414d6c4e12dd4e0.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3414d6c4e12dd4e0: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

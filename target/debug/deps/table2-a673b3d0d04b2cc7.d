@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-a673b3d0d04b2cc7.d: crates/experiments/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-a673b3d0d04b2cc7.rmeta: crates/experiments/src/bin/table2.rs Cargo.toml
+
+crates/experiments/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate_device-668940440e24ba34.d: examples/calibrate_device.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate_device-668940440e24ba34.rmeta: examples/calibrate_device.rs Cargo.toml
+
+examples/calibrate_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

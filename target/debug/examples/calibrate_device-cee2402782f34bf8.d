@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_device-cee2402782f34bf8.d: examples/calibrate_device.rs
+
+/root/repo/target/debug/examples/calibrate_device-cee2402782f34bf8: examples/calibrate_device.rs
+
+examples/calibrate_device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_device-f074113cfdfa205c.d: examples/calibrate_device.rs
+
+/root/repo/target/debug/examples/calibrate_device-f074113cfdfa205c: examples/calibrate_device.rs
+
+examples/calibrate_device.rs:

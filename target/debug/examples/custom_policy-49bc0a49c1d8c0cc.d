@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_policy-49bc0a49c1d8c0cc.d: examples/custom_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_policy-49bc0a49c1d8c0cc.rmeta: examples/custom_policy.rs Cargo.toml
+
+examples/custom_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_policy-4e3e0bee49daec01.d: examples/custom_policy.rs
+
+/root/repo/target/debug/examples/custom_policy-4e3e0bee49daec01: examples/custom_policy.rs
+
+examples/custom_policy.rs:

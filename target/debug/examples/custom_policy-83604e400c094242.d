@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_policy-83604e400c094242.d: examples/custom_policy.rs
+
+/root/repo/target/debug/examples/custom_policy-83604e400c094242: examples/custom_policy.rs
+
+examples/custom_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/day_in_the_life-382889b7fc271a4f.d: examples/day_in_the_life.rs
+
+/root/repo/target/debug/examples/day_in_the_life-382889b7fc271a4f: examples/day_in_the_life.rs
+
+examples/day_in_the_life.rs:

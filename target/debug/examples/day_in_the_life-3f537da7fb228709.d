@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/day_in_the_life-3f537da7fb228709.d: examples/day_in_the_life.rs
+
+/root/repo/target/debug/examples/day_in_the_life-3f537da7fb228709: examples/day_in_the_life.rs
+
+examples/day_in_the_life.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/day_in_the_life-d929b2e04cc6392f.d: examples/day_in_the_life.rs Cargo.toml
+
+/root/repo/target/debug/examples/libday_in_the_life-d929b2e04cc6392f.rmeta: examples/day_in_the_life.rs Cargo.toml
+
+examples/day_in_the_life.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

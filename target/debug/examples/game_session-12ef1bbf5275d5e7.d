@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/game_session-12ef1bbf5275d5e7.d: examples/game_session.rs
+
+/root/repo/target/debug/examples/game_session-12ef1bbf5275d5e7: examples/game_session.rs
+
+examples/game_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/game_session-766cc69666a11f37.d: examples/game_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgame_session-766cc69666a11f37.rmeta: examples/game_session.rs Cargo.toml
+
+examples/game_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

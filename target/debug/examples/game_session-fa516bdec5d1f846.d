@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/game_session-fa516bdec5d1f846.d: examples/game_session.rs
+
+/root/repo/target/debug/examples/game_session-fa516bdec5d1f846: examples/game_session.rs
+
+examples/game_session.rs:

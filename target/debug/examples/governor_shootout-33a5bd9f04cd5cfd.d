@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/governor_shootout-33a5bd9f04cd5cfd.d: examples/governor_shootout.rs
+
+/root/repo/target/debug/examples/governor_shootout-33a5bd9f04cd5cfd: examples/governor_shootout.rs
+
+examples/governor_shootout.rs:

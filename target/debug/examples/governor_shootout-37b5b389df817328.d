@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/governor_shootout-37b5b389df817328.d: examples/governor_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgovernor_shootout-37b5b389df817328.rmeta: examples/governor_shootout.rs Cargo.toml
+
+examples/governor_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

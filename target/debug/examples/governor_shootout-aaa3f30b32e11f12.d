@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/governor_shootout-aaa3f30b32e11f12.d: examples/governor_shootout.rs
+
+/root/repo/target/debug/examples/governor_shootout-aaa3f30b32e11f12: examples/governor_shootout.rs
+
+examples/governor_shootout.rs:

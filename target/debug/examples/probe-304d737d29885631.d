@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe-304d737d29885631.d: crates/experiments/examples/probe.rs
+
+/root/repo/target/debug/examples/probe-304d737d29885631: crates/experiments/examples/probe.rs
+
+crates/experiments/examples/probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/probe-5aa5bf9e4a0626ef.d: crates/experiments/examples/probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprobe-5aa5bf9e4a0626ef.rmeta: crates/experiments/examples/probe.rs Cargo.toml
+
+crates/experiments/examples/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-0c2675fa12940a7e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-0c2675fa12940a7e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

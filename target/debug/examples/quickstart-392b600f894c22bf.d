@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-392b600f894c22bf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-392b600f894c22bf: examples/quickstart.rs
+
+examples/quickstart.rs:

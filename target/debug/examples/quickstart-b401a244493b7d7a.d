@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b401a244493b7d7a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b401a244493b7d7a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-a3a51bf271250c2e.d: crates/experiments/src/bin/all.rs
+
+/root/repo/target/release/deps/all-a3a51bf271250c2e: crates/experiments/src/bin/all.rs
+
+crates/experiments/src/bin/all.rs:

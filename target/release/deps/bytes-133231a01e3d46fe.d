@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-133231a01e3d46fe.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-133231a01e3d46fe.rlib: vendored/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-133231a01e3d46fe.rmeta: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

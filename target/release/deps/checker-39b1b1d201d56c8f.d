@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/checker-39b1b1d201d56c8f.d: crates/checker/src/main.rs
+
+/root/repo/target/release/deps/checker-39b1b1d201d56c8f: crates/checker/src/main.rs
+
+crates/checker/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0b5177b27fc1dd22.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0b5177b27fc1dd22.rlib: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0b5177b27fc1dd22.rmeta: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

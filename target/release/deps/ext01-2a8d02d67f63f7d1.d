@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext01-2a8d02d67f63f7d1.d: crates/experiments/src/bin/ext01.rs
+
+/root/repo/target/release/deps/ext01-2a8d02d67f63f7d1: crates/experiments/src/bin/ext01.rs
+
+crates/experiments/src/bin/ext01.rs:

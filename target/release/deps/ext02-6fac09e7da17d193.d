@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext02-6fac09e7da17d193.d: crates/experiments/src/bin/ext02.rs
+
+/root/repo/target/release/deps/ext02-6fac09e7da17d193: crates/experiments/src/bin/ext02.rs
+
+crates/experiments/src/bin/ext02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext03-c33a8fd0ee960628.d: crates/experiments/src/bin/ext03.rs
+
+/root/repo/target/release/deps/ext03-c33a8fd0ee960628: crates/experiments/src/bin/ext03.rs
+
+crates/experiments/src/bin/ext03.rs:

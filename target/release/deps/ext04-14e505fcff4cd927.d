@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext04-14e505fcff4cd927.d: crates/experiments/src/bin/ext04.rs
+
+/root/repo/target/release/deps/ext04-14e505fcff4cd927: crates/experiments/src/bin/ext04.rs
+
+crates/experiments/src/bin/ext04.rs:

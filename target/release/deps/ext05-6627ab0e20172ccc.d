@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext05-6627ab0e20172ccc.d: crates/experiments/src/bin/ext05.rs
+
+/root/repo/target/release/deps/ext05-6627ab0e20172ccc: crates/experiments/src/bin/ext05.rs
+
+crates/experiments/src/bin/ext05.rs:

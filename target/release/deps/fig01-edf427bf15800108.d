@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-edf427bf15800108.d: crates/experiments/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-edf427bf15800108: crates/experiments/src/bin/fig01.rs
+
+crates/experiments/src/bin/fig01.rs:

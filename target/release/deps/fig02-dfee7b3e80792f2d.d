@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-dfee7b3e80792f2d.d: crates/experiments/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-dfee7b3e80792f2d: crates/experiments/src/bin/fig02.rs
+
+crates/experiments/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-632a351a78338cd9.d: crates/experiments/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-632a351a78338cd9: crates/experiments/src/bin/fig03.rs
+
+crates/experiments/src/bin/fig03.rs:

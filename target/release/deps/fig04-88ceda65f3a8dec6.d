@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-88ceda65f3a8dec6.d: crates/experiments/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-88ceda65f3a8dec6: crates/experiments/src/bin/fig04.rs
+
+crates/experiments/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-425474234b51f95a.d: crates/experiments/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-425474234b51f95a: crates/experiments/src/bin/fig05.rs
+
+crates/experiments/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-adc9bf82b20e4941.d: crates/experiments/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-adc9bf82b20e4941: crates/experiments/src/bin/fig06.rs
+
+crates/experiments/src/bin/fig06.rs:

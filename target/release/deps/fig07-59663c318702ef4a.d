@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-59663c318702ef4a.d: crates/experiments/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-59663c318702ef4a: crates/experiments/src/bin/fig07.rs
+
+crates/experiments/src/bin/fig07.rs:

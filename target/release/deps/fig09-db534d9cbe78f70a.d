@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09-db534d9cbe78f70a.d: crates/experiments/src/bin/fig09.rs
+
+/root/repo/target/release/deps/fig09-db534d9cbe78f70a: crates/experiments/src/bin/fig09.rs
+
+crates/experiments/src/bin/fig09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-be845e33669d81fa.d: crates/experiments/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-be845e33669d81fa: crates/experiments/src/bin/fig10.rs
+
+crates/experiments/src/bin/fig10.rs:

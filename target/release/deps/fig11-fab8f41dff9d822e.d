@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-fab8f41dff9d822e.d: crates/experiments/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-fab8f41dff9d822e: crates/experiments/src/bin/fig11.rs
+
+crates/experiments/src/bin/fig11.rs:

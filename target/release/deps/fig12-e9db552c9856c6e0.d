@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-e9db552c9856c6e0.d: crates/experiments/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-e9db552c9856c6e0: crates/experiments/src/bin/fig12.rs
+
+crates/experiments/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-0dfbd102981a686c.d: crates/experiments/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-0dfbd102981a686c: crates/experiments/src/bin/fig13.rs
+
+crates/experiments/src/bin/fig13.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mobicore-d1c5e642e8f9ea40.d: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libmobicore-d1c5e642e8f9ea40.rlib: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+/root/repo/target/release/deps/libmobicore-d1c5e642e8f9ea40.rmeta: crates/core/src/lib.rs crates/core/src/bandwidth.rs crates/core/src/config.rs crates/core/src/dcs.rs crates/core/src/extensions.rs crates/core/src/policy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bandwidth.rs:
+crates/core/src/config.rs:
+crates/core/src/dcs.rs:
+crates/core/src/extensions.rs:
+crates/core/src/policy.rs:

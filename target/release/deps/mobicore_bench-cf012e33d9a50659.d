@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobicore_bench-cf012e33d9a50659.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_bench-cf012e33d9a50659.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_bench-cf012e33d9a50659.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobicore_checker-71e390138e1f8657.d: crates/checker/src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_checker-71e390138e1f8657.rlib: crates/checker/src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_checker-71e390138e1f8657.rmeta: crates/checker/src/lib.rs
+
+crates/checker/src/lib.rs:

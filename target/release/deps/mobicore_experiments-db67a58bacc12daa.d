@@ -1,0 +1,30 @@
+/root/repo/target/release/deps/mobicore_experiments-db67a58bacc12daa.d: crates/experiments/src/lib.rs crates/experiments/src/ext01.rs crates/experiments/src/ext02.rs crates/experiments/src/ext03.rs crates/experiments/src/ext04.rs crates/experiments/src/ext05.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/games_suite.rs crates/experiments/src/phone.rs crates/experiments/src/result.rs crates/experiments/src/runner.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libmobicore_experiments-db67a58bacc12daa.rlib: crates/experiments/src/lib.rs crates/experiments/src/ext01.rs crates/experiments/src/ext02.rs crates/experiments/src/ext03.rs crates/experiments/src/ext04.rs crates/experiments/src/ext05.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/games_suite.rs crates/experiments/src/phone.rs crates/experiments/src/result.rs crates/experiments/src/runner.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libmobicore_experiments-db67a58bacc12daa.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ext01.rs crates/experiments/src/ext02.rs crates/experiments/src/ext03.rs crates/experiments/src/ext04.rs crates/experiments/src/ext05.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig12.rs crates/experiments/src/fig13.rs crates/experiments/src/games_suite.rs crates/experiments/src/phone.rs crates/experiments/src/result.rs crates/experiments/src/runner.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ext01.rs:
+crates/experiments/src/ext02.rs:
+crates/experiments/src/ext03.rs:
+crates/experiments/src/ext04.rs:
+crates/experiments/src/ext05.rs:
+crates/experiments/src/fig01.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig04.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig12.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/games_suite.rs:
+crates/experiments/src/phone.rs:
+crates/experiments/src/result.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mobicore_governors-48959fc6f9933668.d: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+/root/repo/target/release/deps/libmobicore_governors-48959fc6f9933668.rlib: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+/root/repo/target/release/deps/libmobicore_governors-48959fc6f9933668.rmeta: crates/governors/src/lib.rs crates/governors/src/adapter.rs crates/governors/src/android.rs crates/governors/src/dvfs.rs crates/governors/src/hotplug.rs
+
+crates/governors/src/lib.rs:
+crates/governors/src/adapter.rs:
+crates/governors/src/android.rs:
+crates/governors/src/dvfs.rs:
+crates/governors/src/hotplug.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mobicore_model-e2b32ca73418589c.d: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs
+
+/root/repo/target/release/deps/libmobicore_model-e2b32ca73418589c.rlib: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs
+
+/root/repo/target/release/deps/libmobicore_model-e2b32ca73418589c.rmeta: crates/model/src/lib.rs crates/model/src/battery.rs crates/model/src/energy.rs crates/model/src/error.rs crates/model/src/fitting.rs crates/model/src/idle.rs crates/model/src/operating_point.rs crates/model/src/opp.rs crates/model/src/profile.rs crates/model/src/profiles.rs crates/model/src/quota.rs crates/model/src/thermal.rs crates/model/src/units.rs
+
+crates/model/src/lib.rs:
+crates/model/src/battery.rs:
+crates/model/src/energy.rs:
+crates/model/src/error.rs:
+crates/model/src/fitting.rs:
+crates/model/src/idle.rs:
+crates/model/src/operating_point.rs:
+crates/model/src/opp.rs:
+crates/model/src/profile.rs:
+crates/model/src/profiles.rs:
+crates/model/src/quota.rs:
+crates/model/src/thermal.rs:
+crates/model/src/units.rs:

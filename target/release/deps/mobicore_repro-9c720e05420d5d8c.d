@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobicore_repro-9c720e05420d5d8c.d: src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_repro-9c720e05420d5d8c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmobicore_repro-9c720e05420d5d8c.rmeta: src/lib.rs
+
+src/lib.rs:

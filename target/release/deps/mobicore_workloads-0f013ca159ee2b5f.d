@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mobicore_workloads-0f013ca159ee2b5f.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libmobicore_workloads-0f013ca159ee2b5f.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+/root/repo/target/release/deps/libmobicore_workloads-0f013ca159ee2b5f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/busyloop.rs crates/workloads/src/games.rs crates/workloads/src/geekbench.rs crates/workloads/src/rate.rs crates/workloads/src/scenario.rs crates/workloads/src/traces.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/busyloop.rs:
+crates/workloads/src/games.rs:
+crates/workloads/src/geekbench.rs:
+crates/workloads/src/rate.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/traces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phone-e9629078c507603a.d: crates/experiments/src/bin/phone.rs
+
+/root/repo/target/release/deps/phone-e9629078c507603a: crates/experiments/src/bin/phone.rs
+
+crates/experiments/src/bin/phone.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d1d9bd6361b43b40.d: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d1d9bd6361b43b40.rlib: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d1d9bd6361b43b40.rmeta: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c7e01d3849394acf.d: vendored/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c7e01d3849394acf.rlib: vendored/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c7e01d3849394acf.rmeta: vendored/serde/src/lib.rs
+
+vendored/serde/src/lib.rs:

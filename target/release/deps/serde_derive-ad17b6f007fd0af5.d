@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ad17b6f007fd0af5.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ad17b6f007fd0af5.so: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

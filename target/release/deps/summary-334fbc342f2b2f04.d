@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-334fbc342f2b2f04.d: crates/experiments/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-334fbc342f2b2f04: crates/experiments/src/bin/summary.rs
+
+crates/experiments/src/bin/summary.rs:

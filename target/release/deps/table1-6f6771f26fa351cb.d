@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6f6771f26fa351cb.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6f6771f26fa351cb: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

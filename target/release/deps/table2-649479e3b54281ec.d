@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-649479e3b54281ec.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-649479e3b54281ec: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

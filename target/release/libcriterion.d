@@ -1,0 +1,1 @@
+/root/repo/target/release/libcriterion.rlib: /root/repo/vendored/criterion/src/lib.rs

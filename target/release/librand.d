@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/vendored/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/vendored/serde/src/lib.rs /root/repo/vendored/serde_derive/src/lib.rs

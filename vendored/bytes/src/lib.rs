@@ -1,0 +1,212 @@
+//! Offline stand-in for `bytes` (see `vendored/README.md`).
+//!
+//! Implements the little-endian get/put subset the trace codec uses.
+//! [`Bytes`] is a plain owned buffer with a read cursor rather than a
+//! refcounted slice — the workspace never shares buffers across threads.
+
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+/// An immutable byte buffer with a consuming read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Remaining (unconsumed) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new buffer viewing `range` of the remaining bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the remaining length.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.pos + range.start..self.pos + range.end].to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Sequential read access to a byte buffer (little-endian subset).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consumes a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Consumes a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Sequential write access (little-endian subset).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_f32_le(1.5);
+        b.put_f64_le(-2.25);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4 + 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_views_remaining() {
+        let mut b = BytesMut::new();
+        for i in 0..10u8 {
+            b.put_u8(i);
+        }
+        let whole = b.freeze();
+        let cut = whole.slice(2..5);
+        assert_eq!(cut.len(), 3);
+        let mut cut = cut;
+        assert_eq!(cut.get_u8(), 2);
+    }
+
+    #[test]
+    fn from_static_and_len() {
+        let b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for `proptest` (see `vendored/README.md`).
+//!
+//! A deterministic random-testing harness with the API subset the
+//! workspace uses: the [`proptest!`] macro, [`prop_assert!`] /
+//! [`prop_assert_eq!`], range/tuple/vec strategies, [`Strategy::prop_map`],
+//! [`prelude::any`] and `num::f64::ANY`. Differences from the real crate:
+//! cases are generated from a fixed seed (fully reproducible runs) and
+//! failing inputs are reported but not shrunk.
+
+#![deny(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy producing `f(value)` for each drawn `value`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The combinator behind [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                    start + (end - start) * unit
+                }
+            }
+        )*};
+    }
+    impl_float_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String-literal strategies: the pattern is a small regex subset
+    /// (literals, `.`, `[a-z0-9_]` classes, `(...)` groups, `{m}` /
+    /// `{m,n}` repetition) interpreted as a *generator*, mirroring
+    /// proptest's `&str → String` strategy for the patterns the workspace
+    /// uses. Unsupported syntax panics at sampling time.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let tokens = pattern::parse(self);
+            let mut out = String::new();
+            pattern::generate(&tokens, rng, &mut out);
+            out
+        }
+    }
+
+    mod pattern {
+        use crate::test_runner::TestRng;
+
+        pub(super) enum Node {
+            Literal(char),
+            /// `.`: any printable ASCII character.
+            AnyChar,
+            /// `[...]`: one of the listed characters.
+            Class(Vec<char>),
+            /// `(...)`: a grouped sub-pattern.
+            Group(Vec<(Node, (usize, usize))>),
+        }
+
+        type Quantified = (Node, (usize, usize));
+
+        pub(super) fn parse(pat: &str) -> Vec<Quantified> {
+            let chars: Vec<char> = pat.chars().collect();
+            let (nodes, rest) = parse_seq(&chars, 0, false);
+            assert_eq!(rest, chars.len(), "unbalanced pattern: {pat}");
+            nodes
+        }
+
+        fn parse_seq(chars: &[char], mut i: usize, in_group: bool) -> (Vec<Quantified>, usize) {
+            let mut nodes = Vec::new();
+            while i < chars.len() {
+                let node = match chars[i] {
+                    ')' if in_group => return (nodes, i),
+                    '(' => {
+                        let (inner, close) = parse_seq(chars, i + 1, true);
+                        assert!(close < chars.len(), "unclosed group");
+                        i = close + 1;
+                        Node::Group(inner)
+                    }
+                    '[' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == ']')
+                            .expect("unclosed class")
+                            + i;
+                        let mut set = Vec::new();
+                        let mut j = i + 1;
+                        while j < close {
+                            if j + 2 < close && chars[j + 1] == '-' {
+                                let (lo, hi) = (chars[j], chars[j + 2]);
+                                set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                                j += 3;
+                            } else {
+                                set.push(chars[j]);
+                                j += 1;
+                            }
+                        }
+                        i = close + 1;
+                        Node::Class(set)
+                    }
+                    '.' => {
+                        i += 1;
+                        Node::AnyChar
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = chars[i];
+                        i += 1;
+                        Node::Literal(c)
+                    }
+                    c => {
+                        i += 1;
+                        Node::Literal(c)
+                    }
+                };
+                let reps = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unclosed repetition")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repetition"),
+                            hi.parse().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n = body.parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                };
+                nodes.push((node, reps));
+            }
+            assert!(!in_group, "unclosed group");
+            (nodes, i)
+        }
+
+        pub(super) fn generate(nodes: &[Quantified], rng: &mut TestRng, out: &mut String) {
+            for (node, (lo, hi)) in nodes {
+                let span = (hi - lo + 1) as u64;
+                let n = lo + (rng.next_u64() % span) as usize;
+                for _ in 0..n {
+                    match node {
+                        Node::Literal(c) => out.push(*c),
+                        Node::AnyChar => {
+                            // Printable ASCII: 0x20..=0x7E.
+                            let c = (0x20 + (rng.next_u64() % 95) as u8) as char;
+                            out.push(c);
+                        }
+                        Node::Class(set) => {
+                            assert!(!set.is_empty(), "empty character class");
+                            out.push(set[(rng.next_u64() % set.len() as u64) as usize]);
+                        }
+                        Node::Group(inner) => generate(inner, rng, out),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The strategy returned by [`any`](crate::prelude::any) for `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// Bit-pattern `f64` strategy: covers subnormals, infinities and NaN.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyF64;
+        fn arbitrary() -> AnyF64 {
+            AnyF64
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait IntoLenRange {
+        /// Lower bound (inclusive) and upper bound (inclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoLenRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len + 1) as u64;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` values with a length drawn
+    /// from `len` (a fixed `usize`, `a..b` or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min_len, max_len) = len.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        /// Any bit pattern, including NaN and the infinities.
+        pub const ANY: crate::strategy::AnyF64 = crate::strategy::AnyF64;
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and failure reporting.
+
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for one named test case index.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runtime configuration of a [`proptest!`](crate::proptest) block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives `body` for `cases` deterministic cases. `body` receives the
+    /// per-case RNG and a slot it fills with a rendering of the sampled
+    /// inputs; on panic the failing inputs are reported and the panic is
+    /// propagated so the standard test harness sees the failure.
+    pub fn run(cases: u32, test_name: &str, body: impl Fn(&mut TestRng, &mut String)) {
+        for case in 0..cases {
+            // Mix the test name in so sibling tests see different streams.
+            let seed = test_name
+                .bytes()
+                .fold(0xCAFE_F00D_u64, |h, b| {
+                    h.rotate_left(7) ^ u64::from(b)
+                })
+                .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9));
+            let mut rng = TestRng::new(seed);
+            let mut rendered = String::new();
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng, &mut rendered)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest: {test_name}: case {case}/{cases} failed with inputs: {rendered}"
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The canonical strategy for `T` (only the types the workspace
+    /// samples implement [`Arbitrary`]).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Defines property tests: each function parameter is drawn from the
+/// strategy to the right of its `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg).cases; $($rest)*);
+    };
+    (@munch $cases:expr; ) => {};
+    (@munch $cases:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::test_runner::run($cases, stringify!($name), |__rng, __rendered| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                *__rendered = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                $body
+            });
+        }
+        $crate::proptest!(@munch $cases; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch $crate::test_runner::ProptestConfig::default().cases; $($rest)*);
+    };
+}
+
+/// `assert!` under a name the real proptest uses for non-fatal asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges honor their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        /// Tuples and vec compose.
+        #[test]
+        fn composite_strategies(
+            v in crate::collection::vec((any::<bool>(), 0usize..5), 1..8),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (_, n) in v {
+                prop_assert!(n < 5);
+            }
+        }
+    }
+
+    proptest! {
+        /// Default config path works too.
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z0-9_]{1,16}".sample(&mut rng);
+            assert!((1..=16).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'));
+
+            let p = "(/[a-z]{1,4}){1,3}".sample(&mut rng);
+            assert!(p.starts_with('/'), "{p:?}");
+            assert!(p.split('/').skip(1).all(|seg| (1..=4).contains(&seg.len())));
+
+            let dot = ".{0,5}".sample(&mut rng);
+            assert!(dot.len() <= 5);
+            assert!(dot.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (1u32..5).prop_map(|x| x * 10);
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((10..50).contains(&v));
+            assert_eq!(v % 10, 0);
+        }
+    }
+
+    #[test]
+    fn any_f64_hits_nonfinite_eventually() {
+        let mut rng = TestRng::new(99);
+        let mut saw_weird = false;
+        for _ in 0..10_000 {
+            let v = crate::num::f64::ANY.sample(&mut rng);
+            if !v.is_finite() {
+                saw_weird = true;
+            }
+        }
+        assert!(saw_weird, "bit-pattern sampling should produce non-finite values");
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand` (see `vendored/README.md`).
+//!
+//! Provides the subset the workloads use: a seedable deterministic
+//! generator ([`rngs::StdRng`], SplitMix64 under the hood — *not* the
+//! real `StdRng` stream, but the workspace only requires determinism for
+//! a fixed seed, not stream compatibility) and uniform range sampling
+//! via [`RngExt::random_range`].
+
+#![deny(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of the generator: the next 64 random bits.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// A generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics on an empty range, like
+    /// the real `rand`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods, mirroring `rand::Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one
+            // addition + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

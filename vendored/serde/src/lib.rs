@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde` (see `vendored/README.md`).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; no code
+//! path serializes anything (there is no `serde_json` in the tree). The
+//! traits exist so `use serde::{Serialize, Deserialize}` keeps resolving
+//! in both the trait and macro namespaces.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

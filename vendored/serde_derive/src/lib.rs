@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! build (see `vendored/README.md`). The workspace derives
+//! `Serialize`/`Deserialize` on its data types as forward-looking API
+//! surface but never actually serializes, so expanding to nothing is
+//! sufficient and keeps the door open for the real crate later.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
