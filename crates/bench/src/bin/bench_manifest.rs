@@ -1,0 +1,129 @@
+//! Emits a `kind = "bench"` run manifest (`BENCH_NN.json`) so the perf
+//! trajectory between PRs is a `mobicore-inspect diff` away.
+//!
+//! Unlike the criterion benches this harness is deliberately plain
+//! `std::time::Instant` timing: it has to run in seconds as part of a
+//! normal PR loop, and the manifest records medians-of-rounds which are
+//! stable enough for trend lines (criterion remains the tool for
+//! statistically careful comparisons).
+//!
+//! ```text
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_02.json
+//! ```
+
+use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
+use mobicore_model::{profiles, Khz, Quota, Utilization};
+use mobicore_sim::{CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation};
+use mobicore_telemetry::git_describe;
+use mobicore_workloads::BusyLoop;
+use std::hint::black_box;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn snapshot(utils: [f64; 4]) -> PolicySnapshot {
+    let cores: Vec<CoreSnapshot> = utils
+        .iter()
+        .map(|&u| CoreSnapshot {
+            online: true,
+            cur_khz: Khz(960_000),
+            target_khz: Khz(960_000),
+            util: Utilization::new(u),
+            busy_us: (u * 20_000.0) as u64,
+        })
+        .collect();
+    PolicySnapshot {
+        now_us: 1_000_000,
+        window_us: 20_000,
+        overall_util: Utilization::new(utils.iter().sum::<f64>() / 4.0),
+        cores,
+        quota: Quota::FULL,
+        mpdecision_enabled: false,
+        max_runnable_threads: 4,
+        temp_c: 30.0,
+    }
+}
+
+/// Median ns/op over `rounds` rounds of `iters` calls each.
+fn time_ns_per_op(rounds: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut per_round: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    per_round.sort_by(|a, b| a.total_cmp(b));
+    per_round[per_round.len() / 2]
+}
+
+/// Simulated-seconds per wall-second for `policy` under a mixed load
+/// (telemetry on, like a real inspected run).
+fn sim_throughput(secs: u64) -> (f64, Simulation) {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(secs)
+        .with_seed(20_170_315)
+        .without_mpdecision();
+    let mut sim =
+        Simulation::new(cfg, Box::new(MobiCore::new(&profile))).expect("bench config is valid");
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.3, f_max, 2)));
+    let t = Instant::now();
+    sim.run();
+    (secs as f64 / t.elapsed().as_secs_f64(), sim)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_02.json".into());
+    let profile = profiles::nexus5();
+    let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
+    const ROUNDS: usize = 7;
+    const ITERS: u32 = 10_000;
+
+    eprintln!("timing per-sample decision paths ({ROUNDS} rounds x {ITERS} iters)...");
+    let mut policy = MobiCore::new(&profile);
+    let mobicore_ns = time_ns_per_op(ROUNDS, ITERS, || {
+        let mut ctl = CpuControl::new();
+        policy.on_sample(black_box(&snap), &mut ctl);
+        black_box(ctl.take());
+    });
+    let mut bw = BandwidthAnalyzer::new(MobiCoreConfig::default());
+    let mut u = 0.0f64;
+    let bw_ns = time_ns_per_op(ROUNDS, ITERS, || {
+        u = (u + 0.013) % 0.6;
+        black_box(bw.decide(Utilization::new(u)));
+    });
+    let dcs = DcsPass::new(MobiCoreConfig::default());
+    let dcs_ns = time_ns_per_op(ROUNDS, ITERS, || {
+        black_box(dcs.decide(black_box(&snap), Quota::FULL));
+    });
+
+    eprintln!("measuring simulator throughput...");
+    let wall = Instant::now();
+    let (sim_s_per_wall_s, sim) = sim_throughput(10);
+
+    let mut m = sim.manifest("bench-02");
+    m.kind = "bench".to_string();
+    m.git = git_describe(std::path::Path::new("."));
+    m.created_unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok());
+    m.wall_ms = Some(wall.elapsed().as_secs_f64() * 1e3);
+    m.metrics.insert("bench.mobicore_on_sample_ns".into(), mobicore_ns);
+    m.metrics.insert("bench.bandwidth_decide_ns".into(), bw_ns);
+    m.metrics.insert("bench.dcs_decide_ns".into(), dcs_ns);
+    m.metrics.insert("bench.sim_s_per_wall_s".into(), sim_s_per_wall_s);
+
+    match std::fs::write(&out, m.to_json_text()) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            println!("{}", m.summary_text());
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! * `ablations` — wall time of each MobiCore design variant.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::float_cmp))]

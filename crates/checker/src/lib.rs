@@ -31,6 +31,7 @@
 //! `DcsPass::decide`) — there is no re-implementation to drift.
 
 #![deny(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::float_cmp))]

@@ -34,6 +34,24 @@ pub enum WorkloadMode {
     HighLoad,
 }
 
+impl WorkloadMode {
+    /// Stable lowercase label (used in telemetry events and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadMode::Burst => "burst",
+            WorkloadMode::Slow => "slow",
+            WorkloadMode::Steady => "steady",
+            WorkloadMode::HighLoad => "high-load",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The outcome of one Table-2 period.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandwidthDecision {

@@ -18,6 +18,43 @@ pub enum FrequencyRule {
 
 /// Tunables of the MobiCore policy. The defaults are the values the
 /// thesis states or implies.
+///
+/// The quickstart in one doctest — simulate the thesis' setup (§3.1
+/// busy loop, mpdecision stopped) under the Android default policy and
+/// under MobiCore, and compare:
+///
+/// ```
+/// use mobicore::{MobiCore, MobiCoreConfig};
+/// use mobicore_governors::AndroidDefaultPolicy;
+/// use mobicore_model::profiles;
+/// use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+/// use mobicore_workloads::BusyLoop;
+///
+/// let profile = profiles::nexus5();
+/// let f_max = profile.opps().max_khz();
+/// let mut session = |policy: Box<dyn CpuPolicy>| {
+///     let cfg = SimConfig::new(profile.clone())
+///         .with_duration_secs(5)
+///         .with_seed(7)
+///         .without_mpdecision(); // the thesis' `adb shell stop mpdecision`
+///     let mut sim = Simulation::new(cfg, policy)?;
+///     // The in-house kernel app of §3.1: busy loops at a 30 % duty cycle.
+///     sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.3, f_max, 7)));
+///     Ok::<_, mobicore_sim::SimError>(sim.run())
+/// };
+///
+/// let android = session(Box::new(AndroidDefaultPolicy::new(&profile)))?;
+///
+/// // A validated config: tweak a tunable, let `validate()` vet it.
+/// let cfg = MobiCoreConfig { offline_threshold_pct: 15.0, ..MobiCoreConfig::default() };
+/// assert!(cfg.validate().is_empty(), "tunables are coherent");
+/// let mobicore = session(Box::new(MobiCore::with_config(&profile, cfg)))?;
+///
+/// // MobiCore shrinks the quota below 1.0 and spends less power.
+/// assert!(mobicore.avg_quota < 1.0);
+/// assert!(mobicore.avg_power_mw < android.avg_power_mw);
+/// # Ok::<(), mobicore_sim::SimError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MobiCoreConfig {
     /// Individual core load (%) below which a core may be off-lined

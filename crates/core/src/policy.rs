@@ -9,6 +9,7 @@ use mobicore_model::energy::{mobicore_frequency, CpuEnergyModel};
 use mobicore_model::operating_point::OperatingPointOptimizer;
 use mobicore_model::{DeviceProfile, Khz, Quota, Utilization};
 use mobicore_sim::{CpuControl, CpuPolicy, PolicySnapshot};
+use mobicore_telemetry::EventData;
 
 /// One sampling period's decision, kept for observability (tests,
 /// debugging, the REPL's `report`).
@@ -223,6 +224,18 @@ impl CpuPolicy for MobiCore {
 
     fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
         self.decisions += 1;
+        // One `policy-decision` note per sampling period, attached after
+        // the branch below fills `last_decision`.
+        let note = |d: &DecisionSummary, name: &str, ctl: &mut CpuControl| {
+            ctl.note(EventData::PolicyDecision {
+                policy: name.to_string(),
+                mode: d.mode.label().to_string(),
+                util_pct: snap.overall_util.as_fraction() * 100.0,
+                quota: d.quota.as_fraction(),
+                target_online: d.target_online,
+                f_khz: d.f_new.0,
+            });
+        };
         match self.cfg.rule {
             FrequencyRule::Eq9 => {
                 // The whole Figure-8 period is the pure [`step`] function;
@@ -242,6 +255,7 @@ impl CpuPolicy for MobiCore {
                         ctl.set_freq(i, out.decision.f_new);
                     }
                 }
+                note(&out.decision, &self.name, ctl);
                 self.last_decision = Some(out.decision);
                 self.state = out.state;
             }
@@ -267,14 +281,16 @@ impl CpuPolicy for MobiCore {
                     ctl.set_online(i, false);
                 }
                 let (n_want, f_new) = self.optimal_point_frequency(snap.overall_util, scale);
-                self.last_decision = Some(DecisionSummary {
+                let decision = DecisionSummary {
                     mode,
                     quota: bw.quota,
                     scale: bw.scale,
                     target_online: n_want.max(dcs.target_online),
                     f_ondemand,
                     f_new,
-                });
+                };
+                note(&decision, &self.name, ctl);
+                self.last_decision = Some(decision);
                 self.state = PolicyState {
                     ondemand_khz: Some(f_ondemand),
                     prev_util: Some(snap.overall_util),

@@ -18,7 +18,7 @@
 //! EXPERIMENTS.md come from full (non-quick) runs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::float_cmp))]
@@ -52,6 +52,10 @@ pub use result::{Check, ExperimentResult};
 /// Entry point shared by the per-figure binaries: runs the experiment(s)
 /// named `id` (or `"all"`), honouring a `--quick` command-line flag, and
 /// prints the result(s). Exits nonzero if any shape check diverges.
+///
+/// `--markdown [PATH]` additionally writes the results as markdown, and
+/// `--manifest DIR` makes every simulation drop a run manifest under
+/// `DIR` for `mobicore-inspect` (see docs/observability.md).
 pub fn bin_main(id: &str) {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut experiments = all_experiments();
@@ -64,12 +68,18 @@ pub fn bin_main(id: &str) {
         eprintln!("unknown experiment id {id:?}");
         std::process::exit(2);
     }
-    let markdown_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--markdown")
-            .map(|i| args.get(i + 1).cloned().unwrap_or("RESULTS.md".into()))
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let markdown_path = args
+        .iter()
+        .position(|a| a == "--markdown")
+        .map(|i| args.get(i + 1).cloned().unwrap_or("RESULTS.md".into()));
+    let manifest_dir = args
+        .iter()
+        .position(|a| a == "--manifest")
+        .map(|i| args.get(i + 1).cloned().unwrap_or("manifests".into()));
+    if let Some(dir) = manifest_dir {
+        runner::set_manifest_dir(Some(dir.into()));
+    }
     println!(
         "# MobiCore reproduction — seed {} — {} mode",
         runner::SEED,

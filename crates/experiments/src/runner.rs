@@ -3,12 +3,64 @@
 use mobicore_model::{DeviceProfile, Khz};
 use mobicore_sim::builtin::PinnedPolicy;
 use mobicore_sim::{CpuPolicy, SimConfig, SimReport, Simulation, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// The default seed every experiment uses (printed in outputs).
 pub const SEED: u64 = 20170315; // the thesis defense date
 
+/// Where [`run_policy`] drops run manifests; `None` disables emission.
+/// Set by `--manifest DIR` (via [`set_manifest_dir`]) or the
+/// `MOBICORE_MANIFEST_DIR` environment variable.
+static MANIFEST_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Monotonic sequence so concurrent runs get distinct file names.
+static MANIFEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Directs every subsequent experiment run to write its manifest under
+/// `dir` (pass `None` to turn emission back off).
+pub fn set_manifest_dir(dir: Option<PathBuf>) {
+    *MANIFEST_DIR.lock().expect("not poisoned") = dir;
+}
+
+fn manifest_dir() -> Option<PathBuf> {
+    if let Some(dir) = MANIFEST_DIR.lock().expect("not poisoned").clone() {
+        return Some(dir);
+    }
+    std::env::var_os("MOBICORE_MANIFEST_DIR").map(PathBuf::from)
+}
+
+/// Stamps the non-deterministic manifest fields and writes the manifest
+/// under `dir`. Emission failures warn instead of aborting: manifests are
+/// a side artifact, the experiment result is the product.
+fn write_manifest(sim: &Simulation, dir: &PathBuf, wall_ms: f64) {
+    let seq = MANIFEST_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut m = sim.manifest(&format!("run-{seq:04}"));
+    m.kind = "experiment".to_string();
+    m.git = mobicore_telemetry::git_describe(std::path::Path::new("."));
+    m.created_unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok());
+    m.wall_ms = Some(wall_ms);
+    let policy_slug: String = m
+        .policy
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("run-{seq:04}-{policy_slug}-seed{}.json", m.seed));
+    let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, m.to_json_text()));
+    if let Err(e) = result {
+        eprintln!("warning: cannot write manifest {}: {e}", path.display());
+    }
+}
+
 /// Runs `policy` against `workloads` on `profile` for `secs` seconds with
 /// `mpdecision` disabled (the state the thesis puts the phone in).
+///
+/// When a manifest directory is configured (see [`set_manifest_dir`]),
+/// the run additionally writes a `mobicore-inspect`-readable manifest.
 pub fn run_policy(
     profile: &DeviceProfile,
     policy: Box<dyn CpuPolicy>,
@@ -24,7 +76,12 @@ pub fn run_policy(
     for w in workloads {
         sim.add_workload(w);
     }
-    sim.run()
+    let wall = Instant::now();
+    let report = sim.run();
+    if let Some(dir) = manifest_dir() {
+        write_manifest(&sim, &dir, wall.elapsed().as_secs_f64() * 1e3);
+    }
+    report
 }
 
 /// Runs a pinned `(n cores, khz)` configuration — the characterization
@@ -125,6 +182,39 @@ mod tests {
         assert_eq!(pct_saving(100.0, 80.0), 20.0);
         assert_eq!(pct_change(0.0, 5.0), 0.0);
         assert_eq!(pct_saving(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn manifest_dir_makes_runs_emit_inspectable_manifests() {
+        let dir = std::env::temp_dir().join("mobicore-runner-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        set_manifest_dir(Some(dir.clone()));
+        let p = profiles::nexus5();
+        let f = p.opps().min_khz();
+        run_pinned(
+            &p,
+            1,
+            f,
+            vec![Box::new(BusyLoop::with_target_util(1, 0.5, f, 1))],
+            1,
+            424_242,
+        );
+        set_manifest_dir(None);
+        // Other tests may run concurrently and also drop manifests here;
+        // just require that *our* seed shows up as a parseable manifest.
+        let mine: Vec<_> = std::fs::read_dir(&dir)
+            .expect("manifest dir created")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains("seed424242"))
+            .collect();
+        assert_eq!(mine.len(), 1, "exactly one manifest for our seed");
+        let text = std::fs::read_to_string(mine[0].path()).expect("readable");
+        let m = mobicore_telemetry::RunManifest::from_json_text(&text).expect("parses");
+        assert_eq!(m.kind, "experiment");
+        assert_eq!(m.seed, 424_242);
+        assert!(m.wall_ms.is_some(), "wall clock stamped");
+        assert!(m.created_unix_ms.is_some(), "creation time stamped");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::dvfs::DvfsGovernor;
 use crate::hotplug::HotplugPolicy;
 use mobicore_model::OppTable;
 use mobicore_sim::{CpuControl, CpuPolicy, PolicySnapshot};
+use mobicore_telemetry::EventData;
 
 /// A composed DVFS + DCS policy.
 pub struct GovernorPolicy {
@@ -90,6 +91,19 @@ impl CpuPolicy for GovernorPolicy {
     fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
         // DVFS half: one cluster-wide frequency.
         let khz = self.dvfs.target(snap, &self.opps);
+        let from_khz = snap
+            .cores
+            .iter()
+            .find(|c| c.online)
+            .map_or(0, |c| c.target_khz.0);
+        if khz.0 != from_khz {
+            ctl.note(EventData::DvfsDecision {
+                governor: self.dvfs.name().to_string(),
+                util_pct: snap.overall_util.as_fraction() * 100.0,
+                from_khz,
+                to_khz: khz.0,
+            });
+        }
         ctl.set_freq_all(khz);
 
         // DCS half, at its slower cadence.
@@ -97,6 +111,13 @@ impl CpuPolicy for GovernorPolicy {
             if self.sample_count.is_multiple_of(self.hotplug_every) {
                 let want = hp.target_online(snap).clamp(1, snap.cores.len());
                 let online_now = snap.online_count();
+                if want != online_now {
+                    ctl.note(EventData::HotplugDecision {
+                        policy: hp.name().to_string(),
+                        online_now,
+                        want,
+                    });
+                }
                 if want > online_now {
                     // bring in the lowest offline ids first
                     let mut need = want - online_now;

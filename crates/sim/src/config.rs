@@ -49,6 +49,10 @@ pub struct SimConfig {
     pub mpdecision_enabled: bool,
     /// Period of the thermal-engine control loop, µs (default 100 ms).
     pub thermal_poll_us: u64,
+    /// Whether the run records telemetry (typed decision events plus
+    /// metric rollups; default on). Disabling reduces every telemetry
+    /// call in the hot loop to a single branch.
+    pub telemetry: bool,
 }
 
 impl SimConfig {
@@ -64,6 +68,7 @@ impl SimConfig {
             bandwidth_period_us: 100_000,
             mpdecision_enabled: true,
             thermal_poll_us: 100_000,
+            telemetry: true,
         }
     }
 
@@ -100,6 +105,13 @@ impl SimConfig {
     #[must_use]
     pub fn without_mpdecision(mut self) -> Self {
         self.mpdecision_enabled = false;
+        self
+    }
+
+    /// Turns telemetry recording on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -169,10 +181,13 @@ mod tests {
             .with_duration_secs(2)
             .with_seed(42)
             .with_trace(TraceLevel::Full)
-            .without_mpdecision();
+            .without_mpdecision()
+            .with_telemetry(false);
         assert_eq!(cfg.duration_us, 2_000_000);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.trace, TraceLevel::Full);
         assert!(!cfg.mpdecision_enabled);
+        assert!(!cfg.telemetry);
+        assert!(SimConfig::new(profiles::nexus5()).telemetry, "default on");
     }
 }

@@ -9,6 +9,7 @@
 //! trait.
 
 use mobicore_model::{quantize_u64, Khz, Quota, Utilization};
+use mobicore_telemetry::EventData;
 
 /// Identifier of a CPU core (`0..n_cores`). Core 0 is the boot core and
 /// can never be off-lined, as on Linux.
@@ -174,9 +175,16 @@ pub enum Command {
 ///
 /// The simulator applies them after the callback returns, mirroring how
 /// sysfs writes take effect asynchronously on a real kernel.
+///
+/// Besides commands, a policy can attach telemetry *notes* — typed
+/// [`EventData`] records explaining the decision (mode classification,
+/// governor inputs). The simulator timestamps them and feeds them into
+/// the run's [`Telemetry`](mobicore_telemetry::Telemetry) sink; when
+/// telemetry is disabled they are dropped on the floor.
 #[derive(Debug, Default)]
 pub struct CpuControl {
     commands: Vec<Command>,
+    notes: Vec<EventData>,
 }
 
 impl CpuControl {
@@ -213,6 +221,21 @@ impl CpuControl {
     /// Drains the queued commands.
     pub fn take(&mut self) -> Vec<Command> {
         std::mem::take(&mut self.commands)
+    }
+
+    /// Attaches a telemetry note explaining this invocation's decision.
+    pub fn note(&mut self, data: EventData) {
+        self.notes.push(data);
+    }
+
+    /// The attached notes, in issue order.
+    pub fn notes(&self) -> &[EventData] {
+        &self.notes
+    }
+
+    /// Drains the attached notes.
+    pub fn take_notes(&mut self) -> Vec<EventData> {
+        std::mem::take(&mut self.notes)
     }
 }
 

@@ -16,6 +16,7 @@ use crate::thermal::ThermalModel;
 use crate::trace::{Trace, TraceSample};
 use crate::workload::{Workload, WorkloadRt};
 use mobicore_model::{Khz, Quota};
+use mobicore_telemetry::{EventData, RunManifest, Telemetry};
 
 /// One simulated device run.
 ///
@@ -27,6 +28,27 @@ use mobicore_model::{Khz, Quota};
 /// let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, Khz(960_000))))?;
 /// let report = sim.run();
 /// assert!(report.avg_power_mw > 0.0);
+/// # Ok::<(), mobicore_sim::SimError>(())
+/// ```
+///
+/// Every run records itself (docs/observability.md): telemetry is on by
+/// default, the event stream exports as JSONL, and [`Simulation::manifest`]
+/// summarizes the run for `mobicore-inspect`:
+///
+/// ```
+/// use mobicore_sim::{SimConfig, Simulation, builtin::PinnedPolicy};
+/// use mobicore_model::{profiles, Khz};
+///
+/// let cfg = SimConfig::new(profiles::nexus5()).with_duration_us(500_000);
+/// let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(2, Khz(1_190_400))))?;
+/// sim.run();
+///
+/// assert!(sim.telemetry().is_enabled());
+/// let manifest = sim.manifest("doctest");
+/// assert_eq!(manifest.profile, "Nexus 5");
+/// assert!(manifest.metrics["sim.ticks"] > 0.0);
+/// let events = sim.events_jsonl(); // one JSON object per line
+/// assert!(events.lines().all(|l| l.contains("\"kind\"")));
 /// # Ok::<(), mobicore_sim::SimError>(())
 /// ```
 pub struct Simulation {
@@ -54,6 +76,12 @@ pub struct Simulation {
     core_energy: f64,
     /// Sysfs writes that parsed to nonsense (kernel would return EINVAL).
     pub invalid_sysfs_writes: u64,
+    telemetry: Telemetry,
+    /// Thermal OPP cap after the previous tick, for throttle/clear edges.
+    last_thermal_cap: usize,
+    /// Whether the bandwidth pool denied runtime in the previous tick,
+    /// for the edge-triggered `bw-throttle` event.
+    bw_denied_last_tick: bool,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -134,6 +162,12 @@ impl Simulation {
             if cfg.mpdecision_enabled { "1" } else { "0" },
         );
         let sampling = policy.sampling_period_us().max(cfg.tick_us);
+        let telemetry = if cfg.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let last_thermal_cap = cfg.profile.opps().max_index();
         Ok(Simulation {
             mpdecision_enabled: cfg.mpdecision_enabled,
             cfg,
@@ -157,6 +191,9 @@ impl Simulation {
             cluster_energy: 0.0,
             core_energy: 0.0,
             invalid_sysfs_writes: 0,
+            telemetry,
+            last_thermal_cap,
+            bw_denied_last_tick: false,
         })
     }
 
@@ -267,28 +304,38 @@ impl Simulation {
         }
     }
 
+    /// Requests `idx` on `core`, emitting a `freq-change` event when the
+    /// (OPP-snapped) target actually moves.
+    fn request_opp_traced(&mut self, core: usize, idx: usize, requested: Khz) {
+        let opps = self.cfg.profile.opps();
+        let old = self.cpus.core(core).target_opp;
+        if idx != old {
+            self.telemetry.emit(
+                self.now_us,
+                EventData::FreqChange {
+                    core,
+                    from_khz: opps.get_clamped(old).khz.0,
+                    to_khz: opps.get_clamped(idx).khz.0,
+                    requested_khz: requested.0,
+                },
+            );
+        }
+        self.cpus
+            .request_opp(core, idx, self.now_us, self.cfg.profile.dvfs_latency_us());
+    }
+
     fn apply_command(&mut self, cmd: Command) {
         match cmd {
             Command::SetFreq { core, khz } => {
                 if core < self.cpus.len() {
                     let idx = self.cfg.profile.opps().ceil_index(khz);
-                    self.cpus.request_opp(
-                        core,
-                        idx,
-                        self.now_us,
-                        self.cfg.profile.dvfs_latency_us(),
-                    );
+                    self.request_opp_traced(core, idx, khz);
                 }
             }
             Command::SetFreqAll { khz } => {
                 let idx = self.cfg.profile.opps().ceil_index(khz);
                 for i in 0..self.cpus.len() {
-                    self.cpus.request_opp(
-                        i,
-                        idx,
-                        self.now_us,
-                        self.cfg.profile.dvfs_latency_us(),
-                    );
+                    self.request_opp_traced(i, idx, khz);
                 }
             }
             Command::SetOnline { core, online } => {
@@ -297,7 +344,26 @@ impl Simulation {
                 }
                 if !online && (core == 0 || self.mpdecision_enabled) {
                     self.cpus.rejected_offline_requests += 1;
+                    self.telemetry.emit(
+                        self.now_us,
+                        EventData::HotplugVetoed {
+                            core,
+                            // Core 0 is unpluggable regardless; anything
+                            // else got here because mpdecision is running.
+                            mpdecision: core != 0,
+                        },
+                    );
                     return;
+                }
+                if online != self.cpus.core(core).online {
+                    self.telemetry.emit(
+                        self.now_us,
+                        if online {
+                            EventData::CoreOnline { core }
+                        } else {
+                            EventData::CoreOffline { core }
+                        },
+                    );
                 }
                 self.cpus.request_online(
                     core,
@@ -307,7 +373,16 @@ impl Simulation {
                 );
             }
             Command::SetQuota(q) => {
+                let old = self.bw.quota().as_fraction();
                 self.bw.set_quota(q, self.now_us);
+                let new = self.bw.quota().as_fraction();
+                if new < old {
+                    self.telemetry
+                        .emit(self.now_us, EventData::QuotaShrink { from: old, to: new });
+                } else if new > old {
+                    self.telemetry
+                        .emit(self.now_us, EventData::QuotaRestore { from: old, to: new });
+                }
             }
         }
     }
@@ -484,7 +559,21 @@ impl Simulation {
             let snap = self.build_snapshot();
             let mut ctl = CpuControl::new();
             self.policy.on_sample(&snap, &mut ctl);
-            for cmd in ctl.take() {
+            if self.telemetry.is_enabled() {
+                self.telemetry.count("sim.samples", 1);
+                self.telemetry
+                    .record("overall_util_pct", snap.overall_util.as_fraction() * 100.0);
+                self.telemetry
+                    .record("quota_pct", snap.quota.as_fraction() * 100.0);
+            }
+            // Notes first: the decision record should precede the
+            // freq/hotplug/quota events it causes at the same timestamp.
+            for note in ctl.take_notes() {
+                self.telemetry.emit(now, note);
+            }
+            let cmds = ctl.take();
+            self.telemetry.count("sim.commands", cmds.len() as u64);
+            for cmd in cmds {
                 self.apply_command(cmd);
             }
             self.last_sample_us = now;
@@ -524,6 +613,16 @@ impl Simulation {
             },
         );
         self.bw.charge(outcome.used_runtime_us, outcome.denied_us);
+        let denied = outcome.denied_us > 0;
+        if denied && !self.bw_denied_last_tick {
+            self.telemetry.emit(
+                now,
+                EventData::BwThrottle {
+                    denied_us: outcome.denied_us,
+                },
+            );
+        }
+        self.bw_denied_last_tick = denied;
         self.executed_cycles += outcome.executed_cycles;
         for i in 0..self.cpus.len() {
             let f = self.cpus.effective_khz(&self.cfg.profile, i);
@@ -544,7 +643,24 @@ impl Simulation {
         self.cluster_energy += breakdown.cluster_mw * tick as f64;
         self.core_energy += breakdown.core_mw.iter().sum::<f64>() * tick as f64;
         self.meter.record(now, tick, power);
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("sim.ticks", 1);
+            self.telemetry.record("power_mw", power);
+            self.telemetry.gauge("temp_c", self.thermal.temp_c());
+        }
         let cap = self.thermal.tick(now, tick, power);
+        if cap != self.last_thermal_cap {
+            let temp_c = self.thermal.temp_c();
+            self.telemetry.emit(
+                now,
+                if cap < self.last_thermal_cap {
+                    EventData::ThermalThrottle { cap_opp: cap, temp_c }
+                } else {
+                    EventData::ThermalClear { cap_opp: cap, temp_c }
+                },
+            );
+            self.last_thermal_cap = cap;
+        }
         self.cpus.thermal_cap_opp = cap;
         if now >= self.next_trace_us {
             self.refresh_sysfs();
@@ -614,6 +730,72 @@ impl Simulation {
             power_series: self.meter.samples().to_vec(),
             time_in_state_us: self.cpus.time_in_state_total(),
             trace: self.trace.clone(),
+        }
+    }
+
+    /// The run's telemetry sink (empty when the config disabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The run's decision events as JSONL, ready for
+    /// `mobicore-inspect events`.
+    pub fn events_jsonl(&self) -> String {
+        self.telemetry.events_jsonl()
+    }
+
+    /// Builds the run manifest for whatever has run so far: report
+    /// aggregates plus telemetry rollups and event totals, keyed by the
+    /// run's identity (policy, profile, seed). The caller may stamp
+    /// `git` / `created_unix_ms` / `wall_ms` before writing it out.
+    pub fn manifest(&self, name: &str) -> RunManifest {
+        let report = self.report();
+        let mut metrics = self.telemetry.metrics().rollups();
+        #[allow(clippy::cast_precision_loss)]
+        let mut scalar = |k: &str, v: f64| {
+            metrics.insert(k.to_string(), v);
+        };
+        scalar("avg_power_mw", report.avg_power_mw);
+        scalar("max_power_mw", report.max_power_mw);
+        scalar("energy_mj", report.energy_mj);
+        scalar("avg_overall_util_pct", report.avg_overall_util * 100.0);
+        scalar("avg_online_cores", report.avg_online_cores);
+        scalar("avg_khz_online", report.avg_khz_online);
+        scalar("avg_temp_c", report.avg_temp_c);
+        scalar("max_temp_c", report.max_temp_c);
+        scalar("thermal_throttled_frac", report.thermal_throttled_frac);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            scalar("bw_throttled_us", report.bw_throttled_us as f64);
+            scalar("executed_cycles", report.executed_cycles as f64);
+            scalar(
+                "rejected_offline_requests",
+                report.rejected_offline_requests as f64,
+            );
+            scalar("invalid_sysfs_writes", self.invalid_sysfs_writes as f64);
+            scalar("dropped_events", self.telemetry.dropped_events() as f64);
+        }
+        scalar("avg_quota", report.avg_quota);
+        let mut tags = std::collections::BTreeMap::new();
+        tags.insert("cores".to_string(), self.cpus.len().to_string());
+        tags.insert(
+            "mpdecision".to_string(),
+            if self.cfg.mpdecision_enabled { "1" } else { "0" }.to_string(),
+        );
+        tags.insert("tick_us".to_string(), self.cfg.tick_us.to_string());
+        RunManifest {
+            kind: "simulation".to_string(),
+            name: name.to_string(),
+            policy: report.policy,
+            profile: self.cfg.profile.name().to_string(),
+            seed: self.cfg.seed,
+            duration_us: self.now_us,
+            git: None,
+            created_unix_ms: None,
+            wall_ms: None,
+            tags,
+            metrics,
+            event_counts: self.telemetry.event_counts(),
         }
     }
 }

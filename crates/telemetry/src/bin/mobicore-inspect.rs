@@ -1,0 +1,219 @@
+//! `mobicore-inspect` — reads back what a run wrote down.
+//!
+//! ```text
+//! mobicore-inspect summary RUN.json...
+//! mobicore-inspect diff A.json B.json
+//! mobicore-inspect events [--kind KIND] [--since US] [--until US] RUN.jsonl
+//! mobicore-inspect kinds
+//! ```
+//!
+//! Exit codes: 0 = success, 1 = unreadable/malformed input (or, for
+//! `diff`, metric differences found), 2 = usage error.
+
+#![deny(unsafe_code)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+
+use mobicore_telemetry::{events_from_jsonl, EventKind, RunManifest};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Prints `text` (no newline added) to stdout, exiting quietly and
+/// successfully when the reader has gone away — so
+/// `mobicore-inspect kinds | head -3` is not a panic.
+fn out(text: &str) {
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn outln(text: &str) {
+    out(text);
+    out("\n");
+}
+
+fn usage() -> &'static str {
+    "usage: mobicore-inspect summary RUN.json...\n\
+     \x20      mobicore-inspect diff A.json B.json\n\
+     \x20      mobicore-inspect events [--kind KIND] [--since US] [--until US] RUN.jsonl\n\
+     \x20      mobicore-inspect kinds\n\
+     \n\
+     summary  renders one or more run manifests (written by the simulator,\n\
+     \x20        the experiments runner, or the bench harness)\n\
+     diff     compares two manifests metric-by-metric; exits 1 when they\n\
+     \x20        differ, so it can gate scripts\n\
+     events   prints a JSONL event stream, optionally filtered by kind\n\
+     \x20        (`--kind hotplug` matches all hotplug-related kinds) and by\n\
+     \x20        a [--since, --until) microsecond window\n\
+     kinds    lists every event kind the stream format can carry"
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_manifest(path: &str) -> Result<RunManifest, String> {
+    RunManifest::from_json_text(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_summary(paths: &[String]) -> Result<ExitCode, String> {
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            outln("");
+        }
+        let m = read_manifest(path)?;
+        if paths.len() > 1 {
+            outln(&format!("== {path} =="));
+        }
+        out(&m.summary_text());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(a_path: &str, b_path: &str) -> Result<ExitCode, String> {
+    let a = read_manifest(a_path)?;
+    let b = read_manifest(b_path)?;
+    outln(&format!(
+        "a: {} (policy {}, profile {}, seed {})",
+        a_path, a.policy, a.profile, a.seed
+    ));
+    outln(&format!(
+        "b: {} (policy {}, profile {}, seed {})",
+        b_path, b.policy, b.profile, b.seed
+    ));
+    let d = a.diff(&b);
+    out(&d.summary_text());
+    let same = d.changed().count() == 0 && d.only_a.is_empty() && d.only_b.is_empty();
+    Ok(if same { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Expands a `--kind` argument: an exact wire name, or the `hotplug`
+/// umbrella covering every hotplug-related kind.
+fn expand_kind(arg: &str) -> Option<Vec<EventKind>> {
+    if arg == "hotplug" {
+        return Some(vec![
+            EventKind::CoreOnline,
+            EventKind::CoreOffline,
+            EventKind::HotplugVetoed,
+            EventKind::HotplugDecision,
+        ]);
+    }
+    EventKind::from_name(arg).map(|k| vec![k])
+}
+
+fn cmd_events(
+    path: &str,
+    kinds: Option<Vec<EventKind>>,
+    since: u64,
+    until: u64,
+) -> Result<ExitCode, String> {
+    let events = events_from_jsonl(&read_file(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let mut shown = 0usize;
+    for e in &events {
+        if e.t_us < since || e.t_us >= until {
+            continue;
+        }
+        if let Some(ks) = &kinds {
+            if !ks.contains(&e.kind()) {
+                continue;
+            }
+        }
+        outln(&e.to_json().to_compact());
+        shown += 1;
+    }
+    eprintln!("{shown} of {} events", events.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = argv.first() else {
+        return Err(String::new());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "summary" => {
+            if rest.is_empty() {
+                return Err("summary needs at least one RUN.json".to_string());
+            }
+            cmd_summary(rest)
+        }
+        "diff" => match rest {
+            [a, b] => cmd_diff(a, b),
+            _ => Err("diff needs exactly two manifests: A.json B.json".to_string()),
+        },
+        "events" => {
+            let mut kinds: Option<Vec<EventKind>> = None;
+            let mut since = 0u64;
+            let mut until = u64::MAX;
+            let mut path: Option<&String> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--kind" => {
+                        let arg = it.next().ok_or("--kind needs a value")?;
+                        kinds = Some(expand_kind(arg).ok_or_else(|| {
+                            format!("unknown event kind `{arg}` (see `mobicore-inspect kinds`)")
+                        })?);
+                    }
+                    "--since" => {
+                        let arg = it.next().ok_or("--since needs a microsecond value")?;
+                        since = arg
+                            .parse()
+                            .map_err(|_| format!("--since {arg}: not a microsecond count"))?;
+                    }
+                    "--until" => {
+                        let arg = it.next().ok_or("--until needs a microsecond value")?;
+                        until = arg
+                            .parse()
+                            .map_err(|_| format!("--until {arg}: not a microsecond count"))?;
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown argument `{other}`"));
+                    }
+                    _ => {
+                        if path.replace(a).is_some() {
+                            return Err("events takes exactly one RUN.jsonl".to_string());
+                        }
+                    }
+                }
+            }
+            let path = path.ok_or("events needs a RUN.jsonl")?;
+            cmd_events(path, kinds, since, until)
+        }
+        "kinds" => {
+            for k in EventKind::ALL {
+                outln(k.name());
+            }
+            outln("hotplug (umbrella: core-online core-offline hotplug-vetoed hotplug-decision)");
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => Err(String::new()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(msg) if msg.is_empty() => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+        Err(msg) => {
+            // Usage mistakes exit 2; data problems (unreadable files,
+            // malformed JSON) exit 1, mirroring `checker`.
+            let is_usage = msg.contains("needs")
+                || msg.contains("unknown argument")
+                || msg.contains("unknown command")
+                || msg.contains("unknown event kind")
+                || msg.contains("exactly");
+            eprintln!("mobicore-inspect: {msg}");
+            if is_usage {
+                eprintln!("{}", usage());
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Counters, gauges and log-linear histograms.
+//!
+//! The histogram uses log-linear bucketing (4 linear sub-buckets per
+//! power of two, like HdrHistogram's coarse mode): relative error is
+//! bounded at ~25 % per bucket across the whole positive range with a
+//! fixed 250-ish-slot footprint, so recording is one array increment —
+//! cheap enough for the per-tick hot path.
+
+use std::collections::BTreeMap;
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 4;
+/// Octaves covered (values up to 2^62 land in a real bucket).
+const OCTAVES: usize = 62;
+
+/// A log-linear histogram of non-negative values.
+///
+/// Values below 1.0 (and negative values) land in bucket 0; the exact
+/// `min`/`max`/`sum` are tracked alongside, so means and extremes are
+/// not quantized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; 1 + OCTAVES * SUB_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if !(v >= 1.0) || !v.is_finite() {
+            return 0;
+        }
+        // Octave = floor(log2 v); sub-bucket = position inside [2^e, 2^{e+1}).
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let e = (v.log2().floor() as usize).min(OCTAVES - 1);
+        let lo = (2.0f64).powi(i32::try_from(e).unwrap_or(i32::MAX));
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let sub = (((v / lo) - 1.0) * SUB_BUCKETS as f64).floor() as usize;
+        1 + e * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
+    }
+
+    /// The value range `[lo, hi)` of bucket `idx`.
+    fn bucket_bounds(idx: usize) -> (f64, f64) {
+        if idx == 0 {
+            return (0.0, 1.0);
+        }
+        let e = (idx - 1) / SUB_BUCKETS;
+        let sub = (idx - 1) % SUB_BUCKETS;
+        let lo2 = (2.0f64).powi(i32::try_from(e).unwrap_or(i32::MAX));
+        let width = lo2 / SUB_BUCKETS as f64;
+        let lo = lo2 + sub as f64 * width;
+        (lo, lo + width)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum / self.count as f64
+            }
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), approximated to the containing
+    /// bucket's midpoint and clamped to the exact `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                return ((lo + hi) / 2.0).clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+}
+
+/// A named registry of counters, gauges and histograms.
+///
+/// Names are sorted (`BTreeMap`) so every serialization of the same
+/// registry is byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Counter value, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if the gauge exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, name-sorted.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// Flattens everything into scalar rollups for a manifest: counters
+    /// and gauges verbatim; each histogram as `name.count`, `name.mean`,
+    /// `name.p50`, `name.p99` and `name.max`.
+    pub fn rollups(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            #[allow(clippy::cast_precision_loss)]
+            out.insert(k.clone(), v as f64);
+        }
+        for (k, &v) in &self.gauges {
+            out.insert(k.clone(), v);
+        }
+        for (k, h) in &self.histograms {
+            #[allow(clippy::cast_precision_loss)]
+            out.insert(format!("{k}.count"), h.count() as f64);
+            out.insert(format!("{k}.mean"), h.mean());
+            out.insert(format!("{k}.p50"), h.quantile(0.5));
+            out.insert(format!("{k}.p99"), h.quantile(0.99));
+            out.insert(format!("{k}.max"), h.max());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.0, 5.0, 1000.0, 0.25] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0.25);
+        assert_eq!(h.max(), 1000.0);
+        assert!((h.mean() - 1008.25 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u32 {
+            h.record(f64::from(i));
+        }
+        // Log-linear with 4 sub-buckets: ≤ 25 % relative error.
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.25, "{p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.25, "{p99}");
+        assert_eq!(h.quantile(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn sub_unit_and_negative_values_share_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0.001);
+        h.record(-5.0);
+        h.record(0.999);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -5.0);
+        assert!(h.quantile(0.5) <= 0.999, "bucket-0 midpoint clamped to max");
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(1e300);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1e300);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_of() {
+        for v in [1.0, 1.3, 2.0, 3.9, 4.0, 1000.0, 123_456.789] {
+            let idx = Histogram::bucket_of(v);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi}) (bucket {idx})");
+        }
+    }
+
+    #[test]
+    fn metric_set_rollups() {
+        let mut m = MetricSet::new();
+        m.inc("sim.ticks", 100);
+        m.inc("sim.ticks", 50);
+        m.set_gauge("sim.temp_c", 31.5);
+        m.record("power_mw", 500.0);
+        m.record("power_mw", 700.0);
+        assert_eq!(m.counter("sim.ticks"), Some(150));
+        assert_eq!(m.gauge("sim.temp_c"), Some(31.5));
+        assert_eq!(m.histogram("power_mw").unwrap().count(), 2);
+        let roll = m.rollups();
+        assert_eq!(roll.get("sim.ticks"), Some(&150.0));
+        assert_eq!(roll.get("power_mw.count"), Some(&2.0));
+        assert_eq!(roll.get("power_mw.max"), Some(&700.0));
+        assert!((roll.get("power_mw.mean").unwrap() - 600.0).abs() < 1e-12);
+        assert!(roll.contains_key("power_mw.p50") && roll.contains_key("power_mw.p99"));
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end tests for the `mobicore-inspect` binary: exit codes,
+//! summary/diff/events rendering, and kind filtering, driven through the
+//! real executable on manifests and event streams written to a temp dir.
+
+use mobicore_telemetry::{EventData, RunManifest, Telemetry};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mobicore-inspect"))
+        .args(args)
+        .output()
+        .expect("mobicore-inspect binary should spawn")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch dir under the target directory (no tempfile crate
+/// in the offline workspace); removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("inspect-cli-{tag}"));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let path = self.0.join(name);
+        std::fs::write(&path, contents).expect("write scratch file");
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn manifest(seed: u64, power: f64) -> RunManifest {
+    RunManifest {
+        kind: "simulation".into(),
+        name: "cli-test".into(),
+        policy: "mobicore".into(),
+        profile: "mixed".into(),
+        seed,
+        duration_us: 5_000_000,
+        git: None,
+        created_unix_ms: None,
+        wall_ms: None,
+        tags: BTreeMap::new(),
+        metrics: BTreeMap::from([
+            ("avg_power_mw".to_string(), power),
+            ("energy_mj".to_string(), power * 5.0),
+        ]),
+        event_counts: BTreeMap::from([("freq-change".to_string(), 42)]),
+    }
+}
+
+#[test]
+fn summary_renders_a_manifest() {
+    let dir = Scratch::new("summary");
+    let path = dir.file("run.json", &manifest(7, 800.5).to_json_text());
+    let out = run(&["summary", &path]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["mobicore", "mixed", "5.000 s simulated", "freq-change", "avg_power_mw"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn diff_on_different_runs_exits_one_with_deltas() {
+    let dir = Scratch::new("diff");
+    let a = dir.file("a.json", &manifest(1, 800.0).to_json_text());
+    let b = dir.file("b.json", &manifest(2, 700.0).to_json_text());
+    let out = run(&["diff", &a, &b]);
+    assert_eq!(out.status.code(), Some(1), "diff should signal differences");
+    let text = stdout(&out);
+    assert!(text.contains("avg_power_mw"), "{text}");
+    assert!(text.contains("-12.5%"), "pct column:\n{text}");
+}
+
+#[test]
+fn diff_on_identical_runs_exits_zero() {
+    let dir = Scratch::new("diff-same");
+    let a = dir.file("a.json", &manifest(1, 800.0).to_json_text());
+    let b = dir.file("b.json", &manifest(1, 800.0).to_json_text());
+    let out = run(&["diff", &a, &b]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("no metric differences"));
+}
+
+#[test]
+fn events_filters_by_kind_umbrella_and_window() {
+    let mut t = Telemetry::enabled();
+    t.emit(1_000, EventData::CoreOffline { core: 3 });
+    t.emit(
+        2_000,
+        EventData::FreqChange {
+            core: 0,
+            from_khz: 300_000,
+            to_khz: 960_000,
+            requested_khz: 900_000,
+        },
+    );
+    t.emit(3_000, EventData::CoreOnline { core: 3 });
+    let dir = Scratch::new("events");
+    let path = dir.file("run.jsonl", &t.events_jsonl());
+
+    let out = run(&["events", "--kind", "hotplug", &path]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 2, "{text}");
+    assert!(!text.contains("freq-change"), "{text}");
+    assert!(stderr(&out).contains("2 of 3 events"));
+
+    let out = run(&["events", "--since", "2000", "--until", "3000", &path]);
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 1, "{text}");
+    assert!(text.contains("freq-change"), "{text}");
+}
+
+#[test]
+fn kinds_lists_every_wire_name() {
+    let out = run(&["kinds"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for k in mobicore_telemetry::EventKind::ALL {
+        assert!(text.contains(k.name()), "missing `{}` in:\n{text}", k.name());
+    }
+}
+
+#[test]
+fn no_command_exits_two_with_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage: mobicore-inspect"));
+}
+
+#[test]
+fn unknown_kind_exits_two() {
+    let dir = Scratch::new("badkind");
+    let path = dir.file("run.jsonl", "");
+    let out = run(&["events", "--kind", "warp-drive", &path]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown event kind"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = run(&["summary", "/nonexistent/run.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("/nonexistent/run.json"));
+}
+
+#[test]
+fn malformed_manifest_exits_one_with_offset() {
+    let dir = Scratch::new("malformed");
+    let path = dir.file("run.json", "{\"schema_version\": 1,");
+    let out = run(&["summary", &path]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("JSON error"), "{}", stderr(&out));
+}

@@ -1,0 +1,76 @@
+//! Golden-file test pinning the manifest wire format.
+//!
+//! A fixed manifest must serialize to byte-identical JSON forever (or the
+//! schema version must be bumped): downstream scripts diff and archive
+//! these files, so accidental format drift is a breaking change. To
+//! re-bless after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p mobicore-telemetry --test golden_manifest
+//! ```
+
+use mobicore_telemetry::RunManifest;
+use std::collections::BTreeMap;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_manifest.json");
+
+/// A fully-populated manifest with every field class exercised:
+/// optional fields both set and null, tags, metrics and event counts.
+fn fixed_manifest() -> RunManifest {
+    RunManifest {
+        kind: "simulation".into(),
+        name: "golden".into(),
+        policy: "mobicore".into(),
+        profile: "mixed".into(),
+        seed: 20_170_315,
+        duration_us: 20_000_000,
+        git: Some("v0-golden".into()),
+        created_unix_ms: None,
+        wall_ms: None,
+        tags: BTreeMap::from([
+            ("cores".to_string(), "4".to_string()),
+            ("governor".to_string(), "mobicore".to_string()),
+        ]),
+        metrics: BTreeMap::from([
+            ("avg_online_cores".to_string(), 2.375),
+            ("avg_power_mw".to_string(), 812.25),
+            ("power_mw.p99".to_string(), 1_984.0),
+            ("sim.ticks".to_string(), 20_000.0),
+        ]),
+        event_counts: BTreeMap::from([
+            ("core-offline".to_string(), 7),
+            ("freq-change".to_string(), 311),
+            ("quota-shrink".to_string(), 12),
+        ]),
+    }
+}
+
+#[test]
+fn manifest_bytes_match_golden_file() {
+    let text = fixed_manifest().to_json_text();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists (run with BLESS=1 to create)");
+    assert_eq!(
+        text, golden,
+        "manifest serialization drifted from the golden file; if intentional, \
+         bump SCHEMA_VERSION and re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_manifest() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    let parsed = RunManifest::from_json_text(&golden).expect("golden file parses");
+    assert_eq!(parsed, fixed_manifest());
+}
+
+#[test]
+fn golden_file_declares_the_current_schema_version() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert!(
+        golden.contains(&format!("\"schema_version\": {}", mobicore_telemetry::SCHEMA_VERSION)),
+        "{golden}"
+    );
+}

@@ -1,0 +1,54 @@
+//! Produce inspectable run artifacts: two short MobiCore sessions with
+//! different seeds, written as run manifests plus one JSONL event trace —
+//! the inputs the README "Inspecting a run" quickstart feeds to
+//! `mobicore-inspect`.
+//!
+//! ```text
+//! cargo run --release --example inspect_run
+//! mobicore-inspect summary run-a.json
+//! mobicore-inspect diff run-a.json run-b.json
+//! mobicore-inspect events --kind hotplug run-a.jsonl
+//! ```
+
+use mobicore::MobiCore;
+use mobicore_model::profiles;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_telemetry::{git_describe, RunManifest};
+use mobicore_workloads::{GameApp, GameProfile};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// One 20 s Subway-Surfers-style session; returns the stamped manifest
+/// and the JSONL event trace.
+fn session(seed: u64) -> Result<(RunManifest, String), mobicore_sim::SimError> {
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(20)
+        .with_seed(seed)
+        .without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile)))?;
+    sim.add_workload(Box::new(GameApp::new(GameProfile::subway_surf(), seed)));
+    let wall = Instant::now();
+    sim.run();
+    let mut m = sim.manifest(&format!("inspect-demo-seed{seed}"));
+    m.git = git_describe(std::path::Path::new("."));
+    m.created_unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok());
+    m.wall_ms = Some(wall.elapsed().as_secs_f64() * 1e3);
+    Ok((m, sim.events_jsonl()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (a, events_a) = session(1)?;
+    let (b, _) = session(2)?;
+    std::fs::write("run-a.json", a.to_json_text())?;
+    std::fs::write("run-b.json", b.to_json_text())?;
+    std::fs::write("run-a.jsonl", &events_a)?;
+    println!("wrote run-a.json, run-b.json, run-a.jsonl");
+    println!();
+    println!("{}", a.summary_text());
+    println!("diff vs seed 2:");
+    println!("{}", a.diff(&b).summary_text());
+    Ok(())
+}

@@ -12,6 +12,7 @@
 //! * [`mobicore_experiments`] — the per-figure/table experiment harness.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![cfg_attr(test, allow(clippy::float_cmp))]

@@ -2,7 +2,7 @@
 //!
 //! A deterministic random-testing harness with the API subset the
 //! workspace uses: the [`proptest!`] macro, [`prop_assert!`] /
-//! [`prop_assert_eq!`], range/tuple/vec strategies, [`Strategy::prop_map`],
+//! [`prop_assert_eq!`], range/tuple/vec strategies, `Strategy::prop_map`,
 //! [`prelude::any`] and `num::f64::ANY`. Differences from the real crate:
 //! cases are generated from a fixed seed (fully reproducible runs) and
 //! failing inputs are reported but not shrunk.
@@ -32,7 +32,7 @@ pub mod strategy {
         }
     }
 
-    /// The combinator behind [`Strategy::prop_map`].
+    /// The combinator behind `Strategy::prop_map`.
     #[derive(Debug, Clone)]
     pub struct Map<S, F> {
         inner: S,
@@ -301,7 +301,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`vec()`](fn@vec).
     pub trait IntoLenRange {
         /// Lower bound (inclusive) and upper bound (inclusive).
         fn bounds(&self) -> (usize, usize);
@@ -326,7 +326,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
