@@ -8,12 +8,14 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_02.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_03.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
+use mobicore_experiments::runner::{run_pinned, ManifestSink};
 use mobicore_model::{profiles, Khz, Quota, Utilization};
 use mobicore_sim::{CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation};
+use mobicore_sweep::Executor;
 use mobicore_telemetry::git_describe;
 use mobicore_workloads::BusyLoop;
 use std::hint::black_box;
@@ -74,8 +76,44 @@ fn sim_throughput(secs: u64) -> (f64, Simulation) {
     (secs as f64 / t.elapsed().as_secs_f64(), sim)
 }
 
+/// Wall-clock jobs/second for a fig03/fig04-shaped pinned sweep (16
+/// jobs × `secs` sim-seconds) on `n_jobs` workers; median of `rounds`.
+fn sweep_jobs_per_s(n_jobs: usize, secs: u64, rounds: usize) -> f64 {
+    let profile = profiles::nexus5();
+    let sink = ManifestSink::disabled();
+    let exec = Executor::new(n_jobs);
+    let mut per_round: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let mut jobs = Vec::new();
+            for &opp in &[0usize, 4, 9, 13] {
+                for cores in 1..=4usize {
+                    jobs.push((cores, opp));
+                }
+            }
+            let n = jobs.len();
+            let t = Instant::now();
+            let reports = exec.run_ordered(jobs, |_, (cores, opp)| {
+                let khz = profile.opps().get_clamped(opp).khz;
+                run_pinned(
+                    &profile,
+                    cores,
+                    khz,
+                    vec![Box::new(BusyLoop::with_target_util(cores, 0.8, khz, 2))],
+                    secs,
+                    20_170_315,
+                    &sink,
+                )
+            });
+            black_box(reports);
+            n as f64 / t.elapsed().as_secs_f64()
+        })
+        .collect();
+    per_round.sort_by(|a, b| a.total_cmp(b));
+    per_round[per_round.len() / 2]
+}
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_02.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_03.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -103,7 +141,19 @@ fn main() {
     let wall = Instant::now();
     let (sim_s_per_wall_s, sim) = sim_throughput(10);
 
-    let mut m = sim.manifest("bench-02");
+    eprintln!("measuring sweep throughput (--jobs 1 vs --jobs 4)...");
+    let sweep_j1 = sweep_jobs_per_s(1, 5, 3);
+    let sweep_j4 = sweep_jobs_per_s(4, 5, 3);
+    let speedup = sweep_j4 / sweep_j1;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "sweep: {sweep_j1:.2} jobs/s (j1) vs {sweep_j4:.2} jobs/s (j4), \
+         speedup ×{speedup:.2} on {host_cpus} host cpu(s)"
+    );
+
+    let mut m = sim.manifest("bench-03");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -115,6 +165,13 @@ fn main() {
     m.metrics.insert("bench.bandwidth_decide_ns".into(), bw_ns);
     m.metrics.insert("bench.dcs_decide_ns".into(), dcs_ns);
     m.metrics.insert("bench.sim_s_per_wall_s".into(), sim_s_per_wall_s);
+    // The headline sweep metric is the --jobs 4 figure-suite rate; j1 and
+    // the ratio are recorded alongside so the trajectory stays readable
+    // on hosts with different core counts (see docs/performance.md).
+    m.metrics.insert("bench.sweep_jobs_per_s".into(), sweep_j4);
+    m.metrics.insert("bench.sweep_jobs_per_s_j1".into(), sweep_j1);
+    m.metrics.insert("bench.sweep_speedup_j4_over_j1".into(), speedup);
+    m.metrics.insert("bench.host_cpus".into(), host_cpus as f64);
 
     match std::fs::write(&out, m.to_json_text()) {
         Ok(()) => {

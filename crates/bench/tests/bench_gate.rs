@@ -1,0 +1,96 @@
+//! Opt-in performance regression gate (ISSUE 3 satellite).
+//!
+//! Compares a freshly measured `bench.sim_s_per_wall_s` against the most
+//! recent committed `BENCH_*.json` at the repo root and fails on a >25 %
+//! regression. Opt-in because a cold CI box's absolute throughput is
+//! noisy: enable with
+//!
+//! ```text
+//! MOBICORE_BENCH_GATE=1 cargo test --release -p mobicore-bench --test bench_gate
+//! ```
+//!
+//! The gate insists on an optimized build — debug-profile throughput is
+//! ~10× below any committed release number, so comparing would only
+//! measure the profile, not a regression.
+
+use mobicore::MobiCore;
+use mobicore_model::profiles;
+use mobicore_sim::{SimConfig, Simulation};
+use mobicore_telemetry::RunManifest;
+use mobicore_workloads::BusyLoop;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Maximum tolerated drop vs the committed baseline.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// The same scenario `bench-manifest` records, so numbers are comparable.
+fn fresh_sim_s_per_wall_s(secs: u64) -> f64 {
+    let profile = profiles::nexus5();
+    let f_max = profile.opps().max_khz();
+    let cfg = SimConfig::new(profile.clone())
+        .with_duration_secs(secs)
+        .with_seed(20_170_315)
+        .without_mpdecision();
+    let mut sim =
+        Simulation::new(cfg, Box::new(MobiCore::new(&profile))).expect("bench config is valid");
+    sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.3, f_max, 2)));
+    let t = Instant::now();
+    sim.run();
+    secs as f64 / t.elapsed().as_secs_f64()
+}
+
+/// The newest committed `BENCH_NN.json` at the repo root, if any.
+fn latest_committed_baseline(root: &Path) -> Option<(PathBuf, f64)> {
+    let mut candidates: Vec<PathBuf> = std::fs::read_dir(root)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    candidates.sort();
+    // Names are BENCH_NN.json, so lexicographic max == newest.
+    let newest = candidates.pop()?;
+    let text = std::fs::read_to_string(&newest).ok()?;
+    let m = RunManifest::from_json_text(&text).ok()?;
+    let v = m.metrics.get("bench.sim_s_per_wall_s").copied()?;
+    Some((newest, v))
+}
+
+#[test]
+fn bench_gate_sim_throughput_within_25_pct_of_committed() {
+    if std::env::var("MOBICORE_BENCH_GATE").as_deref() != Ok("1") {
+        eprintln!("bench gate skipped (set MOBICORE_BENCH_GATE=1 to enable)");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "bench gate skipped: needs an optimized build \
+             (run with `cargo test --release`)"
+        );
+        return;
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Some((baseline_path, baseline)) = latest_committed_baseline(&root) else {
+        eprintln!("bench gate skipped: no committed BENCH_*.json found");
+        return;
+    };
+    let fresh = fresh_sim_s_per_wall_s(10);
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    eprintln!(
+        "bench gate: fresh {fresh:.1} sim-s/wall-s vs baseline {baseline:.1} \
+         ({}), floor {floor:.1}",
+        baseline_path.display()
+    );
+    assert!(
+        fresh >= floor,
+        "sim throughput regressed >{:.0} %: fresh {fresh:.1} < floor {floor:.1} \
+         (baseline {baseline:.1} from {})",
+        MAX_REGRESSION * 100.0,
+        baseline_path.display()
+    );
+}

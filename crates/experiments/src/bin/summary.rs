@@ -21,6 +21,8 @@ fn main() {
     println!("MobiCore reproduction — headline summary (seed {})", runner::SEED);
     println!("────────────────────────────────────────────────────────────");
 
+    let sink = runner::ManifestSink::from_env("summary");
+
     // 1. static benchmark
     let run_bl = |mob: bool| {
         let policy: Box<dyn CpuPolicy> = if mob {
@@ -34,6 +36,7 @@ fn main() {
             vec![Box::new(BusyLoop::with_target_util(4, 0.3, f_max, runner::SEED))],
             secs,
             runner::SEED,
+            &sink,
         )
     };
     let (a, m) = (run_bl(false), run_bl(true));
@@ -56,6 +59,7 @@ fn main() {
             vec![Box::new(GeekBenchApp::standard(4))],
             secs,
             runner::SEED,
+            &sink,
         )
     };
     let (ga, gm) = (run_gb(false), run_gb(true));

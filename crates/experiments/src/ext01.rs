@@ -39,6 +39,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     );
     res.line("policy,busyloop30_mw,geekbench_score,geekbench_mw,score_per_w");
 
+    let sink = runner::ManifestSink::from_env("ext01");
     let rows = parallel_map(kinds.to_vec(), |kind| {
         let bl = runner::run_policy(
             &profile,
@@ -51,6 +52,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         let gb = runner::run_policy(
             &profile,
@@ -58,6 +60,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(GeekBenchApp::standard(4))],
             secs,
             runner::SEED,
+            &sink,
         );
         (
             kind,

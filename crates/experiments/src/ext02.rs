@@ -25,6 +25,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     );
     res.line("policy,avg_power_mw,max_temp_c,firmware_throttle_frac,executed_gcycles");
 
+    let sink = runner::ManifestSink::from_env("ext02");
     let rows = parallel_map(vec![false, true], |thermal_aware| {
         let policy: Box<dyn CpuPolicy> = if thermal_aware {
             Box::new(ThermalAwareMobiCore::new(&profile))
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (thermal_aware, r)
     });

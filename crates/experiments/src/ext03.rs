@@ -42,6 +42,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     // deep_frac = fraction of WFI power a collapsed core still draws;
     // None = the paper's Nexus 5 (WFI only).
     let configs: Vec<Option<f64>> = vec![None, Some(0.6), Some(0.3), Some(0.1), Some(0.02)];
+    let sink = runner::ManifestSink::from_env("ext03");
     let rows = parallel_map(configs, |deep| {
         let profile = device_with_idle(deep);
         let f_max = profile.opps().max_khz();
@@ -57,6 +58,7 @@ pub fn run(quick: bool) -> ExperimentResult {
                 ))],
                 secs,
                 runner::SEED,
+                &sink,
             )
             .avg_power_mw
         };

@@ -32,6 +32,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         jobs.push((u, false));
         jobs.push((u, true));
     }
+    let sink = runner::ManifestSink::from_env("ext04");
     let rows = parallel_map(jobs, |(u, mob)| {
         let policy: Box<dyn CpuPolicy> = if mob {
             Box::new(MobiCore::new(&profile))
@@ -49,6 +50,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (u, mob, r)
     });

@@ -64,6 +64,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.line("hotplug,avg_power_mw,avg_cores,video_frames,launches,launch_latency_ms");
 
     let kinds = ["no-hotplug", "default-hotplug", "rq-hotplug", "mobicore"];
+    let sink = runner::ManifestSink::from_env("ext05");
     let rows = parallel_map(kinds.to_vec(), |kind| {
         let r = runner::run_policy(
             &profile,
@@ -71,6 +72,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(mixed_scenario(f_max, secs))],
             secs,
             runner::SEED,
+            &sink,
         );
         (kind, r)
     });

@@ -20,6 +20,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.line("device,cores,avg_power_mw");
 
     let fleet = profiles::figure1_fleet();
+    let sink = runner::ManifestSink::from_env("fig01");
     let rows = parallel_map(fleet, |profile| {
         let f_max = profile.opps().max_khz();
         let report = runner::run_pinned(
@@ -34,6 +35,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (
             profile.name().to_string(),

@@ -18,6 +18,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.line("device,steady_temp_c,avg_power_mw,throttled_frac");
 
     let devices = vec![profiles::nexus_s(), profiles::nexus5()];
+    let sink = runner::ManifestSink::from_env("fig02");
     let rows = parallel_map(devices, |profile| {
         let f_max = profile.opps().max_khz();
         let report = runner::run_pinned(
@@ -32,6 +33,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (
             profile.name().to_string(),

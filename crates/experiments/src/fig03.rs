@@ -34,6 +34,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             jobs.push((f, u));
         }
     }
+    let sink = runner::ManifestSink::from_env("fig03");
     let rows = parallel_map(jobs, |(f, u)| {
         let report = runner::run_pinned(
             &profile,
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(BusyLoop::with_target_util(1, u, f, runner::SEED))],
             secs,
             runner::SEED,
+            &sink,
         );
         (f, u, report.avg_power_mw)
     });

@@ -31,6 +31,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             jobs.push((f, n));
         }
     }
+    let sink = runner::ManifestSink::from_env("fig04");
     let rows = parallel_map(jobs, |(f, n)| {
         let report = runner::run_pinned(
             &profile,
@@ -39,6 +40,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(BusyLoop::with_target_util(n, 1.0, f, runner::SEED))],
             secs,
             runner::SEED,
+            &sink,
         );
         (f, n, report.avg_power_mw, report.thermal_throttled_frac)
     });

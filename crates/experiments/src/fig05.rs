@@ -40,6 +40,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             jobs.push((load, p.point.cores, p.point.opp_idx, p.per_core_util));
         }
     }
+    let sink = runner::ManifestSink::from_env("fig05");
     let rows = parallel_map(jobs, |(load, cores, opp_idx, util)| {
         let khz = profile.opps().get_clamped(opp_idx).khz;
         let report = runner::run_pinned(
@@ -54,6 +55,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (load, cores, khz, util, report.avg_power_mw)
     });

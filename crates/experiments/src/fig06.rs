@@ -27,6 +27,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     );
     res.line("freq_mhz,score,avg_power_mw");
 
+    let sink = runner::ManifestSink::from_env("fig06");
     let rows = parallel_map(idxs, |i| {
         let khz = profile.opps().get_clamped(i).khz;
         let report = runner::run_pinned(
@@ -36,6 +37,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(GeekBenchApp::standard(1))],
             secs,
             runner::SEED,
+            &sink,
         );
         (
             khz,

@@ -33,6 +33,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             jobs.push((n, i));
         }
     }
+    let sink = runner::ManifestSink::from_env("fig07");
     let rows = parallel_map(jobs, |(n, i)| {
         let khz = profile.opps().get_clamped(i).khz;
         let report = runner::run_pinned(
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(GeekBenchApp::standard(n))],
             secs,
             runner::SEED,
+            &sink,
         );
         let score = report.first_metric("score").expect("geekbench reports");
         (n, khz, score, report.avg_power_mw, score / report.avg_power_mw)

@@ -33,6 +33,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.line("part_a:util_pct,android_mw,mobicore_mw,saving_pct");
 
     // (a) the busy-loop sweep under both policies.
+    let sink = runner::ManifestSink::from_env("fig09");
     let mut jobs = Vec::new();
     for &u in &utils {
         jobs.push((u, false));
@@ -55,6 +56,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             ))],
             secs,
             runner::SEED,
+            &sink,
         );
         (u, mob, report.avg_power_mw)
     });
@@ -101,6 +103,7 @@ pub fn run(quick: bool) -> ExperimentResult {
             vec![Box::new(GeekBenchApp::standard(profile.n_cores()))],
             gb_secs,
             runner::SEED,
+            &sink,
         );
         (
             mob,

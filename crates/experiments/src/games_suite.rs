@@ -102,6 +102,7 @@ fn run_uncached(secs: u64) -> Vec<GameComparison> {
         jobs.push((g.clone(), i as u64, true));
         jobs.push((g.clone(), i as u64, false));
     }
+    let sink = runner::ManifestSink::from_env("games");
     let reports = parallel_map(jobs, |(game, idx, use_mobicore)| {
         let policy: Box<dyn mobicore_sim::CpuPolicy> = if use_mobicore {
             Box::new(MobiCore::new(&profile))
@@ -114,6 +115,7 @@ fn run_uncached(secs: u64) -> Vec<GameComparison> {
             vec![Box::new(GameApp::new(game.clone(), runner::SEED + idx))],
             secs,
             runner::SEED + idx,
+            &sink,
         );
         (game.name, use_mobicore, session(&report))
     });

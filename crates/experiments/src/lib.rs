@@ -56,6 +56,8 @@ pub use result::{Check, ExperimentResult};
 /// `--markdown [PATH]` additionally writes the results as markdown, and
 /// `--manifest DIR` makes every simulation drop a run manifest under
 /// `DIR` for `mobicore-inspect` (see docs/observability.md).
+/// `--jobs N` sets the sweep-executor worker count (equivalent to the
+/// `MOBICORE_JOBS` environment variable; see docs/performance.md).
 pub fn bin_main(id: &str) {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut experiments = all_experiments();
@@ -78,12 +80,25 @@ pub fn bin_main(id: &str) {
         .position(|a| a == "--manifest")
         .map(|i| args.get(i + 1).cloned().unwrap_or("manifests".into()));
     if let Some(dir) = manifest_dir {
-        runner::set_manifest_dir(Some(dir.into()));
+        // Each experiment builds its ManifestSink from this variable, so
+        // setting it here reaches every runner without global state in
+        // the experiments crate itself.
+        std::env::set_var("MOBICORE_MANIFEST_DIR", dir);
+    }
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    if let Some(n) = jobs {
+        std::env::set_var(mobicore_sweep::JOBS_ENV, n.to_string());
     }
     println!(
-        "# MobiCore reproduction — seed {} — {} mode",
+        "# MobiCore reproduction — seed {} — {} mode — {} sweep worker(s)",
         runner::SEED,
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        mobicore_sweep::Executor::from_env().jobs()
     );
     let mut ok = true;
     let mut md = format!(

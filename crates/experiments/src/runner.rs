@@ -5,68 +5,105 @@ use mobicore_sim::builtin::PinnedPolicy;
 use mobicore_sim::{CpuPolicy, SimConfig, SimReport, Simulation, Workload};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// The default seed every experiment uses (printed in outputs).
 pub const SEED: u64 = 20170315; // the thesis defense date
 
-/// Where [`run_policy`] drops run manifests; `None` disables emission.
-/// Set by `--manifest DIR` (via [`set_manifest_dir`]) or the
-/// `MOBICORE_MANIFEST_DIR` environment variable.
-static MANIFEST_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
-/// Monotonic sequence so concurrent runs get distinct file names.
-static MANIFEST_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// Directs every subsequent experiment run to write its manifest under
-/// `dir` (pass `None` to turn emission back off).
-pub fn set_manifest_dir(dir: Option<PathBuf>) {
-    *MANIFEST_DIR.lock().expect("not poisoned") = dir;
+/// A per-runner manifest emitter. Each experiment constructs its own sink
+/// (usually via [`ManifestSink::from_env`]) and threads a reference
+/// through its runs, so parallel sweeps never contend on a global lock.
+/// File names embed the sink's label, a per-sink sequence number, the
+/// policy and the seed — unique by construction as long as labels are
+/// (each experiment uses its own id as the label).
+///
+/// Emission failures warn instead of aborting: manifests are a side
+/// artifact, the experiment result is the product.
+#[derive(Debug)]
+pub struct ManifestSink {
+    dir: Option<PathBuf>,
+    label: String,
+    seq: AtomicU64,
 }
 
-fn manifest_dir() -> Option<PathBuf> {
-    if let Some(dir) = MANIFEST_DIR.lock().expect("not poisoned").clone() {
-        return Some(dir);
+impl ManifestSink {
+    /// A sink writing manifests under `dir`, or a disabled sink when
+    /// `dir` is `None`.
+    pub fn new(label: &str, dir: Option<PathBuf>) -> Self {
+        ManifestSink {
+            dir,
+            label: label.to_string(),
+            seq: AtomicU64::new(0),
+        }
     }
-    std::env::var_os("MOBICORE_MANIFEST_DIR").map(PathBuf::from)
-}
 
-/// Stamps the non-deterministic manifest fields and writes the manifest
-/// under `dir`. Emission failures warn instead of aborting: manifests are
-/// a side artifact, the experiment result is the product.
-fn write_manifest(sim: &Simulation, dir: &PathBuf, wall_ms: f64) {
-    let seq = MANIFEST_SEQ.fetch_add(1, Ordering::Relaxed);
-    let mut m = sim.manifest(&format!("run-{seq:04}"));
-    m.kind = "experiment".to_string();
-    m.git = mobicore_telemetry::git_describe(std::path::Path::new("."));
-    m.created_unix_ms = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .ok()
-        .and_then(|d| u64::try_from(d.as_millis()).ok());
-    m.wall_ms = Some(wall_ms);
-    let policy_slug: String = m
-        .policy
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect();
-    let path = dir.join(format!("run-{seq:04}-{policy_slug}-seed{}.json", m.seed));
-    let result = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, m.to_json_text()));
-    if let Err(e) = result {
-        eprintln!("warning: cannot write manifest {}: {e}", path.display());
+    /// A sink that never writes anything.
+    pub fn disabled() -> Self {
+        Self::new("run", None)
+    }
+
+    /// A sink honouring the `MOBICORE_MANIFEST_DIR` environment variable
+    /// (which `--manifest DIR` sets for the whole process); disabled when
+    /// the variable is unset.
+    pub fn from_env(label: &str) -> Self {
+        Self::new(
+            label,
+            std::env::var_os("MOBICORE_MANIFEST_DIR").map(PathBuf::from),
+        )
+    }
+
+    /// Whether [`emit`](Self::emit) will actually write files.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The label stamped into manifest names and run ids.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Stamps the non-deterministic manifest fields and writes `sim`'s
+    /// manifest under the sink's directory. A no-op on disabled sinks.
+    pub fn emit(&self, sim: &Simulation, wall_ms: f64) {
+        let Some(dir) = &self.dir else { return };
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut m = sim.manifest(&format!("{}-{seq:04}", self.label));
+        m.kind = "experiment".to_string();
+        m.git = mobicore_telemetry::git_describe(std::path::Path::new("."));
+        m.created_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .ok()
+            .and_then(|d| u64::try_from(d.as_millis()).ok());
+        m.wall_ms = Some(wall_ms);
+        let policy_slug: String = m
+            .policy
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!(
+            "{}-{seq:04}-{policy_slug}-seed{}.json",
+            self.label, m.seed
+        ));
+        let result =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, m.to_json_text()));
+        if let Err(e) = result {
+            eprintln!("warning: cannot write manifest {}: {e}", path.display());
+        }
     }
 }
 
 /// Runs `policy` against `workloads` on `profile` for `secs` seconds with
 /// `mpdecision` disabled (the state the thesis puts the phone in).
 ///
-/// When a manifest directory is configured (see [`set_manifest_dir`]),
-/// the run additionally writes a `mobicore-inspect`-readable manifest.
+/// When `sink` is enabled the run additionally writes a
+/// `mobicore-inspect`-readable manifest.
 pub fn run_policy(
     profile: &DeviceProfile,
     policy: Box<dyn CpuPolicy>,
     workloads: Vec<Box<dyn Workload>>,
     secs: u64,
     seed: u64,
+    sink: &ManifestSink,
 ) -> SimReport {
     let cfg = SimConfig::new(profile.clone())
         .with_duration_secs(secs)
@@ -78,9 +115,7 @@ pub fn run_policy(
     }
     let wall = Instant::now();
     let report = sim.run();
-    if let Some(dir) = manifest_dir() {
-        write_manifest(&sim, &dir, wall.elapsed().as_secs_f64() * 1e3);
-    }
+    sink.emit(&sim, wall.elapsed().as_secs_f64() * 1e3);
     report
 }
 
@@ -93,6 +128,7 @@ pub fn run_pinned(
     workloads: Vec<Box<dyn Workload>>,
     secs: u64,
     seed: u64,
+    sink: &ManifestSink,
 ) -> SimReport {
     run_policy(
         profile,
@@ -100,43 +136,21 @@ pub fn run_pinned(
         workloads,
         secs,
         seed,
+        sink,
     )
 }
 
-/// Maps `f` over `items` on a small thread pool (simulations are
-/// independent and CPU-bound). Order is preserved.
+/// Maps `f` over `items` on the work-stealing sweep executor (simulations
+/// are independent and CPU-bound). Order is preserved: results come back
+/// in submission order whatever `MOBICORE_JOBS` says, so `--jobs 1` and
+/// `--jobs 8` print byte-identical experiment output.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n_threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let jobs = std::sync::Mutex::new(jobs);
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|| loop {
-                let job = jobs.lock().expect("not poisoned").pop();
-                match job {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        results.lock().expect("not poisoned").push((i, r));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    for (i, r) in results.into_inner().expect("not poisoned") {
-        slots[i] = Some(r);
-    }
-    slots.into_iter().map(|s| s.expect("all jobs ran")).collect()
+    mobicore_sweep::Executor::from_env().run_ordered(items, |_idx, item| f(item))
 }
 
 /// Percentage change from `a` to `b` (positive = `b` is bigger).
@@ -185,10 +199,11 @@ mod tests {
     }
 
     #[test]
-    fn manifest_dir_makes_runs_emit_inspectable_manifests() {
+    fn manifest_sink_makes_runs_emit_inspectable_manifests() {
         let dir = std::env::temp_dir().join("mobicore-runner-manifest-test");
         let _ = std::fs::remove_dir_all(&dir);
-        set_manifest_dir(Some(dir.clone()));
+        let sink = ManifestSink::new("runner-test", Some(dir.clone()));
+        assert!(sink.is_enabled());
         let p = profiles::nexus5();
         let f = p.opps().min_khz();
         run_pinned(
@@ -198,16 +213,16 @@ mod tests {
             vec![Box::new(BusyLoop::with_target_util(1, 0.5, f, 1))],
             1,
             424_242,
+            &sink,
         );
-        set_manifest_dir(None);
-        // Other tests may run concurrently and also drop manifests here;
-        // just require that *our* seed shows up as a parseable manifest.
         let mine: Vec<_> = std::fs::read_dir(&dir)
             .expect("manifest dir created")
             .filter_map(Result::ok)
             .filter(|e| e.file_name().to_string_lossy().contains("seed424242"))
             .collect();
         assert_eq!(mine.len(), 1, "exactly one manifest for our seed");
+        let name = mine[0].file_name().to_string_lossy().into_owned();
+        assert!(name.starts_with("runner-test-0000-"), "label+seq prefix: {name}");
         let text = std::fs::read_to_string(mine[0].path()).expect("readable");
         let m = mobicore_telemetry::RunManifest::from_json_text(&text).expect("parses");
         assert_eq!(m.kind, "experiment");
@@ -215,6 +230,25 @@ mod tests {
         assert!(m.wall_ms.is_some(), "wall clock stamped");
         assert!(m.created_unix_ms.is_some(), "creation time stamped");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_sink_writes_nothing() {
+        let sink = ManifestSink::disabled();
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.label(), "run");
+        let p = profiles::nexus5();
+        let f = p.opps().min_khz();
+        // Just exercising the no-op path; nothing to assert on disk.
+        run_pinned(
+            &p,
+            1,
+            f,
+            vec![Box::new(BusyLoop::with_target_util(1, 0.5, f, 1))],
+            1,
+            SEED,
+            &sink,
+        );
     }
 
     #[test]
@@ -228,6 +262,7 @@ mod tests {
             vec![Box::new(BusyLoop::with_target_util(1, 0.5, f, 1))],
             1,
             SEED,
+            &ManifestSink::disabled(),
         );
         assert!(r.avg_power_mw > 0.0);
         assert_eq!(r.duration_us, 1_000_000);

@@ -1,0 +1,120 @@
+//! Parallel-vs-sequential determinism (ISSUE 3 acceptance criterion).
+//!
+//! The same (policy × workload × seed) job set run through the sweep
+//! executor with `--jobs 1` and `--jobs 8` must produce byte-identical
+//! `SimReport`s, and byte-identical run manifests modulo the stamped
+//! `wall_ms` / `created_unix_ms` fields. Each job owns its own
+//! [`ManifestSink`] labelled by submission index, so manifest file names
+//! are independent of completion order by construction.
+
+use mobicore_experiments::runner::{run_pinned, ManifestSink};
+use mobicore_model::profiles;
+use mobicore_sweep::Executor;
+use mobicore_telemetry::RunManifest;
+use mobicore_workloads::BusyLoop;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The job matrix: (cores, opp index, target util, seed).
+fn jobs() -> Vec<(usize, usize, f64, u64)> {
+    vec![
+        (1, 0, 0.30, 1001),
+        (2, 5, 0.60, 1002),
+        (4, 13, 1.00, 1003),
+        (3, 9, 0.45, 1004),
+        (1, 13, 0.15, 1005),
+        (4, 3, 0.80, 1006),
+    ]
+}
+
+/// Runs the whole matrix on `n_jobs` workers, dropping manifests under
+/// `dir`, and returns each report's full `Debug` rendering.
+fn sweep(n_jobs: usize, dir: &Path) -> Vec<String> {
+    let exec = Executor::new(n_jobs);
+    exec.run_ordered(jobs(), |idx, (cores, opp, util, seed)| {
+        let profile = profiles::nexus5();
+        let khz = profile.opps().get_clamped(opp).khz;
+        let sink = ManifestSink::new(&format!("det-{idx}"), Some(dir.to_path_buf()));
+        let report = run_pinned(
+            &profile,
+            cores,
+            khz,
+            vec![Box::new(BusyLoop::with_target_util(cores, util, khz, seed))],
+            2,
+            seed,
+            &sink,
+        );
+        format!("{report:?}")
+    })
+}
+
+/// Reads every manifest under `dir`, strips the wall-clock stamps, and
+/// returns `file name → canonical JSON` for byte-level comparison.
+fn normalized_manifests(dir: &Path) -> BTreeMap<String, String> {
+    std::fs::read_dir(dir)
+        .expect("manifest dir exists")
+        .filter_map(Result::ok)
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(e.path()).expect("manifest readable");
+            let mut m = RunManifest::from_json_text(&text).expect("manifest parses");
+            assert!(m.wall_ms.is_some(), "{name}: wall clock stamped");
+            assert!(m.created_unix_ms.is_some(), "{name}: creation time stamped");
+            m.wall_ms = None;
+            m.created_unix_ms = None;
+            (name, m.to_json_text())
+        })
+        .collect()
+}
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical() {
+    let base = std::env::temp_dir().join("mobicore-determinism-test");
+    let dir1 = base.join("jobs1");
+    let dir8 = base.join("jobs8");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&dir1).expect("create jobs1 dir");
+    std::fs::create_dir_all(&dir8).expect("create jobs8 dir");
+
+    let seq = sweep(1, &dir1);
+    let par = sweep(8, &dir8);
+
+    assert_eq!(seq.len(), jobs().len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a, b, "report {i} differs between --jobs 1 and --jobs 8");
+    }
+
+    let m1 = normalized_manifests(&dir1);
+    let m8 = normalized_manifests(&dir8);
+    assert_eq!(m1.len(), jobs().len(), "one manifest per job");
+    assert_eq!(
+        m1.keys().collect::<Vec<_>>(),
+        m8.keys().collect::<Vec<_>>(),
+        "manifest file names independent of worker count"
+    );
+    for (name, body) in &m1 {
+        assert_eq!(
+            body, &m8[name],
+            "manifest {name} differs between --jobs 1 and --jobs 8"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree_with_each_other() {
+    // Beyond sequential-vs-parallel: two parallel runs at different
+    // worker counts (different steal interleavings) must also agree.
+    let base = std::env::temp_dir().join("mobicore-determinism-test-par");
+    let a_dir = base.join("a");
+    let b_dir = base.join("b");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&a_dir).expect("create dir a");
+    std::fs::create_dir_all(&b_dir).expect("create dir b");
+    let a = sweep(3, &a_dir);
+    let b = sweep(8, &b_dir);
+    assert_eq!(a, b);
+    assert_eq!(normalized_manifests(&a_dir), normalized_manifests(&b_dir));
+    let _ = std::fs::remove_dir_all(&base);
+}

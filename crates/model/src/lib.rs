@@ -55,7 +55,7 @@ pub use battery::Battery;
 pub use error::ModelError;
 pub use idle::{IdleLadder, IdleState};
 pub use opp::{Opp, OppTable};
-pub use profile::{CoreActivity, DeviceProfile, PowerBreakdown};
+pub use profile::{ClusterPowerCache, CoreActivity, DeviceProfile, PowerBreakdown};
 pub use quota::Quota;
 pub use thermal::ThermalParams;
 pub use units::{quantize_u32, quantize_u64, quantize_usize, Khz, MilliVolts, Utilization};

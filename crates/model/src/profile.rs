@@ -98,6 +98,19 @@ impl PowerBreakdown {
     }
 }
 
+/// Memoizes the `(f / f_max)^exp` factor of the cluster/uncore power
+/// term between [`DeviceProfile::power_into`] calls.
+///
+/// The cluster frequency is always one of the table's few OPPs and
+/// rarely changes between consecutive simulator ticks, so caching the
+/// last `powf` result removes a transcendental from the per-tick hot
+/// path. A default (empty) cache is always correct — just slower on the
+/// first call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterPowerCache {
+    last: Option<(Khz, f64)>,
+}
+
 /// A calibrated model of one phone.
 ///
 /// Construct the phones of the thesis with [`crate::profiles`], or build a
@@ -307,17 +320,41 @@ impl DeviceProfile {
     /// Returns [`ModelError::ActivityLengthMismatch`] when `activities`
     /// does not have exactly [`DeviceProfile::n_cores`] entries.
     pub fn power(&self, activities: &[CoreActivity]) -> Result<PowerBreakdown, ModelError> {
+        let mut out = PowerBreakdown {
+            base_mw: 0.0,
+            cluster_mw: 0.0,
+            core_mw: Vec::new(),
+        };
+        self.power_into(activities, &mut ClusterPowerCache::default(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`DeviceProfile::power`]: writes the
+    /// breakdown into `out` (reusing its `core_mw` buffer) and memoizes
+    /// the cluster frequency factor in `cache`. The simulator calls this
+    /// once per tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ActivityLengthMismatch`] when `activities`
+    /// does not have exactly [`DeviceProfile::n_cores`] entries.
+    pub fn power_into(
+        &self,
+        activities: &[CoreActivity],
+        cache: &mut ClusterPowerCache,
+        out: &mut PowerBreakdown,
+    ) -> Result<(), ModelError> {
         if activities.len() != self.n_cores {
             return Err(ModelError::ActivityLengthMismatch {
                 expected: self.n_cores,
                 got: activities.len(),
             });
         }
-        let f_max = self.opps.max_khz().as_hz();
         let mut cluster_khz = Khz::ZERO;
         let mut cluster_util: f64 = 0.0;
         let mut online_seen = 0usize;
-        let mut core_mw = vec![0.0; self.n_cores];
+        out.core_mw.clear();
+        out.core_mw.resize(self.n_cores, 0.0);
         for (i, act) in activities.iter().enumerate() {
             if !act.online {
                 continue;
@@ -330,7 +367,7 @@ impl DeviceProfile {
             // pays the (possibly discounted) idle-state power.
             let busy_mw = u * (opp.idle_mw + opp.busy_extra_mw);
             let idle_mw = (1.0 - u) * opp.idle_mw * act.idle_power_frac.clamp(0.0, 1.0);
-            core_mw[i] = (busy_mw + idle_mw) * marginal;
+            out.core_mw[i] = (busy_mw + idle_mw) * marginal;
             if opp.khz > cluster_khz {
                 cluster_khz = opp.khz;
             }
@@ -342,15 +379,21 @@ impl DeviceProfile {
         let cluster_mw = if online_seen == 0 {
             0.0
         } else {
-            let f_frac = cluster_khz.as_hz() / f_max;
+            let f_factor = match cache.last {
+                Some((khz, factor)) if khz == cluster_khz => factor,
+                _ => {
+                    let f_frac = cluster_khz.as_hz() / self.opps.max_khz().as_hz();
+                    let factor = f_frac.powf(self.cluster_exp);
+                    cache.last = Some((cluster_khz, factor));
+                    factor
+                }
+            };
             let activity = self.cluster_floor + (1.0 - self.cluster_floor) * cluster_util;
-            self.cluster_max_mw * f_frac.powf(self.cluster_exp) * activity
+            self.cluster_max_mw * f_factor * activity
         };
-        Ok(PowerBreakdown {
-            base_mw: self.platform_base_mw,
-            cluster_mw,
-            core_mw,
-        })
+        out.base_mw = self.platform_base_mw;
+        out.cluster_mw = cluster_mw;
+        Ok(())
     }
 
     /// Convenience: total power with `n` online cores all at OPP `opp_idx`

@@ -110,12 +110,22 @@ impl CpuSet {
 
     /// Indices of online cores.
     pub fn online_ids(&self) -> Vec<usize> {
-        self.cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.online)
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.online_ids_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the indices of online cores (buffer-reusing
+    /// variant of [`CpuSet::online_ids`]).
+    pub fn online_ids_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.online)
+                .map(|(i, _)| i),
+        );
     }
 
     /// The OPP index core `i` actually runs at: its target clamped by the
@@ -234,10 +244,20 @@ impl CpuSet {
 
     /// Drains the per-window busy counters (called at each policy sample).
     pub fn drain_window(&mut self) -> Vec<u64> {
-        self.cores
-            .iter_mut()
-            .map(|c| std::mem::take(&mut c.window_busy_us))
-            .collect()
+        let mut out = Vec::new();
+        self.drain_window_into(&mut out);
+        out
+    }
+
+    /// Drains the per-window busy counters into `out` (buffer-reusing
+    /// variant of [`CpuSet::drain_window`]).
+    pub fn drain_window_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.cores
+                .iter_mut()
+                .map(|c| std::mem::take(&mut c.window_busy_us)),
+        );
     }
 
     /// Builds the power-model input for the current tick given each
@@ -249,21 +269,32 @@ impl CpuSet {
         tick_us: u64,
         ladder: &IdleLadder,
     ) -> Vec<CoreActivity> {
-        self.cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                if c.online {
-                    CoreActivity::online_with_idle_state(
-                        self.effective_opp(i),
-                        busy_us[i] as f64 / tick_us as f64,
-                        ladder.power_frac_after(c.idle_streak_us),
-                    )
-                } else {
-                    CoreActivity::OFFLINE
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.activities_into(busy_us, tick_us, ladder, &mut out);
+        out
+    }
+
+    /// Fills `out` with the power-model input for the current tick
+    /// (buffer-reusing variant of [`CpuSet::activities`]).
+    pub fn activities_into(
+        &self,
+        busy_us: &[u64],
+        tick_us: u64,
+        ladder: &IdleLadder,
+        out: &mut Vec<CoreActivity>,
+    ) {
+        out.clear();
+        out.extend(self.cores.iter().enumerate().map(|(i, c)| {
+            if c.online {
+                CoreActivity::online_with_idle_state(
+                    self.effective_opp(i),
+                    busy_us[i] as f64 / tick_us as f64,
+                    ladder.power_frac_after(c.idle_streak_us),
+                )
+            } else {
+                CoreActivity::OFFLINE
+            }
+        }));
     }
 }
 

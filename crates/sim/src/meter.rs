@@ -33,6 +33,13 @@ impl PowerMeter {
         }
     }
 
+    /// Pre-sizes the sample series for a run of `duration_us`, so the
+    /// decimated pushes inside the tick loop never reallocate.
+    pub fn reserve_for_duration(&mut self, duration_us: u64) {
+        let expected = usize::try_from(duration_us / self.sample_period_us + 1).unwrap_or(0);
+        self.samples.reserve(expected.saturating_sub(self.samples.len()));
+    }
+
     /// Records one tick of dissipation.
     pub fn record(&mut self, now_us: u64, tick_us: u64, power_mw: f64) {
         self.energy_uj += power_mw * tick_us as f64;

@@ -223,6 +223,19 @@ impl CpuControl {
         std::mem::take(&mut self.commands)
     }
 
+    /// Number of queued commands.
+    pub fn command_count(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Moves the queued commands into `out`, keeping this buffer's
+    /// capacity for the next invocation (the simulator reuses one
+    /// `CpuControl` across samples; see docs/performance.md).
+    pub fn drain_commands_into(&mut self, out: &mut Vec<Command>) {
+        out.clear();
+        out.append(&mut self.commands);
+    }
+
     /// Attaches a telemetry note explaining this invocation's decision.
     pub fn note(&mut self, data: EventData) {
         self.notes.push(data);
@@ -236,6 +249,12 @@ impl CpuControl {
     /// Drains the attached notes.
     pub fn take_notes(&mut self) -> Vec<EventData> {
         std::mem::take(&mut self.notes)
+    }
+
+    /// Drains the attached notes in issue order, keeping the buffer's
+    /// capacity.
+    pub fn drain_notes(&mut self) -> std::vec::Drain<'_, EventData> {
+        self.notes.drain(..)
     }
 }
 

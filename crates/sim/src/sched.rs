@@ -51,8 +51,40 @@ pub struct TickParams<'a> {
     pub stall_us: &'a [u64],
 }
 
-/// Runs one scheduling tick.
+/// Reusable buffers for [`schedule_tick_into`].
+///
+/// The simulator calls the scheduler every tick; keeping the runnable /
+/// assignment vectors alive between calls removes four heap allocations
+/// per tick from the hot loop (docs/performance.md).
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    runnable: Vec<usize>,
+    assigned: Vec<Vec<usize>>,
+    unplaced: Vec<usize>,
+}
+
+/// Runs one scheduling tick (allocating variant; see
+/// [`schedule_tick_into`] for the buffer-reusing one the simulator uses).
 pub fn schedule_tick(rt: &mut WorkloadRt, p: &TickParams<'_>) -> TickOutcome {
+    let mut outcome = TickOutcome {
+        busy_us: Vec::new(),
+        executed_cycles: 0,
+        used_runtime_us: 0,
+        denied_us: 0,
+    };
+    schedule_tick_into(rt, p, &mut SchedScratch::default(), &mut outcome);
+    outcome
+}
+
+/// Runs one scheduling tick, writing the result into `outcome` and reusing
+/// the buffers in `scratch`. Equivalent to [`schedule_tick`] but
+/// allocation-free once the buffers are warm.
+pub fn schedule_tick_into(
+    rt: &mut WorkloadRt,
+    p: &TickParams<'_>,
+    scratch: &mut SchedScratch,
+    outcome: &mut TickOutcome,
+) {
     let TickParams {
         now_us,
         tick_us,
@@ -63,35 +95,42 @@ pub fn schedule_tick(rt: &mut WorkloadRt, p: &TickParams<'_>) -> TickOutcome {
         rotation,
         stall_us,
     } = *p;
-    let mut outcome = TickOutcome {
-        busy_us: vec![0; n_cores],
-        executed_cycles: 0,
-        used_runtime_us: 0,
-        denied_us: 0,
-    };
+    outcome.busy_us.clear();
+    outcome.busy_us.resize(n_cores, 0);
+    outcome.executed_cycles = 0;
+    outcome.used_runtime_us = 0;
+    outcome.denied_us = 0;
     if online.is_empty() {
-        return outcome;
+        return;
     }
-    let runnable: Vec<usize> = (0..rt.threads.len())
-        .filter(|&t| rt.threads[t].runnable())
-        .collect();
+    scratch.runnable.clear();
+    scratch
+        .runnable
+        .extend((0..rt.threads.len()).filter(|&t| rt.threads[t].runnable()));
+    let runnable = &scratch.runnable;
     if runnable.is_empty() {
-        return outcome;
+        return;
     }
 
     // --- assignment: balanced greedy with affinity stickiness ---------
     let per_core_target = runnable.len().div_ceil(online.len());
-    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); n_cores];
-    let mut unplaced: Vec<usize> = Vec::new();
-    for &t in &runnable {
+    if scratch.assigned.len() < n_cores {
+        scratch.assigned.resize_with(n_cores, Vec::new);
+    }
+    let assigned = &mut scratch.assigned;
+    for a in assigned.iter_mut() {
+        a.clear();
+    }
+    scratch.unplaced.clear();
+    for &t in runnable {
         match rt.threads[t].last_core {
             Some(c) if online.contains(&c) && assigned[c].len() < per_core_target => {
                 assigned[c].push(t);
             }
-            _ => unplaced.push(t),
+            _ => scratch.unplaced.push(t),
         }
     }
-    for t in unplaced {
+    for &t in &scratch.unplaced {
         // least-loaded online core, ties to the lowest id
         let &c = online
             .iter()
@@ -163,7 +202,6 @@ pub fn schedule_tick(rt: &mut WorkloadRt, p: &TickParams<'_>) -> TickOutcome {
             outcome.denied_us += tick_us - allowed_us;
         }
     }
-    outcome
 }
 
 #[cfg(test)]

@@ -10,13 +10,71 @@ use crate::error::SimError;
 use crate::meter::PowerMeter;
 use crate::policy::{Command, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
 use crate::report::SimReport;
-use crate::sched::{schedule_tick, TickParams};
-use crate::sysfs::{paths, SysFs};
+use crate::sched::{schedule_tick_into, SchedScratch, TickOutcome, TickParams};
+use crate::sysfs::{paths, CorePath, PathTable, SysFs};
 use crate::thermal::ThermalModel;
 use crate::trace::{Trace, TraceSample};
 use crate::workload::{Workload, WorkloadRt};
-use mobicore_model::{Khz, Quota};
+use mobicore_model::{
+    ClusterPowerCache, CoreActivity, Khz, PowerBreakdown, Quota, Utilization,
+};
 use mobicore_telemetry::{EventData, RunManifest, Telemetry};
+
+/// Buffers the tick loop reuses across iterations so the steady state
+/// performs no heap allocation (docs/performance.md; asserted by
+/// `tests/alloc_free.rs`).
+#[derive(Debug)]
+struct TickScratch {
+    /// Online core ids for the scheduler.
+    online: Vec<usize>,
+    /// Effective frequency per core.
+    khz: Vec<Khz>,
+    /// DVFS stall time per core this tick.
+    stall_us: Vec<u64>,
+    /// Power-model input.
+    acts: Vec<CoreActivity>,
+    /// Power-model output.
+    breakdown: PowerBreakdown,
+    /// Memoized cluster `powf` factor.
+    power_cache: ClusterPowerCache,
+    /// Scheduler assignment buffers.
+    sched: SchedScratch,
+    /// Scheduler outcome (busy vector reused).
+    outcome: TickOutcome,
+    /// Pending sysfs writes, swapped with the sysfs queue each tick.
+    writes: Vec<(String, String)>,
+    /// Per-core window busy times drained at each sample.
+    busy_window: Vec<u64>,
+    /// Policy commands drained from the control buffer.
+    cmds: Vec<Command>,
+}
+
+impl TickScratch {
+    fn new() -> Self {
+        TickScratch {
+            online: Vec::new(),
+            khz: Vec::new(),
+            stall_us: Vec::new(),
+            acts: Vec::new(),
+            breakdown: PowerBreakdown {
+                base_mw: 0.0,
+                cluster_mw: 0.0,
+                core_mw: Vec::new(),
+            },
+            power_cache: ClusterPowerCache::default(),
+            sched: SchedScratch::default(),
+            outcome: TickOutcome {
+                busy_us: Vec::new(),
+                executed_cycles: 0,
+                used_runtime_us: 0,
+                denied_us: 0,
+            },
+            writes: Vec::new(),
+            busy_window: Vec::new(),
+            cmds: Vec::new(),
+        }
+    }
+}
 
 /// One simulated device run.
 ///
@@ -82,6 +140,20 @@ pub struct Simulation {
     /// Whether the bandwidth pool denied runtime in the previous tick,
     /// for the edge-triggered `bw-throttle` event.
     bw_denied_last_tick: bool,
+    /// Interned sysfs paths (built once; satellite of the tick fast path).
+    paths: PathTable,
+    /// Reused per-tick buffers.
+    scratch: TickScratch,
+    /// Reused policy-sample observation.
+    snap: PolicySnapshot,
+    /// Reused policy command/note buffer.
+    ctl: CpuControl,
+    /// Whether the readable sysfs mirror lags the simulation state; reads
+    /// refresh it on demand instead of re-formatting every trace period.
+    sysfs_stale: bool,
+    /// Most-recent `ceil_index` lookup (policies request the same target
+    /// frequency for long stretches).
+    ceil_cache: Option<(Khz, usize)>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -111,45 +183,48 @@ impl Simulation {
             profile.opps().max_index(),
             cfg.thermal_poll_us,
         );
-        let meter = PowerMeter::new(cfg.trace_period_us);
+        let mut meter = PowerMeter::new(cfg.trace_period_us);
+        meter.reserve_for_duration(cfg.duration_us);
         let mut sysfs = SysFs::new();
+        let path_table = PathTable::new(profile.n_cores());
         let freq_list: Vec<String> = profile
             .opps()
             .iter()
             .map(|o| o.khz.0.to_string())
             .collect();
         for i in 0..profile.n_cores() {
-            sysfs.register_rw(paths::online(i), "1");
+            let core_paths = path_table.core(i);
+            sysfs.register_rw(core_paths.online.clone(), "1");
             sysfs.register_ro(
-                paths::scaling_cur_freq(i),
+                core_paths.scaling_cur_freq.clone(),
                 profile.opps().min_khz().0.to_string(),
             );
             sysfs.register_rw(
-                paths::scaling_setspeed(i),
+                core_paths.scaling_setspeed.clone(),
                 profile.opps().min_khz().0.to_string(),
             );
-            sysfs.register_rw(paths::scaling_governor(i), "ondemand");
+            sysfs.register_rw(core_paths.scaling_governor.clone(), "ondemand");
             sysfs.register_rw(
-                paths::scaling_min_freq(i),
+                core_paths.scaling_min_freq.clone(),
                 profile.opps().min_khz().0.to_string(),
             );
             sysfs.register_rw(
-                paths::scaling_max_freq(i),
+                core_paths.scaling_max_freq.clone(),
                 profile.opps().max_khz().0.to_string(),
             );
             sysfs.register_ro(
-                paths::cpuinfo_min_freq(i),
+                core_paths.cpuinfo_min_freq.clone(),
                 profile.opps().min_khz().0.to_string(),
             );
             sysfs.register_ro(
-                paths::cpuinfo_max_freq(i),
+                core_paths.cpuinfo_max_freq.clone(),
                 profile.opps().max_khz().0.to_string(),
             );
             sysfs.register_ro(
-                paths::scaling_available_frequencies(i),
+                core_paths.scaling_available_frequencies.clone(),
                 freq_list.join(" "),
             );
-            sysfs.register_ro(paths::time_in_state(i), "");
+            sysfs.register_ro(core_paths.time_in_state.clone(), "");
         }
         sysfs.register_ro(paths::THERMAL_TEMP, "25000");
         sysfs.register_rw(
@@ -194,6 +269,21 @@ impl Simulation {
             telemetry,
             last_thermal_cap,
             bw_denied_last_tick: false,
+            paths: path_table,
+            scratch: TickScratch::new(),
+            snap: PolicySnapshot {
+                now_us: 0,
+                window_us: 0,
+                cores: Vec::new(),
+                overall_util: Utilization::IDLE,
+                quota: Quota::FULL,
+                mpdecision_enabled: false,
+                max_runnable_threads: 0,
+                temp_c: 0.0,
+            },
+            ctl: CpuControl::new(),
+            sysfs_stale: false,
+            ceil_cache: None,
         })
     }
 
@@ -245,10 +335,19 @@ impl Simulation {
 
     /// Direct sysfs read (like `adb shell cat`).
     ///
+    /// The readable mirror is refreshed lazily: the tick loop only marks
+    /// it stale and the actual value formatting happens here, on demand,
+    /// keeping `cat`-visible state exact without per-trace-period string
+    /// work in the hot loop.
+    ///
     /// # Errors
     ///
     /// [`SimError::NoSuchAttribute`] for unknown paths.
-    pub fn sysfs_read(&self, path: &str) -> Result<String, SimError> {
+    pub fn sysfs_read(&mut self, path: &str) -> Result<String, SimError> {
+        if self.sysfs_stale {
+            self.refresh_sysfs();
+            self.sysfs_stale = false;
+        }
         self.sysfs.read(path).map(str::to_string)
     }
 
@@ -324,16 +423,31 @@ impl Simulation {
             .request_opp(core, idx, self.now_us, self.cfg.profile.dvfs_latency_us());
     }
 
+    /// [`OppTable::ceil_index`](mobicore_model::OppTable::ceil_index) with
+    /// a most-recently-used memo: policies hold one target frequency for
+    /// many consecutive samples, so the binary search almost always
+    /// repeats the previous lookup.
+    fn ceil_index_cached(&mut self, khz: Khz) -> usize {
+        match self.ceil_cache {
+            Some((cached_khz, idx)) if cached_khz == khz => idx,
+            _ => {
+                let idx = self.cfg.profile.opps().ceil_index(khz);
+                self.ceil_cache = Some((khz, idx));
+                idx
+            }
+        }
+    }
+
     fn apply_command(&mut self, cmd: Command) {
         match cmd {
             Command::SetFreq { core, khz } => {
                 if core < self.cpus.len() {
-                    let idx = self.cfg.profile.opps().ceil_index(khz);
+                    let idx = self.ceil_index_cached(khz);
                     self.request_opp_traced(core, idx, khz);
                 }
             }
             Command::SetFreqAll { khz } => {
-                let idx = self.cfg.profile.opps().ceil_index(khz);
+                let idx = self.ceil_index_cached(khz);
                 for i in 0..self.cpus.len() {
                     self.request_opp_traced(i, idx, khz);
                 }
@@ -388,12 +502,14 @@ impl Simulation {
     }
 
     fn process_sysfs_writes(&mut self) {
-        let writes = self.sysfs.take_writes();
-        for (path, value) in writes {
-            let mut handled = false;
-            for i in 0..self.cpus.len() {
-                if path == paths::online(i) {
-                    match value.trim() {
+        let mut writes = std::mem::take(&mut self.scratch.writes);
+        self.sysfs.take_writes_into(&mut writes);
+        for (path, value) in writes.drain(..) {
+            // Match against the interned path table — no per-core path
+            // strings are built here (satellite of the tick fast path).
+            if let Some(kind) = self.paths.classify(&path) {
+                match kind {
+                    CorePath::Online(i) => match value.trim() {
                         "0" => self.apply_command(Command::SetOnline {
                             core: i,
                             online: false,
@@ -403,34 +519,22 @@ impl Simulation {
                             online: true,
                         }),
                         _ => self.invalid_sysfs_writes += 1,
-                    }
-                    handled = true;
-                    break;
-                }
-                if path == paths::scaling_setspeed(i) {
-                    match value.trim().parse::<u32>() {
+                    },
+                    CorePath::Setspeed(i) => match value.trim().parse::<u32>() {
                         Ok(khz) => self.apply_command(Command::SetFreq {
                             core: i,
                             khz: Khz(khz),
                         }),
                         Err(_) => self.invalid_sysfs_writes += 1,
-                    }
-                    handled = true;
-                    break;
-                }
-                if path == paths::scaling_min_freq(i) {
-                    match value.trim().parse::<u32>() {
+                    },
+                    CorePath::MinFreq(i) => match value.trim().parse::<u32>() {
                         Ok(khz) => {
                             self.cpus.core_mut(i).limit_min_opp =
                                 self.cfg.profile.opps().ceil_index(Khz(khz));
                         }
                         Err(_) => self.invalid_sysfs_writes += 1,
-                    }
-                    handled = true;
-                    break;
-                }
-                if path == paths::scaling_max_freq(i) {
-                    match value.trim().parse::<u32>() {
+                    },
+                    CorePath::MaxFreq(i) => match value.trim().parse::<u32>() {
                         Ok(khz) => {
                             let idx = self
                                 .cfg
@@ -441,16 +545,9 @@ impl Simulation {
                             self.cpus.core_mut(i).limit_max_opp = idx;
                         }
                         Err(_) => self.invalid_sysfs_writes += 1,
-                    }
-                    handled = true;
-                    break;
+                    },
+                    CorePath::Governor(_) => {} // informational only
                 }
-                if path == paths::scaling_governor(i) {
-                    handled = true; // informational only
-                    break;
-                }
-            }
-            if handled {
                 continue;
             }
             if path == paths::CFS_QUOTA {
@@ -470,37 +567,36 @@ impl Simulation {
                 }
             }
         }
+        self.scratch.writes = writes;
     }
 
-    fn build_snapshot(&mut self) -> PolicySnapshot {
+    /// Rebuilds `self.snap` in place for the current sampling boundary
+    /// (the one `PolicySnapshot` is reused across samples).
+    fn fill_snapshot(&mut self) {
         let window = (self.now_us - self.last_sample_us).max(self.cfg.tick_us);
-        let busy = self.cpus.drain_window();
+        self.cpus.drain_window_into(&mut self.scratch.busy_window);
+        let busy = &self.scratch.busy_window;
         let profile = &self.cfg.profile;
-        let cores: Vec<CoreSnapshot> = (0..self.cpus.len())
-            .map(|i| {
-                let c = self.cpus.core(i);
-                CoreSnapshot {
-                    online: c.online,
-                    cur_khz: self.cpus.effective_khz(profile, i),
-                    target_khz: profile.opps().get_clamped(c.target_opp).khz,
-                    util: mobicore_model::Utilization::new(busy[i] as f64 / window as f64),
-                    busy_us: busy[i],
-                }
-            })
-            .collect();
+        self.snap.cores.clear();
+        self.snap.cores.extend((0..self.cpus.len()).map(|i| {
+            let c = self.cpus.core(i);
+            CoreSnapshot {
+                online: c.online,
+                cur_khz: self.cpus.effective_khz(profile, i),
+                target_khz: profile.opps().get_clamped(c.target_opp).khz,
+                util: Utilization::new(busy[i] as f64 / window as f64),
+                busy_us: busy[i],
+            }
+        }));
         let total_busy: u64 = busy.iter().sum();
-        PolicySnapshot {
-            now_us: self.now_us,
-            window_us: window,
-            overall_util: mobicore_model::Utilization::new(
-                total_busy as f64 / (window as f64 * self.cpus.len() as f64),
-            ),
-            cores,
-            quota: self.bw.quota(),
-            mpdecision_enabled: self.mpdecision_enabled,
-            max_runnable_threads: std::mem::take(&mut self.window_max_runnable),
-            temp_c: self.thermal.temp_c(),
-        }
+        self.snap.now_us = self.now_us;
+        self.snap.window_us = window;
+        self.snap.overall_util =
+            Utilization::new(total_busy as f64 / (window as f64 * self.cpus.len() as f64));
+        self.snap.quota = self.bw.quota();
+        self.snap.mpdecision_enabled = self.mpdecision_enabled;
+        self.snap.max_runnable_threads = std::mem::take(&mut self.window_max_runnable);
+        self.snap.temp_c = self.thermal.temp_c();
     }
 
     fn refresh_sysfs(&mut self) {
@@ -508,9 +604,9 @@ impl Simulation {
         for i in 0..n {
             let khz = self.cpus.effective_khz(&self.cfg.profile, i);
             self.sysfs
-                .refresh(&paths::scaling_cur_freq(i), khz.0.to_string());
+                .refresh(&self.paths.core(i).scaling_cur_freq, khz.0.to_string());
             self.sysfs.refresh(
-                &paths::online(i),
+                &self.paths.core(i).online,
                 if self.cpus.core(i).online { "1" } else { "0" },
             );
         }
@@ -540,7 +636,7 @@ impl Simulation {
                     )
                 })
                 .collect();
-            self.sysfs.refresh(&paths::time_in_state(i), body);
+            self.sysfs.refresh(&self.paths.core(i).time_in_state, body);
         }
     }
 
@@ -556,26 +652,29 @@ impl Simulation {
         self.cpus.tick_hotplug(now);
         // 3. policy sampling
         if now >= self.next_sample_us {
-            let snap = self.build_snapshot();
-            let mut ctl = CpuControl::new();
-            self.policy.on_sample(&snap, &mut ctl);
+            self.fill_snapshot();
+            self.policy.on_sample(&self.snap, &mut self.ctl);
             if self.telemetry.is_enabled() {
                 self.telemetry.count("sim.samples", 1);
+                self.telemetry.record(
+                    "overall_util_pct",
+                    self.snap.overall_util.as_fraction() * 100.0,
+                );
                 self.telemetry
-                    .record("overall_util_pct", snap.overall_util.as_fraction() * 100.0);
-                self.telemetry
-                    .record("quota_pct", snap.quota.as_fraction() * 100.0);
+                    .record("quota_pct", self.snap.quota.as_fraction() * 100.0);
             }
             // Notes first: the decision record should precede the
             // freq/hotplug/quota events it causes at the same timestamp.
-            for note in ctl.take_notes() {
+            for note in self.ctl.drain_notes() {
                 self.telemetry.emit(now, note);
             }
-            let cmds = ctl.take();
+            let mut cmds = std::mem::take(&mut self.scratch.cmds);
+            self.ctl.drain_commands_into(&mut cmds);
             self.telemetry.count("sim.commands", cmds.len() as u64);
-            for cmd in cmds {
+            for cmd in cmds.drain(..) {
                 self.apply_command(cmd);
             }
+            self.scratch.cmds = cmds;
             self.last_sample_us = now;
             self.next_sample_us = now + self.policy.sampling_period_us().max(tick);
         }
@@ -586,32 +685,39 @@ impl Simulation {
         self.rt.clear_completions();
         // 5. schedule and execute
         self.window_max_runnable = self.window_max_runnable.max(self.rt.runnable_count());
-        let online = self.cpus.online_ids();
+        self.cpus.online_ids_into(&mut self.scratch.online);
         let allowance = self.bw.begin_tick(now, tick);
-        let khz: Vec<Khz> = (0..self.cpus.len())
-            .map(|i| self.cpus.effective_khz(&self.cfg.profile, i))
-            .collect();
+        self.scratch.khz.clear();
+        for i in 0..self.cpus.len() {
+            self.scratch
+                .khz
+                .push(self.cpus.effective_khz(&self.cfg.profile, i));
+        }
         // Sub-tick DVFS stalls: time each core loses to an in-flight
         // frequency transition within this tick.
-        let stall_us: Vec<u64> = (0..self.cpus.len())
-            .map(|i| {
-                let until = self.cpus.core(i).stalled_until_us;
-                until.saturating_sub(now).min(tick)
-            })
-            .collect();
-        let outcome = schedule_tick(
+        self.scratch.stall_us.clear();
+        for i in 0..self.cpus.len() {
+            let until = self.cpus.core(i).stalled_until_us;
+            self.scratch
+                .stall_us
+                .push(until.saturating_sub(now).min(tick));
+        }
+        schedule_tick_into(
             &mut self.rt,
             &TickParams {
                 now_us: now,
                 tick_us: tick,
                 n_cores: self.cpus.len(),
-                online: &online,
-                khz: &khz,
+                online: &self.scratch.online,
+                khz: &self.scratch.khz,
                 global_allowance_us: allowance,
                 rotation: usize::try_from(now / tick).expect("tick count fits usize"),
-                stall_us: &stall_us,
+                stall_us: &self.scratch.stall_us,
             },
+            &mut self.scratch.sched,
+            &mut self.scratch.outcome,
         );
+        let outcome = &self.scratch.outcome;
         self.bw.charge(outcome.used_runtime_us, outcome.denied_us);
         let denied = outcome.denied_us > 0;
         if denied && !self.bw_denied_last_tick {
@@ -625,19 +731,27 @@ impl Simulation {
         self.bw_denied_last_tick = denied;
         self.executed_cycles += outcome.executed_cycles;
         for i in 0..self.cpus.len() {
-            let f = self.cpus.effective_khz(&self.cfg.profile, i);
-            self.cpus.account_tick(i, outcome.busy_us[i], tick, f);
+            let f = self.scratch.khz[i];
+            self.cpus
+                .account_tick(i, self.scratch.outcome.busy_us[i], tick, f);
             self.cpus.account_time_in_state(i, tick);
         }
         // 6. power, thermal, trace
-        let acts = self
-            .cpus
-            .activities(&outcome.busy_us, tick, self.cfg.profile.idle_ladder());
-        let breakdown = self
-            .cfg
+        self.cpus.activities_into(
+            &self.scratch.outcome.busy_us,
+            tick,
+            self.cfg.profile.idle_ladder(),
+            &mut self.scratch.acts,
+        );
+        self.cfg
             .profile
-            .power(&acts)
+            .power_into(
+                &self.scratch.acts,
+                &mut self.scratch.power_cache,
+                &mut self.scratch.breakdown,
+            )
             .expect("activity vector sized to profile");
+        let breakdown = &self.scratch.breakdown;
         let power = breakdown.total_mw();
         self.base_energy += breakdown.base_mw * tick as f64;
         self.cluster_energy += breakdown.cluster_mw * tick as f64;
@@ -663,15 +777,16 @@ impl Simulation {
         }
         self.cpus.thermal_cap_opp = cap;
         if now >= self.next_trace_us {
-            self.refresh_sysfs();
             if self.cfg.trace == TraceLevel::Full {
                 self.trace.push(TraceSample {
                     t_us: now,
                     power_mw: power,
                     temp_c: self.thermal.temp_c(),
                     quota: self.bw.quota().as_fraction(),
-                    khz: khz.iter().map(|k| k.0).collect(),
-                    util_pct: outcome
+                    khz: self.scratch.khz.iter().map(|k| k.0).collect(),
+                    util_pct: self
+                        .scratch
+                        .outcome
                         .busy_us
                         .iter()
                         .map(|&b| (b as f32 / tick as f32) * 100.0)
@@ -680,6 +795,10 @@ impl Simulation {
             }
             self.next_trace_us = now + self.cfg.trace_period_us;
         }
+        // The readable sysfs mirror is refreshed lazily at the next
+        // [`Simulation::sysfs_read`] instead of re-formatted per trace
+        // period (docs/performance.md).
+        self.sysfs_stale = true;
         self.now_us += tick;
     }
 

@@ -95,13 +95,23 @@ impl SysFs {
 
     /// Drains queued writes in order, committing each value.
     pub fn take_writes(&mut self) -> Vec<(String, String)> {
-        let writes = std::mem::take(&mut self.pending_writes);
-        for (path, value) in &writes {
+        let mut out = Vec::new();
+        self.take_writes_into(&mut out);
+        out
+    }
+
+    /// Drains queued writes in order into `out`, committing each value
+    /// (buffer-reusing variant of [`SysFs::take_writes`]; the simulator
+    /// swaps one scratch vector in every tick).
+    pub fn take_writes_into(&mut self, out: &mut Vec<(String, String)>) {
+        out.clear();
+        std::mem::swap(&mut self.pending_writes, out);
+        for (path, value) in out.iter() {
             if let Some(a) = self.attrs.get_mut(path) {
-                a.value = value.clone();
+                a.value.clear();
+                a.value.push_str(value);
             }
         }
-        writes
     }
 
     /// Lists registered paths under a prefix (an `ls -R`-flavoured view).
@@ -164,6 +174,118 @@ pub mod paths {
     pub const CFS_PERIOD: &str = "/sys/fs/cgroup/cpu/cpu.cfs_period_us";
     /// `/sys/module/mpdecision/parameters/enabled`
     pub const MPDECISION: &str = "/sys/module/mpdecision/parameters/enabled";
+}
+
+/// The interned sysfs paths of one core (see [`PathTable`]).
+#[derive(Debug, Clone)]
+pub struct CorePaths {
+    /// `cpu<i>/online`
+    pub online: String,
+    /// `cpu<i>/cpufreq/scaling_cur_freq`
+    pub scaling_cur_freq: String,
+    /// `cpu<i>/cpufreq/scaling_setspeed`
+    pub scaling_setspeed: String,
+    /// `cpu<i>/cpufreq/scaling_governor`
+    pub scaling_governor: String,
+    /// `cpu<i>/cpufreq/scaling_min_freq`
+    pub scaling_min_freq: String,
+    /// `cpu<i>/cpufreq/scaling_max_freq`
+    pub scaling_max_freq: String,
+    /// `cpu<i>/cpufreq/cpuinfo_min_freq`
+    pub cpuinfo_min_freq: String,
+    /// `cpu<i>/cpufreq/cpuinfo_max_freq`
+    pub cpuinfo_max_freq: String,
+    /// `cpu<i>/cpufreq/scaling_available_frequencies`
+    pub scaling_available_frequencies: String,
+    /// `cpu<i>/cpufreq/stats/time_in_state`
+    pub time_in_state: String,
+}
+
+/// A classified writable per-core path (what a pending sysfs write is
+/// aimed at), as returned by [`PathTable::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorePath {
+    /// `cpu<i>/online`
+    Online(usize),
+    /// `cpu<i>/cpufreq/scaling_setspeed`
+    Setspeed(usize),
+    /// `cpu<i>/cpufreq/scaling_min_freq`
+    MinFreq(usize),
+    /// `cpu<i>/cpufreq/scaling_max_freq`
+    MaxFreq(usize),
+    /// `cpu<i>/cpufreq/scaling_governor`
+    Governor(usize),
+}
+
+/// Per-core sysfs paths interned once at simulation construction.
+///
+/// [`crate::Simulation`] builds one of these in `new` so the per-tick
+/// write-processing and refresh paths compare and look up against
+/// pre-built strings instead of `format!`-ing a fresh path per core per
+/// write (docs/performance.md).
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    per_core: Vec<CorePaths>,
+}
+
+impl PathTable {
+    /// Interns the full path set for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        PathTable {
+            per_core: (0..n_cores)
+                .map(|i| CorePaths {
+                    online: paths::online(i),
+                    scaling_cur_freq: paths::scaling_cur_freq(i),
+                    scaling_setspeed: paths::scaling_setspeed(i),
+                    scaling_governor: paths::scaling_governor(i),
+                    scaling_min_freq: paths::scaling_min_freq(i),
+                    scaling_max_freq: paths::scaling_max_freq(i),
+                    cpuinfo_min_freq: paths::cpuinfo_min_freq(i),
+                    cpuinfo_max_freq: paths::cpuinfo_max_freq(i),
+                    scaling_available_frequencies: paths::scaling_available_frequencies(i),
+                    time_in_state: paths::time_in_state(i),
+                })
+                .collect(),
+        }
+    }
+
+    /// The interned paths of core `i`.
+    pub fn core(&self, i: usize) -> &CorePaths {
+        &self.per_core[i]
+    }
+
+    /// Number of cores the table was built for.
+    pub fn len(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_core.is_empty()
+    }
+
+    /// Matches `path` against the writable per-core attributes without
+    /// allocating.
+    pub fn classify(&self, path: &str) -> Option<CorePath> {
+        for (i, c) in self.per_core.iter().enumerate() {
+            if path == c.online {
+                return Some(CorePath::Online(i));
+            }
+            if path == c.scaling_setspeed {
+                return Some(CorePath::Setspeed(i));
+            }
+            if path == c.scaling_min_freq {
+                return Some(CorePath::MinFreq(i));
+            }
+            if path == c.scaling_max_freq {
+                return Some(CorePath::MaxFreq(i));
+            }
+            if path == c.scaling_governor {
+                return Some(CorePath::Governor(i));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +353,56 @@ mod tests {
     fn path_helpers() {
         assert_eq!(paths::online(2), "/sys/devices/system/cpu/cpu2/online");
         assert!(paths::scaling_cur_freq(0).ends_with("cpu0/cpufreq/scaling_cur_freq"));
+    }
+
+    #[test]
+    fn path_table_matches_helpers() {
+        let table = PathTable::new(4);
+        assert_eq!(table.len(), 4);
+        for i in 0..4 {
+            assert_eq!(table.core(i).online, paths::online(i));
+            assert_eq!(table.core(i).scaling_setspeed, paths::scaling_setspeed(i));
+            assert_eq!(table.core(i).time_in_state, paths::time_in_state(i));
+        }
+    }
+
+    #[test]
+    fn path_table_classifies_writable_paths() {
+        let table = PathTable::new(4);
+        assert_eq!(
+            table.classify(&paths::online(3)),
+            Some(CorePath::Online(3))
+        );
+        assert_eq!(
+            table.classify(&paths::scaling_setspeed(0)),
+            Some(CorePath::Setspeed(0))
+        );
+        assert_eq!(
+            table.classify(&paths::scaling_min_freq(1)),
+            Some(CorePath::MinFreq(1))
+        );
+        assert_eq!(
+            table.classify(&paths::scaling_max_freq(2)),
+            Some(CorePath::MaxFreq(2))
+        );
+        assert_eq!(
+            table.classify(&paths::scaling_governor(1)),
+            Some(CorePath::Governor(1))
+        );
+        assert_eq!(table.classify(paths::MPDECISION), None);
+        assert_eq!(table.classify(&paths::online(7)), None, "past table end");
+    }
+
+    #[test]
+    fn take_writes_into_reuses_buffer() {
+        let mut fs = SysFs::new();
+        fs.register_rw("/a", "1");
+        fs.write("/a", "2").unwrap();
+        let mut buf = vec![("old".to_string(), "junk".to_string())];
+        fs.take_writes_into(&mut buf);
+        assert_eq!(buf, vec![("/a".to_string(), "2".to_string())]);
+        assert_eq!(fs.read("/a").unwrap(), "2");
+        fs.take_writes_into(&mut buf);
+        assert!(buf.is_empty());
     }
 }

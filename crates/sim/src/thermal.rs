@@ -25,6 +25,10 @@ pub struct ThermalModel {
     pub max_temp_c: f64,
     temp_integral: f64,
     integral_us: u64,
+    /// `(tick_us, 1 − e^(−dt/τ))` of the last step; the tick length is
+    /// constant within a run, so this turns one `exp` per tick into one
+    /// per run.
+    alpha_cache: Option<(u64, f64)>,
 }
 
 impl ThermalModel {
@@ -41,6 +45,7 @@ impl ThermalModel {
             throttled_time_us: 0,
             temp_integral: 0.0,
             integral_us: 0,
+            alpha_cache: None,
         }
     }
 
@@ -71,10 +76,17 @@ impl ThermalModel {
     /// Integrates one tick of dissipation and runs the control loop when
     /// its poll period elapses. Returns the (possibly updated) OPP cap.
     pub fn tick(&mut self, now_us: u64, tick_us: u64, power_mw: f64) -> usize {
-        let dt_s = tick_us as f64 / 1_000_000.0;
         let steady = self.params.steady_state_c(power_mw);
         // Exact first-order step: T += (T_ss − T)·(1 − e^(−dt/τ)).
-        let alpha = 1.0 - (-dt_s / self.params.tau_s).exp();
+        let alpha = match self.alpha_cache {
+            Some((cached_tick, a)) if cached_tick == tick_us => a,
+            _ => {
+                let dt_s = tick_us as f64 / 1_000_000.0;
+                let a = 1.0 - (-dt_s / self.params.tau_s).exp();
+                self.alpha_cache = Some((tick_us, a));
+                a
+            }
+        };
         self.temp_c += (steady - self.temp_c) * alpha;
         self.max_temp_c = self.max_temp_c.max(self.temp_c);
         self.temp_integral += self.temp_c * tick_us as f64;

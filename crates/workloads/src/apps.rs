@@ -218,7 +218,9 @@ impl Workload for VideoPlayback {
     }
 
     fn on_tick(&mut self, now_us: u64, _tick_us: u64, rt: &mut WorkloadRt) {
-        for c in rt.completions().to_vec() {
+        // Completions are Copy; iterating the slice directly keeps the
+        // per-tick path allocation-free.
+        for &c in rt.completions() {
             if c.thread == self.thread {
                 self.frames_decoded += 1;
                 if let Some(deadline) = self.inflight_deadline.take() {

@@ -110,8 +110,9 @@ impl Workload for BusyLoop {
     fn on_tick(&mut self, now_us: u64, _tick_us: u64, rt: &mut WorkloadRt) {
         self.started_at_us.get_or_insert(now_us);
         // Burst completions re-arm their thread after the idle gap.
-        let completions: Vec<_> = rt.completions().to_vec();
-        for c in completions {
+        // Completions are Copy; iterating the slice directly keeps the
+        // per-tick path allocation-free.
+        for &c in rt.completions() {
             if let Some(t) = self.threads.iter_mut().find(|t| t.id == c.thread) {
                 t.in_flight = false;
                 t.next_burst_at_us = c.time_us + self.idle_us;

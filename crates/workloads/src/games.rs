@@ -267,8 +267,7 @@ impl Workload for GameApp {
             return;
         }
         let this_frame = self.frame << 4;
-        let completions: Vec<_> = rt.completions().to_vec();
-        for c in completions {
+        for &c in rt.completions() {
             // Only this game's threads count: completions from co-scheduled
             // workloads share the same event stream.
             let ours = c.thread == self.main_thread || self.worker_threads.contains(&c.thread);

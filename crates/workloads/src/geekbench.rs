@@ -184,8 +184,9 @@ impl Workload for GeekBenchApp {
             self.started = true;
             self.suite_started_us = now_us;
         }
-        let completions: Vec<_> = rt.completions().to_vec();
-        for c in completions {
+        // Completions are Copy; iterating the slice directly keeps the
+        // per-tick path allocation-free.
+        for &c in rt.completions() {
             if let Some(slot) = self.threads.iter().position(|&t| t == c.thread) {
                 self.in_flight[slot] = false;
                 self.next_chunk_at[slot] = c.time_us + self.phase().stall_us;
