@@ -8,7 +8,7 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_03.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_04.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
@@ -112,8 +112,38 @@ fn sweep_jobs_per_s(n_jobs: usize, secs: u64, rounds: usize) -> f64 {
     per_round[per_round.len() / 2]
 }
 
+/// Loopback serve throughput: a `mobicore-serve` daemon plus a
+/// `mobicore-load` run in the same process, reporting decisions per
+/// wall-second and RTT quantiles (µs) exactly as the `mobicore-load`
+/// CLI would.
+fn serve_loopback(sessions: usize) -> mobicore_serve::LoadReport {
+    let server = mobicore_serve::Server::bind(
+        "127.0.0.1:0",
+        mobicore_serve::ServeConfig::default()
+            .with_workers(2)
+            .with_drain_deadline(std::time::Duration::from_secs(3)),
+    )
+    .expect("loopback bind");
+    let cfg = mobicore_serve::LoadConfig {
+        sessions,
+        drivers: 4,
+        record_secs: 2,
+        snapshots_per_session: 50,
+        seed: 20_170_315,
+        ..mobicore_serve::LoadConfig::default()
+    };
+    let report = mobicore_serve::run_load(&server.local_addr().to_string(), &cfg)
+        .expect("loopback load runs");
+    assert!(
+        report.clean(),
+        "bench loopback run must be loss-free and byte-identical: {report:?}"
+    );
+    server.shutdown();
+    report
+}
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_03.json".into());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_04.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -153,7 +183,17 @@ fn main() {
          speedup ×{speedup:.2} on {host_cpus} host cpu(s)"
     );
 
-    let mut m = sim.manifest("bench-03");
+    eprintln!("measuring serve loopback throughput (128 sessions)...");
+    let serve = serve_loopback(128);
+    eprintln!(
+        "serve: {:.0} decisions/s, rtt p50 {:.0} us / p99 {:.0} us / p999 {:.0} us",
+        serve.decisions_per_s,
+        serve.rtt_us.quantile(0.50),
+        serve.rtt_us.quantile(0.99),
+        serve.rtt_us.quantile(0.999),
+    );
+
+    let mut m = sim.manifest("bench-04");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -172,6 +212,12 @@ fn main() {
     m.metrics.insert("bench.sweep_jobs_per_s_j1".into(), sweep_j1);
     m.metrics.insert("bench.sweep_speedup_j4_over_j1".into(), speedup);
     m.metrics.insert("bench.host_cpus".into(), host_cpus as f64);
+    m.metrics.insert("serve.decisions_per_s".into(), serve.decisions_per_s);
+    m.metrics.insert("serve.rtt_p50_us".into(), serve.rtt_us.quantile(0.50));
+    m.metrics.insert("serve.rtt_p99_us".into(), serve.rtt_us.quantile(0.99));
+    m.metrics.insert("serve.rtt_p999_us".into(), serve.rtt_us.quantile(0.999));
+    #[allow(clippy::cast_precision_loss)]
+    m.metrics.insert("serve.sessions".into(), serve.sessions as f64);
 
     match std::fs::write(&out, m.to_json_text()) {
         Ok(()) => {

@@ -19,10 +19,16 @@ use mobicore_sim::{SimConfig, Simulation};
 use mobicore_telemetry::RunManifest;
 use mobicore_workloads::BusyLoop;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Maximum tolerated drop vs the committed baseline.
 const MAX_REGRESSION: f64 = 0.25;
+
+/// The test harness runs `#[test]`s on parallel threads; on a small
+/// host two concurrent gate measurements steal CPU from each other and
+/// fail spuriously. Each gate holds this lock across its measurement.
+static GATE_LOCK: Mutex<()> = Mutex::new(());
 
 /// The same scenario `bench-manifest` records, so numbers are comparable.
 fn fresh_sim_s_per_wall_s(secs: u64) -> f64 {
@@ -40,8 +46,36 @@ fn fresh_sim_s_per_wall_s(secs: u64) -> f64 {
     secs as f64 / t.elapsed().as_secs_f64()
 }
 
-/// The newest committed `BENCH_NN.json` at the repo root, if any.
-fn latest_committed_baseline(root: &Path) -> Option<(PathBuf, f64)> {
+/// A fresh loopback serve measurement shaped like the one
+/// `bench-manifest` records (128 sessions over 4 drivers, 50 snapshots
+/// each), so numbers are comparable with the committed baseline.
+fn fresh_serve_decisions_per_s() -> f64 {
+    let server = mobicore_serve::Server::bind(
+        "127.0.0.1:0",
+        mobicore_serve::ServeConfig::default()
+            .with_workers(2)
+            .with_drain_deadline(std::time::Duration::from_secs(3)),
+    )
+    .expect("loopback bind");
+    let cfg = mobicore_serve::LoadConfig {
+        sessions: 128,
+        drivers: 4,
+        record_secs: 2,
+        snapshots_per_session: 50,
+        seed: 20_170_315,
+        ..mobicore_serve::LoadConfig::default()
+    };
+    let report = mobicore_serve::run_load(&server.local_addr().to_string(), &cfg)
+        .expect("loopback load runs");
+    assert!(report.clean(), "gate run must be loss-free: {report:?}");
+    server.shutdown();
+    report.decisions_per_s
+}
+
+/// The newest committed `BENCH_NN.json` at the repo root carrying
+/// `metric`, if any (older baselines predate some metrics — a gate
+/// whose metric is absent simply has no baseline yet).
+fn latest_committed_baseline(root: &Path, metric: &str) -> Option<(PathBuf, f64)> {
     let mut candidates: Vec<PathBuf> = std::fs::read_dir(root)
         .ok()?
         .filter_map(Result::ok)
@@ -57,7 +91,7 @@ fn latest_committed_baseline(root: &Path) -> Option<(PathBuf, f64)> {
     let newest = candidates.pop()?;
     let text = std::fs::read_to_string(&newest).ok()?;
     let m = RunManifest::from_json_text(&text).ok()?;
-    let v = m.metrics.get("bench.sim_s_per_wall_s").copied()?;
+    let v = m.metrics.get(metric).copied()?;
     Some((newest, v))
 }
 
@@ -75,10 +109,12 @@ fn bench_gate_sim_throughput_within_25_pct_of_committed() {
         return;
     }
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let Some((baseline_path, baseline)) = latest_committed_baseline(&root) else {
+    let Some((baseline_path, baseline)) = latest_committed_baseline(&root, "bench.sim_s_per_wall_s")
+    else {
         eprintln!("bench gate skipped: no committed BENCH_*.json found");
         return;
     };
+    let _serial = GATE_LOCK.lock().expect("gate lock");
     let fresh = fresh_sim_s_per_wall_s(10);
     let floor = baseline * (1.0 - MAX_REGRESSION);
     eprintln!(
@@ -90,6 +126,42 @@ fn bench_gate_sim_throughput_within_25_pct_of_committed() {
         fresh >= floor,
         "sim throughput regressed >{:.0} %: fresh {fresh:.1} < floor {floor:.1} \
          (baseline {baseline:.1} from {})",
+        MAX_REGRESSION * 100.0,
+        baseline_path.display()
+    );
+}
+
+#[test]
+fn bench_gate_serve_throughput_within_25_pct_of_committed() {
+    if std::env::var("MOBICORE_BENCH_GATE").as_deref() != Ok("1") {
+        eprintln!("serve gate skipped (set MOBICORE_BENCH_GATE=1 to enable)");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "serve gate skipped: needs an optimized build \
+             (run with `cargo test --release`)"
+        );
+        return;
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Some((baseline_path, baseline)) = latest_committed_baseline(&root, "serve.decisions_per_s")
+    else {
+        eprintln!("serve gate skipped: no committed baseline carries serve.decisions_per_s");
+        return;
+    };
+    let _serial = GATE_LOCK.lock().expect("gate lock");
+    let fresh = fresh_serve_decisions_per_s();
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    eprintln!(
+        "serve gate: fresh {fresh:.0} decisions/s vs baseline {baseline:.0} \
+         ({}), floor {floor:.0}",
+        baseline_path.display()
+    );
+    assert!(
+        fresh >= floor,
+        "serve throughput regressed >{:.0} %: fresh {fresh:.0} < floor {floor:.0} \
+         (baseline {baseline:.0} from {})",
         MAX_REGRESSION * 100.0,
         baseline_path.display()
     );

@@ -1,0 +1,77 @@
+//! Loopback determinism (ISSUE 5 satellite): one scenario run through
+//! `mobicore-serve` on 127.0.0.1 must produce the **identical**
+//! decision stream as an in-process `Simulation` — same report, same
+//! telemetry event stream, byte-identical manifest. Mirrors the
+//! sequential-vs-parallel guarantee of `determinism.rs` across the
+//! network boundary.
+
+use mobicore_serve::{RemotePolicy, ServeConfig, Server};
+use mobicore_sim::{CpuPolicy, SimConfig, Simulation};
+use mobicore_workloads::scenario;
+use std::time::Duration;
+
+/// Runs `scenario_name` for `secs` simulated seconds under `policy`,
+/// returning (report debug, events JSONL, manifest JSON).
+fn run_sim(policy: Box<dyn CpuPolicy>, scenario_name: &str, secs: u64) -> (String, String, String) {
+    let profile = mobicore_model::profiles::nexus5();
+    let workload = scenario::by_name(scenario_name, &profile, 7).expect("scenario exists");
+    let cfg = SimConfig::new(profile).with_duration_secs(secs).with_seed(7);
+    let mut sim = Simulation::new(cfg, policy).expect("config valid");
+    sim.add_workload(Box::new(workload));
+    let report = sim.run();
+    (
+        format!("{report:?}"),
+        sim.events_jsonl(),
+        sim.manifest("serve-det").to_json_text(),
+    )
+}
+
+fn assert_remote_equals_local(policy_name: &str, scenario_name: &str, secs: u64) {
+    let profile = mobicore_model::profiles::nexus5();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig::default()
+            .with_workers(2)
+            .with_drain_deadline(Duration::from_secs(2)),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let local = mobicore_serve::registry::build_policy(policy_name, &profile)
+        .expect("policy exists locally");
+    let (local_report, local_events, local_manifest) = run_sim(local, scenario_name, secs);
+
+    let remote = RemotePolicy::connect(&addr, policy_name, "nexus5", 7).expect("connect");
+    assert_eq!(remote.name(), policy_name, "HelloAck must carry the resolved name");
+    let (remote_report, remote_events, remote_manifest) =
+        run_sim(Box::new(remote), scenario_name, secs);
+
+    assert_eq!(
+        local_report, remote_report,
+        "{policy_name}/{scenario_name}: remote report differs from in-process"
+    );
+    assert_eq!(
+        local_events, remote_events,
+        "{policy_name}/{scenario_name}: remote event stream differs from in-process"
+    );
+    assert_eq!(
+        local_manifest, remote_manifest,
+        "{policy_name}/{scenario_name}: remote manifest differs from in-process"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0);
+    assert!(stats.decisions > 0, "the remote run must actually have used the wire");
+}
+
+#[test]
+fn mobicore_over_loopback_matches_in_process() {
+    assert_remote_equals_local("mobicore", "mixed-day-mini", 3);
+}
+
+#[test]
+fn stock_governor_over_loopback_matches_in_process() {
+    // A different policy family: the stock Android stack attaches its
+    // own telemetry notes, which must survive the wire round-trip too.
+    assert_remote_equals_local("android-default", "mixed-day-mini", 2);
+}

@@ -39,6 +39,7 @@ pub mod adapter;
 pub mod android;
 pub mod dvfs;
 pub mod hotplug;
+pub mod registry;
 
 pub use adapter::GovernorPolicy;
 pub use android::AndroidDefaultPolicy;

@@ -1,0 +1,81 @@
+//! Build stock-governor policies by wire name.
+//!
+//! The serve daemon (and any future CLI) resolves a client-supplied
+//! policy string into a running [`CpuPolicy`]; this module owns the
+//! mapping for everything the governors crate can construct, so the
+//! name list lives next to the constructors it names.
+
+use crate::adapter::GovernorPolicy;
+use crate::android::AndroidDefaultPolicy;
+use crate::dvfs::{Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil};
+use mobicore_model::DeviceProfile;
+use mobicore_sim::CpuPolicy;
+
+/// Every name [`build`] accepts, in a stable order.
+pub const NAMES: [&str; 8] = [
+    "android-default",
+    "android-ondemand-only",
+    "ondemand",
+    "interactive",
+    "conservative",
+    "powersave",
+    "performance",
+    "schedutil",
+];
+
+/// Constructs the named stock policy for `profile`, or `None` for a
+/// name this crate does not own.
+///
+/// `android-default` is the composed ondemand + default-hotplug
+/// baseline; every other name is the DVFS-only governor of that name
+/// (all cores stay online), matching how the thesis isolates the
+/// cpufreq half.
+pub fn build(name: &str, profile: &DeviceProfile) -> Option<Box<dyn CpuPolicy + Send>> {
+    let dvfs: Box<dyn DvfsGovernor + Send> = match name {
+        "android-default" => return Some(Box::new(AndroidDefaultPolicy::new(profile))),
+        "android-ondemand-only" => {
+            return Some(Box::new(AndroidDefaultPolicy::dvfs_only(profile)))
+        }
+        "ondemand" => Box::new(Ondemand::new()),
+        "interactive" => Box::new(Interactive::new()),
+        "conservative" => Box::new(Conservative::new()),
+        "powersave" => Box::new(Powersave::new()),
+        "performance" => Box::new(Performance::new()),
+        "schedutil" => Box::new(Schedutil::new()),
+        _ => return None,
+    };
+    Some(Box::new(GovernorPolicy::dvfs_only(
+        dvfs,
+        profile.opps().clone(),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+
+    #[test]
+    fn every_listed_name_builds() {
+        let profile = profiles::nexus5();
+        for name in NAMES {
+            let policy = build(name, &profile).unwrap_or_else(|| panic!("{name} builds"));
+            assert!(!policy.name().is_empty());
+        }
+        assert!(build("warp-drive", &profile).is_none());
+    }
+
+    #[test]
+    fn android_default_keeps_its_stock_name() {
+        let profile = profiles::nexus5();
+        assert_eq!(
+            build("android-default", &profile).unwrap().name(),
+            "android-default"
+        );
+        assert_eq!(
+            build("android-ondemand-only", &profile).unwrap().name(),
+            "android-ondemand-only"
+        );
+        assert_eq!(build("ondemand", &profile).unwrap().name(), "ondemand");
+    }
+}

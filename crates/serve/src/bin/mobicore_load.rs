@@ -1,0 +1,101 @@
+//! The `mobicore-load` generator binary.
+//!
+//! ```text
+//! mobicore-load ADDR [--sessions N] [--drivers N] [--policy NAME]
+//!               [--profile NAME] [--scenario NAME] [--seed N]
+//!               [--snapshots N] [--no-verify] [--manifest PATH]
+//! ```
+//!
+//! Opens `--sessions` concurrent sessions against the daemon at
+//! `ADDR`, replays the recorded scenario stream through each, and
+//! prints decisions/s plus RTT p50/p99/p999. Exits nonzero when any
+//! decision was dropped, reordered, or differed from the in-process
+//! reference.
+
+#![forbid(unsafe_code)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+
+use mobicore_serve::{run_load, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mobicore-load ADDR [--sessions N] [--drivers N] [--policy NAME] \
+         [--profile NAME] [--scenario NAME] [--seed N] [--snapshots N] \
+         [--no-verify] [--manifest PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        eprintln!("{flag} needs a value");
+        usage()
+    };
+    let Ok(v) = v.parse() else {
+        eprintln!("{flag}: cannot parse `{v}`");
+        usage()
+    };
+    v
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut cfg = LoadConfig::default();
+    let mut manifest_path: Option<String> = None;
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => cfg.sessions = parse(&mut args, "--sessions"),
+            "--drivers" => cfg.drivers = parse(&mut args, "--drivers"),
+            "--policy" => cfg.policy = parse(&mut args, "--policy"),
+            "--profile" => cfg.profile = parse(&mut args, "--profile"),
+            "--scenario" => cfg.scenario = parse(&mut args, "--scenario"),
+            "--seed" => cfg.seed = parse(&mut args, "--seed"),
+            "--snapshots" => cfg.snapshots_per_session = parse(&mut args, "--snapshots"),
+            "--no-verify" => cfg.verify = false,
+            "--manifest" => manifest_path = Some(parse(&mut args, "--manifest")),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let report = match run_load(&addr, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mobicore-load: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "sessions={} decisions={} ({} server-side) stream_len={} wall_s={:.3}",
+        report.sessions, report.decisions, report.server_decisions, report.stream_len, report.wall_s,
+    );
+    println!(
+        "decisions/s={:.0} rtt p50={:.0}us p99={:.0}us p999={:.0}us backpressure={}",
+        report.decisions_per_s,
+        report.rtt_us.quantile(0.50),
+        report.rtt_us.quantile(0.99),
+        report.rtt_us.quantile(0.999),
+        report.backpressure_seen,
+    );
+    println!(
+        "errors={} reordered={} mismatches={}",
+        report.errors, report.reordered, report.mismatches,
+    );
+    if let Some(path) = &manifest_path {
+        let manifest = report.manifest("mobicore-load", &cfg);
+        if let Err(e) = std::fs::write(path, manifest.to_json_text()) {
+            eprintln!("mobicore-load: cannot write {path}: {e}");
+        }
+    }
+    if !report.clean() {
+        eprintln!("mobicore-load: FAILED integrity checks");
+        std::process::exit(1);
+    }
+}

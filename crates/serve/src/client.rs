@@ -1,0 +1,372 @@
+//! Blocking client for the `mobicore-serve` protocol, plus
+//! [`RemotePolicy`] — a [`CpuPolicy`] adapter that forwards every
+//! sampling window over the wire and replays the daemon's decision
+//! locally, so a `Simulation` driven by a remote policy is
+//! byte-identical to one running the same policy in process.
+
+use crate::protocol::{decode_frame, frame_bytes, Frame, WireError, PROTOCOL_VERSION};
+use mobicore_sim::{Command, CpuControl, CpuPolicy, PolicySnapshot};
+use mobicore_telemetry::{EventData, Histogram};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes the codec rejected.
+    Wire(WireError),
+    /// The server answered with a typed [`Frame::Error`].
+    Remote {
+        /// One of [`crate::protocol::codes`].
+        code: u16,
+        /// The server's detail message.
+        message: String,
+    },
+    /// The server is draining and asked us to finish.
+    GoingAway(String),
+    /// The peer sent a frame that is not legal at this point.
+    UnexpectedFrame(&'static str),
+    /// The peer closed the connection mid-exchange.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::GoingAway(reason) => write!(f, "server going away: {reason}"),
+            ClientError::UnexpectedFrame(what) => write!(f, "unexpected frame: {what}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One decision as received from the daemon.
+#[derive(Debug, Clone)]
+pub struct RemoteDecision {
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// Commands the remote policy queued, in issue order.
+    pub commands: Vec<Command>,
+    /// Telemetry notes the remote policy attached, in issue order.
+    pub notes: Vec<EventData>,
+}
+
+/// A blocking protocol session: connect, handshake, lockstep
+/// snapshot→decision exchanges, clean Bye/ByeAck teardown.
+#[derive(Debug)]
+pub struct ClientSession {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    seq: u64,
+    session_id: u64,
+    policy_name: String,
+    sampling_us: u64,
+    backpressure_seen: u64,
+    going_away: bool,
+}
+
+impl ClientSession {
+    /// Connects to `addr` and performs the Hello/HelloAck handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server rejects the version,
+    /// policy, or profile; I/O and wire errors otherwise.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        policy: &str,
+        profile: &str,
+        seed: u64,
+    ) -> Result<ClientSession, ClientError> {
+        Self::connect_with_timeout(addr, policy, profile, seed, Duration::from_secs(30))
+    }
+
+    /// [`ClientSession::connect`] with explicit read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientSession::connect`].
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        policy: &str,
+        profile: &str,
+        seed: u64,
+        timeout: Duration,
+    ) -> Result<ClientSession, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut sess = ClientSession {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            seq: 0,
+            session_id: 0,
+            policy_name: String::new(),
+            sampling_us: 0,
+            backpressure_seen: 0,
+            going_away: false,
+        };
+        sess.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            policy: policy.to_string(),
+            profile: profile.to_string(),
+            seed,
+        })?;
+        match sess.recv()? {
+            Frame::HelloAck {
+                version,
+                session,
+                policy,
+                sampling_us,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::UnexpectedFrame("HelloAck version"));
+                }
+                sess.session_id = session;
+                sess.policy_name = policy;
+                sess.sampling_us = sampling_us;
+                Ok(sess)
+            }
+            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("expected HelloAck")),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The resolved policy name the server reported.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// The remote policy's sampling period, µs.
+    pub fn sampling_us(&self) -> u64 {
+        self.sampling_us
+    }
+
+    /// Backpressure notices received so far.
+    pub fn backpressure_seen(&self) -> u64 {
+        self.backpressure_seen
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        let bytes = frame_bytes(frame);
+        self.stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Receives the next frame, absorbing advisory
+    /// [`Frame::Backpressure`] notices (counted, not surfaced) and
+    /// remembering [`Frame::GoingAway`].
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            if let Some((frame, used)) = decode_frame(&self.rbuf[self.rpos..])? {
+                self.rpos += used;
+                if self.rpos == self.rbuf.len() {
+                    self.rbuf.clear();
+                    self.rpos = 0;
+                }
+                match frame {
+                    Frame::Backpressure { .. } => {
+                        self.backpressure_seen += 1;
+                        continue;
+                    }
+                    Frame::GoingAway { .. } => {
+                        self.going_away = true;
+                        continue;
+                    }
+                    other => return Ok(other),
+                }
+            }
+            let mut scratch = [0u8; 16 * 1024];
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Whether the server has announced it is draining.
+    pub fn going_away(&self) -> bool {
+        self.going_away
+    }
+
+    /// Sends one snapshot and blocks for the matching decision.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] on a typed server error; wire/socket
+    /// failures otherwise.
+    pub fn request(&mut self, snap: &PolicySnapshot) -> Result<RemoteDecision, ClientError> {
+        let seq = self.seq;
+        self.seq += 1;
+        self.send(&Frame::Snapshot {
+            seq,
+            snap: snap.clone(),
+        })?;
+        match self.recv()? {
+            Frame::Decision {
+                seq: echoed,
+                commands,
+                notes,
+            } => {
+                if echoed != seq {
+                    return Err(ClientError::UnexpectedFrame("decision out of order"));
+                }
+                Ok(RemoteDecision {
+                    seq: echoed,
+                    commands,
+                    notes,
+                })
+            }
+            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("expected Decision")),
+        }
+    }
+
+    /// Clean teardown: Bye, wait for ByeAck, return the decision count
+    /// the server accounted to this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and wire failures; the session is consumed
+    /// either way.
+    pub fn finish(mut self) -> Result<u64, ClientError> {
+        self.send(&Frame::Bye)?;
+        loop {
+            match self.recv()? {
+                Frame::ByeAck { decisions } => return Ok(decisions),
+                Frame::Decision { .. } => continue, // late pipelined answers
+                Frame::Error { code, message } => {
+                    return Err(ClientError::Remote { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedFrame("expected ByeAck")),
+            }
+        }
+    }
+}
+
+/// A [`CpuPolicy`] that delegates every sampling window to a
+/// `mobicore-serve` daemon.
+///
+/// `name()` and `sampling_period_us()` mirror what the server resolved
+/// in its HelloAck, and each decision's commands *and* telemetry notes
+/// are replayed into the local [`CpuControl`] — so a simulation driven
+/// by `RemotePolicy` produces the same report, event stream, and
+/// manifest as the same policy running in process.
+pub struct RemotePolicy {
+    sess: ClientSession,
+    rtt_sink: Option<Arc<Mutex<Histogram>>>,
+    errors: u64,
+}
+
+impl RemotePolicy {
+    /// Connects and handshakes; see [`ClientSession::connect`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientSession::connect`].
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        policy: &str,
+        profile: &str,
+        seed: u64,
+    ) -> Result<RemotePolicy, ClientError> {
+        Ok(RemotePolicy {
+            sess: ClientSession::connect(addr, policy, profile, seed)?,
+            rtt_sink: None,
+            errors: 0,
+        })
+    }
+
+    /// Records each request's round-trip time (µs) into `sink`.
+    #[must_use]
+    pub fn with_rtt_sink(mut self, sink: Arc<Mutex<Histogram>>) -> Self {
+        self.rtt_sink = Some(sink);
+        self
+    }
+
+    /// Requests that failed mid-run (the simulation keeps going with
+    /// empty decisions; a nonzero value means the run is NOT faithful).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Tears the session down cleanly; returns the server-side decision
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientSession::finish`].
+    pub fn finish(self) -> Result<u64, ClientError> {
+        self.sess.finish()
+    }
+}
+
+impl CpuPolicy for RemotePolicy {
+    fn name(&self) -> &str {
+        self.sess.policy_name()
+    }
+
+    fn sampling_period_us(&self) -> u64 {
+        self.sess.sampling_us()
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        let t0 = Instant::now();
+        let decision = match self.sess.request(snap) {
+            Ok(d) => d,
+            Err(_) => {
+                self.errors += 1;
+                return;
+            }
+        };
+        if let Some(sink) = &self.rtt_sink {
+            if let Ok(mut h) = sink.lock() {
+                h.record(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        for cmd in decision.commands {
+            match cmd {
+                Command::SetFreq { core, khz } => ctl.set_freq(core, khz),
+                Command::SetFreqAll { khz } => ctl.set_freq_all(khz),
+                Command::SetOnline { core, online } => ctl.set_online(core, online),
+                Command::SetQuota(q) => ctl.set_quota(q),
+            }
+        }
+        for note in decision.notes {
+            ctl.note(note);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `mobicore-serve`: a networked policy-decision service.
+//!
+//! The paper's controller is a function from utilization windows to
+//! frequency/hotplug/quota commands; this crate puts that function
+//! behind a socket. A dependency-free TCP daemon speaks a versioned,
+//! length-prefixed binary protocol ([`protocol`]); each connection is
+//! one simulated device streaming [`PolicySnapshot`]s and receiving
+//! the decisions an in-process policy would have produced —
+//! byte-identical, including telemetry notes, so remote runs yield the
+//! same reports and manifests as local ones ([`client::RemotePolicy`]).
+//!
+//! The daemon ([`server`]) multiplexes thousands of sessions over a
+//! fixed worker pool with work stealing, bounded per-session buffers,
+//! explicit [`protocol::Frame::Backpressure`] notices, typed rejection
+//! of malformed frames, and graceful drain on shutdown. The companion
+//! load generator ([`load`]) holds N concurrent sessions open, replays
+//! a recorded scenario stream through each, and verifies ordering and
+//! byte-identity while measuring decisions/s and RTT quantiles.
+//!
+//! See `docs/serving.md` for the protocol specification, session
+//! lifecycle, and the BENCH_04 reproduction recipe.
+//!
+//! [`PolicySnapshot`]: mobicore_sim::PolicySnapshot
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+pub mod client;
+pub mod load;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{ClientError, ClientSession, RemoteDecision, RemotePolicy};
+pub use load::{record_snapshots, run_load, LoadConfig, LoadReport};
+pub use protocol::{Frame, WireError, PROTOCOL_VERSION};
+pub use server::{ServeConfig, ServeStats, Server, ServerHandle};

@@ -1,0 +1,361 @@
+//! The `mobicore-load` generator: drives N concurrent sessions against
+//! a daemon from a recorded snapshot stream and verifies, per session,
+//! that every decision comes back in order and **byte-identical** to
+//! what the same policy produces in process.
+//!
+//! The snapshot stream is recorded once by running the named scenario
+//! through a local `Simulation` under a [`RecordingPolicy`] — so every
+//! session replays the same realistic utilization trace, and the local
+//! reference replay sees exactly the bytes the daemon saw.
+
+use crate::client::ClientSession;
+use crate::protocol::{frame_bytes, Frame};
+use crate::registry;
+use mobicore_sim::builtin::{PinnedPolicy, RecordingPolicy, SnapshotRecorder};
+use mobicore_sim::{PolicySnapshot, SimConfig, Simulation};
+use mobicore_telemetry::{Histogram, RunManifest};
+use mobicore_workloads::scenario;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one load run should do.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent sessions to hold open.
+    pub sessions: usize,
+    /// Driver threads multiplexing those sessions.
+    pub drivers: usize,
+    /// Policy name each session requests.
+    pub policy: String,
+    /// Device profile name each session requests.
+    pub profile: String,
+    /// Scenario (see `mobicore_workloads::scenario::CATALOG`) whose
+    /// recorded snapshot stream every session replays.
+    pub scenario: String,
+    /// Seed for the scenario recording.
+    pub seed: u64,
+    /// Scenario seconds to record (bounds the per-session stream).
+    pub record_secs: u64,
+    /// Cap on snapshots each session sends (0 = the whole recording).
+    pub snapshots_per_session: usize,
+    /// Verify decisions byte-for-byte against a local replay.
+    pub verify: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 64,
+            drivers: 4,
+            policy: "mobicore".to_string(),
+            profile: "nexus5".to_string(),
+            scenario: "mixed-day-mini".to_string(),
+            seed: 7,
+            record_secs: 6,
+            snapshots_per_session: 0,
+            verify: true,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions that completed handshake + teardown.
+    pub sessions: u64,
+    /// Decisions received across all sessions.
+    pub decisions: u64,
+    /// Wall-clock seconds of the streaming phase.
+    pub wall_s: f64,
+    /// Decisions per wall-clock second.
+    pub decisions_per_s: f64,
+    /// Round-trip times, µs (one sample per decision).
+    pub rtt_us: Histogram,
+    /// Sessions that failed (connect, stream, or teardown error).
+    pub errors: u64,
+    /// Decisions whose echoed sequence number did not match the
+    /// request — must be 0.
+    pub reordered: u64,
+    /// Decisions that differed byte-for-byte from the local replay —
+    /// must be 0 (only counted when `verify` is on).
+    pub mismatches: u64,
+    /// Backpressure notices observed across all sessions.
+    pub backpressure_seen: u64,
+    /// Sum of server-side per-session decision counts from ByeAck —
+    /// equals `decisions` when nothing was dropped.
+    pub server_decisions: u64,
+    /// Snapshots in the recorded stream each session replays.
+    pub stream_len: u64,
+}
+
+impl LoadReport {
+    /// `true` when every session finished with zero drops, zero
+    /// reorders, and (if verified) zero mismatches.
+    pub fn clean(&self) -> bool {
+        self.errors == 0
+            && self.reordered == 0
+            && self.mismatches == 0
+            && self.decisions == self.server_decisions
+    }
+
+    /// Builds the run manifest (`kind: "load"`) for this report.
+    pub fn manifest(&self, name: &str, cfg: &LoadConfig) -> RunManifest {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("load.sessions".to_string(), self.sessions as f64);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            metrics.insert("load.decisions".to_string(), self.decisions as f64);
+            metrics.insert("load.errors".to_string(), self.errors as f64);
+            metrics.insert("load.reordered".to_string(), self.reordered as f64);
+            metrics.insert("load.mismatches".to_string(), self.mismatches as f64);
+            metrics.insert(
+                "load.backpressure_seen".to_string(),
+                self.backpressure_seen as f64,
+            );
+        }
+        metrics.insert("load.wall_s".to_string(), self.wall_s);
+        metrics.insert("serve.decisions_per_s".to_string(), self.decisions_per_s);
+        metrics.insert("serve.rtt_p50_us".to_string(), self.rtt_us.quantile(0.50));
+        metrics.insert("serve.rtt_p99_us".to_string(), self.rtt_us.quantile(0.99));
+        metrics.insert("serve.rtt_p999_us".to_string(), self.rtt_us.quantile(0.999));
+        let mut tags = BTreeMap::new();
+        tags.insert("scenario".to_string(), cfg.scenario.clone());
+        tags.insert("drivers".to_string(), cfg.drivers.to_string());
+        RunManifest {
+            kind: "load".to_string(),
+            name: name.to_string(),
+            policy: cfg.policy.clone(),
+            profile: cfg.profile.clone(),
+            seed: cfg.seed,
+            duration_us: (self.wall_s * 1e6) as u64,
+            git: None,
+            created_unix_ms: None,
+            wall_ms: None,
+            tags,
+            metrics,
+            event_counts: BTreeMap::new(),
+        }
+    }
+}
+
+/// Records the canonical snapshot stream: the named scenario run under
+/// a pinned policy (so the stream does not depend on the policy under
+/// test), captured via [`RecordingPolicy`].
+///
+/// # Errors
+///
+/// Returns a description when the profile, scenario, or simulation
+/// rejects its configuration.
+pub fn record_snapshots(
+    profile: &str,
+    scenario_name: &str,
+    seed: u64,
+    secs: u64,
+) -> Result<Vec<PolicySnapshot>, String> {
+    let device =
+        registry::profile_by_name(profile).ok_or_else(|| format!("unknown profile `{profile}`"))?;
+    let workload = scenario::by_name(scenario_name, &device, seed)
+        .ok_or_else(|| format!("unknown scenario `{scenario_name}`"))?;
+    let recorder = SnapshotRecorder::new();
+    let f = device.opps().max_khz();
+    let inner = Box::new(PinnedPolicy::new(device.n_cores(), f));
+    let policy = RecordingPolicy::new(inner, recorder.clone());
+    let cfg = SimConfig::new(device).with_duration_secs(secs).without_mpdecision();
+    let mut sim = Simulation::new(cfg, Box::new(policy)).map_err(|e| e.to_string())?;
+    sim.add_workload(Box::new(workload));
+    let _ = sim.run();
+    let snaps = recorder.take();
+    if snaps.is_empty() {
+        return Err("recording produced no snapshots".to_string());
+    }
+    Ok(snaps)
+}
+
+/// Replays `snaps` through a fresh local instance of `policy` and
+/// returns each decision as encoded wire bytes — the reference the
+/// daemon's answers must match byte-for-byte.
+fn local_reference(
+    policy: &str,
+    profile: &str,
+    snaps: &[PolicySnapshot],
+) -> Option<Vec<Vec<u8>>> {
+    let device = registry::profile_by_name(profile)?;
+    let mut p = registry::build_policy(policy, &device)?;
+    let mut ctl = mobicore_sim::CpuControl::new();
+    let mut out = Vec::with_capacity(snaps.len());
+    for (i, snap) in snaps.iter().enumerate() {
+        p.on_sample(snap, &mut ctl);
+        out.push(frame_bytes(&Frame::Decision {
+            seq: i as u64,
+            commands: ctl.take(),
+            notes: ctl.take_notes(),
+        }));
+    }
+    Some(out)
+}
+
+#[derive(Default)]
+struct DriverTally {
+    sessions: u64,
+    decisions: u64,
+    errors: u64,
+    reordered: u64,
+    mismatches: u64,
+    backpressure: u64,
+    server_decisions: u64,
+    rtt: Histogram,
+}
+
+/// One driver thread: hold `count` sessions open concurrently and walk
+/// them through the whole stream in lockstep rounds (send to every
+/// session, then collect every decision).
+#[allow(clippy::needless_pass_by_value)]
+fn drive(
+    addr: String,
+    cfg: LoadConfig,
+    snaps: Arc<Vec<PolicySnapshot>>,
+    reference: Arc<Option<Vec<Vec<u8>>>>,
+    count: usize,
+) -> DriverTally {
+    let mut tally = DriverTally::default();
+    let mut sessions: Vec<Option<ClientSession>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        match ClientSession::connect(&addr, &cfg.policy, &cfg.profile, cfg.seed) {
+            Ok(s) => sessions.push(Some(s)),
+            Err(_) => {
+                tally.errors += 1;
+                sessions.push(None);
+            }
+        }
+    }
+    let limit = if cfg.snapshots_per_session == 0 {
+        snaps.len()
+    } else {
+        cfg.snapshots_per_session.min(snaps.len())
+    };
+    for (i, snap) in snaps.iter().take(limit).enumerate() {
+        for slot in &mut sessions {
+            let Some(sess) = slot.as_mut() else { continue };
+            let t0 = Instant::now();
+            match sess.request(snap) {
+                Ok(d) => {
+                    tally.rtt.record(t0.elapsed().as_secs_f64() * 1e6);
+                    tally.decisions += 1;
+                    if d.seq != i as u64 {
+                        tally.reordered += 1;
+                    }
+                    if let Some(reference) = reference.as_ref() {
+                        let got = frame_bytes(&Frame::Decision {
+                            seq: d.seq,
+                            commands: d.commands,
+                            notes: d.notes,
+                        });
+                        if got != reference[i] {
+                            tally.mismatches += 1;
+                        }
+                    }
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    *slot = None;
+                }
+            }
+        }
+    }
+    for slot in sessions {
+        let Some(sess) = slot else { continue };
+        tally.backpressure += sess.backpressure_seen();
+        match sess.finish() {
+            Ok(n) => {
+                tally.server_decisions += n;
+                tally.sessions += 1;
+            }
+            Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Runs the load: `cfg.sessions` concurrent sessions over
+/// `cfg.drivers` threads against the daemon at `addr`.
+///
+/// # Errors
+///
+/// Returns a description when the snapshot recording or local
+/// reference replay cannot be built; per-session network failures are
+/// *counted* in the report instead.
+pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let snaps = Arc::new(record_snapshots(
+        &cfg.profile,
+        &cfg.scenario,
+        cfg.seed,
+        cfg.record_secs,
+    )?);
+    let reference = if cfg.verify {
+        Some(
+            local_reference(&cfg.policy, &cfg.profile, &snaps)
+                .ok_or_else(|| format!("cannot build local reference for `{}`", cfg.policy))?,
+        )
+    } else {
+        None
+    };
+    let reference = Arc::new(reference);
+    let drivers = cfg.drivers.clamp(1, cfg.sessions.max(1));
+    let base = cfg.sessions / drivers;
+    let extra = cfg.sessions % drivers;
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(drivers);
+    for d in 0..drivers {
+        let count = base + usize::from(d < extra);
+        if count == 0 {
+            continue;
+        }
+        let addr = addr.to_string();
+        let cfg = cfg.clone();
+        let snaps = Arc::clone(&snaps);
+        let reference = Arc::clone(&reference);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("load-driver-{d}"))
+                .spawn(move || drive(addr, cfg, snaps, reference, count))
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let mut total = DriverTally::default();
+    for h in handles {
+        let t = h.join().map_err(|_| "driver thread panicked".to_string())?;
+        total.sessions += t.sessions;
+        total.decisions += t.decisions;
+        total.errors += t.errors;
+        total.reordered += t.reordered;
+        total.mismatches += t.mismatches;
+        total.backpressure += t.backpressure;
+        total.server_decisions += t.server_decisions;
+        total.rtt.merge(&t.rtt);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let stream_len = if cfg.snapshots_per_session == 0 {
+        snaps.len()
+    } else {
+        cfg.snapshots_per_session.min(snaps.len())
+    };
+    #[allow(clippy::cast_precision_loss)]
+    Ok(LoadReport {
+        sessions: total.sessions,
+        decisions: total.decisions,
+        wall_s,
+        decisions_per_s: if wall_s > 0.0 {
+            total.decisions as f64 / wall_s
+        } else {
+            0.0
+        },
+        rtt_us: total.rtt,
+        errors: total.errors,
+        reordered: total.reordered,
+        mismatches: total.mismatches,
+        backpressure_seen: total.backpressure,
+        server_decisions: total.server_decisions,
+        stream_len: stream_len as u64,
+    })
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the wire codec: totality (no input ever
+//! panics the decoder), typed rejection, and round-trip identity.
+
+use mobicore_model::{Khz, Quota, Utilization};
+use mobicore_serve::protocol::{
+    decode_frame, frame_bytes, has_complete_frame, Frame, MAX_FRAME_LEN,
+};
+use mobicore_sim::{Command, CoreSnapshot, PolicySnapshot};
+use mobicore_telemetry::EventData;
+use proptest::prelude::*;
+
+fn snapshot(
+    now_us: u64,
+    n_cores: usize,
+    khz: u32,
+    util: f64,
+    quota: f64,
+    temp: f64,
+    mpdecision: bool,
+) -> PolicySnapshot {
+    PolicySnapshot {
+        now_us,
+        window_us: 20_000,
+        cores: (0..n_cores)
+            .map(|i| CoreSnapshot {
+                online: i % 2 == 0,
+                cur_khz: Khz(khz),
+                target_khz: Khz(khz.saturating_add(100_000)),
+                util: Utilization::new(util),
+                busy_us: now_us % 20_000,
+            })
+            .collect(),
+        overall_util: Utilization::new(util),
+        quota: Quota::new(quota),
+        mpdecision_enabled: mpdecision,
+        max_runnable_threads: n_cores * 2,
+        temp_c: temp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes never panic the decoder: it returns a frame, an
+    /// incomplete-input signal, or a typed error.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_frame(&bytes); // must not panic
+        let _ = has_complete_frame(&bytes); // must not panic
+    }
+
+    /// Garbage with a plausible length prefix never panics either (this
+    /// exercises the payload parsers, not just the framing).
+    #[test]
+    fn decoder_total_on_framed_garbage(
+        ty in 0u8..=12,
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        let mut bytes = Vec::with_capacity(5 + payload.len());
+        let len = u32::try_from(1 + payload.len()).unwrap();
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.push(ty);
+        bytes.extend_from_slice(&payload);
+        let _ = decode_frame(&bytes); // must not panic
+    }
+
+    /// Every truncation of a valid frame is either "incomplete" (when
+    /// the cut hits the framing) — never a panic, never a wrong frame.
+    #[test]
+    fn truncation_never_panics(
+        cut in 0usize..4096,
+        seq in 0u64..1_000_000,
+        n_cores in 0usize..12,
+    ) {
+        let frame = Frame::Snapshot {
+            seq,
+            snap: snapshot(seq, n_cores, 960_000, 0.5, 0.8, 40.0, false),
+        };
+        let bytes = frame_bytes(&frame);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        match decode_frame(&bytes[..cut]) {
+            Ok(Some(_)) => prop_assert!(false, "decoded a frame from a strict prefix"),
+            Ok(None) | Err(_) => {}
+        }
+    }
+
+    /// A frame longer than the cap is rejected with a typed error, not
+    /// buffered forever.
+    #[test]
+    fn oversized_length_prefix_rejected(extra in 1u32..1_000_000) {
+        let len = u32::try_from(MAX_FRAME_LEN).unwrap().saturating_add(extra);
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0x03; 16]);
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    /// Hello/Error/GoingAway round-trip arbitrary strings (including
+    /// the empty string and multi-byte UTF-8).
+    #[test]
+    fn string_frames_round_trip(
+        policy in "[a-zA-Z0-9:._ é°-]{0,40}",
+        profile in "[a-z0-9-]{0,24}",
+        seed in 0u64..u64::MAX,
+        code in 0u16..32,
+    ) {
+        for frame in [
+            Frame::Hello { version: 1, policy: policy.clone(), profile: profile.clone(), seed },
+            Frame::Error { code, message: policy.clone() },
+            Frame::GoingAway { reason: profile.clone() },
+        ] {
+            let bytes = frame_bytes(&frame);
+            let (back, used) = decode_frame(&bytes).expect("valid").expect("complete");
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(back, frame);
+        }
+    }
+
+    /// Snapshot frames round-trip exactly: every f64 travels as raw
+    /// bits, so the decoded snapshot is bit-identical — the foundation
+    /// of the remote-equals-local determinism guarantee.
+    #[test]
+    fn snapshot_round_trips_bit_exact(
+        seq in 0u64..u64::MAX,
+        now_us in 0u64..u64::MAX / 2,
+        n_cores in 0usize..16,
+        khz in 100_000u32..3_000_000,
+        util in 0.0f64..=1.0,
+        quota in 0.0f64..=1.5,
+        temp in -40.0f64..=125.0,
+        mpdecision in proptest::prelude::any::<bool>(),
+    ) {
+        let frame = Frame::Snapshot {
+            seq,
+            snap: snapshot(now_us, n_cores, khz, util, quota, temp, mpdecision),
+        };
+        let bytes = frame_bytes(&frame);
+        let (back, used) = decode_frame(&bytes).expect("valid").expect("complete");
+        prop_assert_eq!(used, bytes.len());
+        let Frame::Snapshot { seq: s2, snap } = back else {
+            panic!("wrong frame type");
+        };
+        prop_assert_eq!(s2, seq);
+        let Frame::Snapshot { snap: orig, .. } = frame else { unreachable!() };
+        prop_assert_eq!(snap.now_us, orig.now_us);
+        prop_assert_eq!(snap.cores.len(), orig.cores.len());
+        for (a, b) in snap.cores.iter().zip(&orig.cores) {
+            prop_assert_eq!(a.online, b.online);
+            prop_assert_eq!(a.cur_khz, b.cur_khz);
+            prop_assert_eq!(a.busy_us, b.busy_us);
+            prop_assert_eq!(a.util.as_fraction().to_bits(), b.util.as_fraction().to_bits());
+        }
+        prop_assert_eq!(
+            snap.overall_util.as_fraction().to_bits(),
+            orig.overall_util.as_fraction().to_bits()
+        );
+        prop_assert_eq!(
+            snap.quota.as_fraction().to_bits(),
+            orig.quota.as_fraction().to_bits()
+        );
+        prop_assert_eq!(snap.temp_c.to_bits(), orig.temp_c.to_bits());
+        prop_assert_eq!(snap.mpdecision_enabled, orig.mpdecision_enabled);
+    }
+
+    /// Decision frames round-trip commands and telemetry notes exactly.
+    #[test]
+    fn decision_round_trips(
+        seq in 0u64..u64::MAX,
+        khz in 100_000u32..3_000_000,
+        core in 0usize..8,
+        online in proptest::prelude::any::<bool>(),
+        quota in 0.2f64..=1.0,
+        n_repeat in 0usize..6,
+    ) {
+        let mut commands = vec![
+            Command::SetFreq { core, khz: Khz(khz) },
+            Command::SetFreqAll { khz: Khz(khz) },
+            Command::SetOnline { core, online },
+            Command::SetQuota(Quota::new(quota)),
+        ];
+        for _ in 0..n_repeat {
+            commands.push(Command::SetFreqAll { khz: Khz(khz) });
+        }
+        let notes = vec![
+            EventData::PolicyDecision {
+                policy: "mobicore".to_string(),
+                mode: "balanced".to_string(),
+                util_pct: 50.0,
+                quota,
+                target_online: 2,
+                f_khz: khz,
+            },
+        ];
+        let frame = Frame::Decision { seq, commands, notes };
+        let bytes = frame_bytes(&frame);
+        let (back, used) = decode_frame(&bytes).expect("valid").expect("complete");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Concatenated frames decode one at a time, in order, consuming
+    /// exactly their own bytes — the stream invariant the session
+    /// multiplexer relies on.
+    #[test]
+    fn stream_of_frames_decodes_in_order(seqs in proptest::collection::vec(0u64..1_000, 1..8)) {
+        let mut stream = Vec::new();
+        for &s in &seqs {
+            stream.extend_from_slice(&frame_bytes(&Frame::Snapshot {
+                seq: s,
+                snap: snapshot(s, 4, 960_000, 0.25, 1.0, 35.0, true),
+            }));
+        }
+        let mut pos = 0;
+        for &s in &seqs {
+            let (frame, used) = decode_frame(&stream[pos..]).expect("valid").expect("complete");
+            pos += used;
+            let Frame::Snapshot { seq, .. } = frame else {
+                panic!("wrong frame type");
+            };
+            prop_assert_eq!(seq, s);
+        }
+        prop_assert_eq!(pos, stream.len());
+        prop_assert!(decode_frame(&stream[pos..]).expect("empty tail is fine").is_none());
+    }
+}

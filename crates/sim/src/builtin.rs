@@ -8,6 +8,7 @@
 
 use crate::policy::{CpuControl, CpuPolicy, PolicySnapshot};
 use mobicore_model::{Khz, Quota};
+use std::sync::{Arc, Mutex};
 
 /// Pins `n_online` cores at a fixed frequency and full quota — the
 /// fixed-operating-point configuration of Figures 3–5.
@@ -70,6 +71,85 @@ impl CpuPolicy for NoopPolicy {
     }
 
     fn on_sample(&mut self, _snap: &PolicySnapshot, _ctl: &mut CpuControl) {}
+}
+
+/// A shared handle to the snapshots a [`RecordingPolicy`] observes.
+///
+/// The simulator consumes its policy by value, so anything a wrapper
+/// records must be reachable from outside the run; this handle is that
+/// escape hatch (clone it before boxing the policy).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotRecorder(Arc<Mutex<Vec<PolicySnapshot>>>);
+
+impl SnapshotRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the snapshots recorded so far (in sampling order), leaving
+    /// the recorder empty.
+    pub fn take(&self) -> Vec<PolicySnapshot> {
+        match self.0.lock() {
+            Ok(mut v) => std::mem::take(&mut *v),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Number of snapshots recorded so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, snap: PolicySnapshot) {
+        if let Ok(mut v) = self.0.lock() {
+            v.push(snap);
+        }
+    }
+}
+
+/// Wraps any policy and records every [`PolicySnapshot`] it is shown,
+/// without changing its decisions — how the serve load generator turns
+/// a scenario into a replayable frame stream, and how tests capture a
+/// run's exact observation sequence.
+pub struct RecordingPolicy {
+    inner: Box<dyn CpuPolicy + Send>,
+    log: SnapshotRecorder,
+}
+
+impl std::fmt::Debug for RecordingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingPolicy")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RecordingPolicy {
+    /// Records every snapshot shown to `inner` into `log`.
+    pub fn new(inner: Box<dyn CpuPolicy + Send>, log: SnapshotRecorder) -> Self {
+        RecordingPolicy { inner, log }
+    }
+}
+
+impl CpuPolicy for RecordingPolicy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn sampling_period_us(&self) -> u64 {
+        self.inner.sampling_period_us()
+    }
+
+    fn on_sample(&mut self, snap: &PolicySnapshot, ctl: &mut CpuControl) {
+        self.log.push(snap.clone());
+        self.inner.on_sample(snap, ctl);
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +234,27 @@ mod tests {
     fn pinned_clamps_zero_cores_to_one() {
         let p = PinnedPolicy::new(0, Khz(300_000));
         assert!(p.name.contains("pinned-1c") || p.n_online == 1);
+    }
+
+    #[test]
+    fn recording_policy_is_transparent() {
+        let log = SnapshotRecorder::new();
+        let mut rec = RecordingPolicy::new(
+            Box::new(PinnedPolicy::new(2, Khz(960_000))),
+            log.clone(),
+        );
+        let mut direct = PinnedPolicy::new(2, Khz(960_000));
+        assert_eq!(rec.name(), direct.name());
+        assert_eq!(rec.sampling_period_us(), direct.sampling_period_us());
+        let s = snap(4);
+        let (mut a, mut b) = (CpuControl::new(), CpuControl::new());
+        rec.on_sample(&s, &mut a);
+        direct.on_sample(&s, &mut b);
+        assert_eq!(a.take(), b.take(), "wrapping must not change decisions");
+        assert_eq!(log.len(), 1);
+        let recorded = log.take();
+        assert_eq!(recorded[0], s);
+        assert!(log.is_empty(), "take drains");
     }
 
     #[test]

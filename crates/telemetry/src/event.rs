@@ -37,11 +37,23 @@ pub enum EventKind {
     PolicyDecision,
     /// One stock-governor DVFS decision.
     DvfsDecision,
+    /// The serve daemon accepted a client connection.
+    ConnAccepted,
+    /// A client connection closed (gracefully or not).
+    ConnClosed,
+    /// A serve session completed its handshake.
+    SessionStart,
+    /// A serve session ended (ByeAck sent, or forced close).
+    SessionEnd,
+    /// A session crossed its queue budget (rising edge only).
+    Backpressure,
+    /// The serve daemon began graceful shutdown (drain started).
+    ServeShutdown,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::FreqChange,
         EventKind::CoreOnline,
         EventKind::CoreOffline,
@@ -54,6 +66,12 @@ impl EventKind {
         EventKind::BwThrottle,
         EventKind::PolicyDecision,
         EventKind::DvfsDecision,
+        EventKind::ConnAccepted,
+        EventKind::ConnClosed,
+        EventKind::SessionStart,
+        EventKind::SessionEnd,
+        EventKind::Backpressure,
+        EventKind::ServeShutdown,
     ];
 
     /// The stable wire name (`kind` member of a JSONL line, the argument
@@ -72,6 +90,12 @@ impl EventKind {
             EventKind::BwThrottle => "bw-throttle",
             EventKind::PolicyDecision => "policy-decision",
             EventKind::DvfsDecision => "dvfs-decision",
+            EventKind::ConnAccepted => "conn-accepted",
+            EventKind::ConnClosed => "conn-closed",
+            EventKind::SessionStart => "session-start",
+            EventKind::SessionEnd => "session-end",
+            EventKind::Backpressure => "backpressure",
+            EventKind::ServeShutdown => "serve-shutdown",
         }
     }
 
@@ -188,6 +212,53 @@ pub enum EventData {
         /// Cluster target after, kHz.
         to_khz: u32,
     },
+    /// The serve daemon accepted a client connection.
+    ConnAccepted {
+        /// Server-assigned connection id (monotonic per daemon run).
+        conn: u64,
+    },
+    /// A client connection closed (gracefully or not).
+    ConnClosed {
+        /// The connection id.
+        conn: u64,
+        /// Frames received over the connection's lifetime.
+        frames_in: u64,
+        /// Frames sent over the connection's lifetime.
+        frames_out: u64,
+    },
+    /// A serve session completed its handshake.
+    SessionStart {
+        /// Server-assigned session id.
+        session: u64,
+        /// The resolved policy serving the session.
+        policy: String,
+    },
+    /// A serve session ended.
+    SessionEnd {
+        /// The session id.
+        session: u64,
+        /// Decisions served over the session's lifetime.
+        decisions: u64,
+        /// Whether the session ended cleanly (Bye/ByeAck handshake, as
+        /// opposed to an abort, timeout, or drain-deadline close).
+        drained: bool,
+    },
+    /// A session's pipelined input crossed its queue budget (emitted on
+    /// the rising edge only; the matching Backpressure frame tells the
+    /// client to slow down).
+    Backpressure {
+        /// The session id.
+        session: u64,
+        /// Complete frames queued beyond the serviced budget.
+        queued: u64,
+        /// The configured per-session queue budget.
+        limit: u64,
+    },
+    /// The serve daemon began graceful shutdown (drain started).
+    ServeShutdown {
+        /// Sessions still in flight when the drain began.
+        active_sessions: u64,
+    },
 }
 
 impl EventData {
@@ -206,6 +277,12 @@ impl EventData {
             EventData::BwThrottle { .. } => EventKind::BwThrottle,
             EventData::PolicyDecision { .. } => EventKind::PolicyDecision,
             EventData::DvfsDecision { .. } => EventKind::DvfsDecision,
+            EventData::ConnAccepted { .. } => EventKind::ConnAccepted,
+            EventData::ConnClosed { .. } => EventKind::ConnClosed,
+            EventData::SessionStart { .. } => EventKind::SessionStart,
+            EventData::SessionEnd { .. } => EventKind::SessionEnd,
+            EventData::Backpressure { .. } => EventKind::Backpressure,
+            EventData::ServeShutdown { .. } => EventKind::ServeShutdown,
         }
     }
 }
@@ -287,6 +364,37 @@ impl Event {
                 .with("util_pct", Json::Num(*util_pct))
                 .with("from_khz", Json::Num(f64::from(*from_khz)))
                 .with("to_khz", Json::Num(f64::from(*to_khz))),
+            EventData::ConnAccepted { conn } => base.with("conn", num_u64(*conn)),
+            EventData::ConnClosed {
+                conn,
+                frames_in,
+                frames_out,
+            } => base
+                .with("conn", num_u64(*conn))
+                .with("frames_in", num_u64(*frames_in))
+                .with("frames_out", num_u64(*frames_out)),
+            EventData::SessionStart { session, policy } => base
+                .with("session", num_u64(*session))
+                .with("policy", Json::Str(policy.clone())),
+            EventData::SessionEnd {
+                session,
+                decisions,
+                drained,
+            } => base
+                .with("session", num_u64(*session))
+                .with("decisions", num_u64(*decisions))
+                .with("drained", Json::Bool(*drained)),
+            EventData::Backpressure {
+                session,
+                queued,
+                limit,
+            } => base
+                .with("session", num_u64(*session))
+                .with("queued", num_u64(*queued))
+                .with("limit", num_u64(*limit)),
+            EventData::ServeShutdown { active_sessions } => {
+                base.with("active_sessions", num_u64(*active_sessions))
+            }
         }
     }
 
@@ -373,6 +481,32 @@ impl Event {
                 util_pct: f("util_pct")?,
                 from_khz: khz("from_khz")?,
                 to_khz: khz("to_khz")?,
+            },
+            EventKind::ConnAccepted => EventData::ConnAccepted { conn: u("conn")? },
+            EventKind::ConnClosed => EventData::ConnClosed {
+                conn: u("conn")?,
+                frames_in: u("frames_in")?,
+                frames_out: u("frames_out")?,
+            },
+            EventKind::SessionStart => EventData::SessionStart {
+                session: u("session")?,
+                policy: s("policy")?,
+            },
+            EventKind::SessionEnd => EventData::SessionEnd {
+                session: u("session")?,
+                decisions: u("decisions")?,
+                drained: doc
+                    .get("drained")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| field_err("drained"))?,
+            },
+            EventKind::Backpressure => EventData::Backpressure {
+                session: u("session")?,
+                queued: u("queued")?,
+                limit: u("limit")?,
+            },
+            EventKind::ServeShutdown => EventData::ServeShutdown {
+                active_sessions: u("active_sessions")?,
             },
         };
         Ok(Event { t_us, data })
@@ -472,6 +606,45 @@ mod tests {
                     cap_opp: 13,
                     temp_c: 39.9,
                 },
+            },
+            Event {
+                t_us: 210_000,
+                data: EventData::ConnAccepted { conn: 17 },
+            },
+            Event {
+                t_us: 220_000,
+                data: EventData::SessionStart {
+                    session: 17,
+                    policy: "mobicore".into(),
+                },
+            },
+            Event {
+                t_us: 230_000,
+                data: EventData::Backpressure {
+                    session: 17,
+                    queued: 80,
+                    limit: 64,
+                },
+            },
+            Event {
+                t_us: 240_000,
+                data: EventData::SessionEnd {
+                    session: 17,
+                    decisions: 512,
+                    drained: true,
+                },
+            },
+            Event {
+                t_us: 250_000,
+                data: EventData::ConnClosed {
+                    conn: 17,
+                    frames_in: 514,
+                    frames_out: 515,
+                },
+            },
+            Event {
+                t_us: 260_000,
+                data: EventData::ServeShutdown { active_sessions: 3 },
             },
         ]
     }

@@ -88,6 +88,21 @@ impl Histogram {
         self.count
     }
 
+    /// Folds `other` into this histogram (bucket-wise sum, exact
+    /// min/max/sum/count combined) — how per-thread histograms from a
+    /// sweep or load run aggregate into one report.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Sum of recorded values.
     pub fn sum(&self) -> f64 {
         self.sum

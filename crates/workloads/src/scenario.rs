@@ -7,6 +7,10 @@
 //! work). This is how the thesis' distinct experimental sessions compose
 //! into one long realistic run for battery-life projections.
 
+use crate::apps::{AppLaunch, VideoPlayback};
+use crate::busyloop::BusyLoop;
+use crate::games::{GameApp, GameProfile};
+use mobicore_model::DeviceProfile;
 use mobicore_sim::{Workload, WorkloadReport, WorkloadRt};
 
 struct Phase {
@@ -73,6 +77,51 @@ impl Scenario {
     }
 }
 
+/// Names of the standard scenarios [`by_name`] builds — the shared
+/// vocabulary of the serve load generator, the experiments, and docs.
+pub const CATALOG: [&str; 5] = [
+    "steady-video",
+    "bursty-launches",
+    "gaming",
+    "mixed-day",
+    "mixed-day-mini",
+];
+
+/// Builds a named standard scenario for `profile`, deterministic given
+/// `seed`; `None` for a name outside [`CATALOG`].
+///
+/// * `steady-video` — 60 s of 12 Mbps playback, the steadiest light load;
+/// * `bursty-launches` — 60 s of app-launch storms (Table-2 burst mode);
+/// * `gaming` — 60 s of Real Racing 3, the heaviest §6 game;
+/// * `mixed-day` — video → busy loop → game → launch storm, 15 s each;
+/// * `mixed-day-mini` — the same arc compressed into 6 s, cheap enough
+///   for unit tests and loopback smoke runs.
+pub fn by_name(name: &str, profile: &DeviceProfile, seed: u64) -> Option<Scenario> {
+    let f_ref = profile.opps().max_khz();
+    let s = match name {
+        "steady-video" => Scenario::new().phase_secs(0, 60, Box::new(VideoPlayback::new(12_000_000))),
+        "bursty-launches" => {
+            Scenario::new().phase_secs(0, 60, Box::new(AppLaunch::new(800_000, seed)))
+        }
+        "gaming" => Scenario::new().phase_secs(
+            0,
+            60,
+            Box::new(GameApp::new(GameProfile::real_racing_3(), seed)),
+        ),
+        "mixed-day" => Scenario::new()
+            .phase_secs(0, 15, Box::new(VideoPlayback::new(12_000_000)))
+            .phase_secs(15, 30, Box::new(BusyLoop::with_target_util(2, 0.5, f_ref, seed)))
+            .phase_secs(30, 45, Box::new(GameApp::new(GameProfile::subway_surf(), seed)))
+            .phase_secs(45, 60, Box::new(AppLaunch::new(800_000, seed))),
+        "mixed-day-mini" => Scenario::new()
+            .phase_secs(0, 2, Box::new(VideoPlayback::new(12_000_000)))
+            .phase_secs(2, 4, Box::new(BusyLoop::with_target_util(2, 0.6, f_ref, seed)))
+            .phase_secs(4, 6, Box::new(AppLaunch::new(500_000, seed))),
+        _ => return None,
+    };
+    Some(s)
+}
+
 impl Workload for Scenario {
     fn name(&self) -> &str {
         "scenario"
@@ -122,6 +171,25 @@ mod tests {
     #[should_panic(expected = "positive length")]
     fn rejects_empty_window() {
         let _ = Scenario::new().phase(5, 5, Box::new(VideoPlayback::new(1)));
+    }
+
+    #[test]
+    fn every_catalog_name_builds_and_runs() {
+        let profile = profiles::nexus5();
+        for name in CATALOG {
+            let s = by_name(name, &profile, 7).unwrap_or_else(|| panic!("{name} builds"));
+            assert!(s.phase_count() >= 1, "{name}");
+        }
+        assert!(by_name("warp-drive", &profile, 7).is_none());
+        // The mini scenario must stay cheap: run it end to end.
+        let cfg = SimConfig::new(profile.clone())
+            .with_duration_secs(6)
+            .without_mpdecision();
+        let f = profile.opps().max_khz();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f))).unwrap();
+        sim.add_workload(Box::new(by_name("mixed-day-mini", &profile, 7).unwrap()));
+        let r = sim.run();
+        assert!(r.first_metric("video-playback.frames").unwrap() > 30.0);
     }
 
     #[test]
