@@ -1,0 +1,84 @@
+//! Vector clocks for the model checker's happens-before tracking.
+//!
+//! Every modeled thread carries a [`VClock`]; every atomic store is
+//! stamped with the storing thread's clock. A load may only read a
+//! store that is not *superseded* — i.e. there is no later store in the
+//! location's modification order that the loading thread already knows
+//! happened (its clock dominates the later store's clock). Acquire
+//! loads that read a Release store join the release clock, which is
+//! what makes message-passing idioms visible to the checker: drop the
+//! Acquire and the join disappears, stale candidates survive, and the
+//! DFS finds the interleaving-plus-read that violates the invariant.
+
+/// Hard cap on modeled threads per execution (the driver plus spawned
+/// workers). Small by design: the checker is for 2–3 thread protocol
+/// cores, not whole servers.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock over [`MAX_THREADS`] components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock {
+    components: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    /// The zero clock (knows nothing).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// This thread performed one more clocked event.
+    pub fn tick(&mut self, thread: usize) {
+        self.components[thread] += 1;
+    }
+
+    /// Component lookup.
+    pub fn get(&self, thread: usize) -> u32 {
+        self.components[thread]
+    }
+
+    /// Pointwise maximum: after `self.join(other)` this clock knows
+    /// everything both inputs knew.
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.components.iter_mut().zip(other.components.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// `true` when every component of `self` is ≤ the matching
+    /// component of `other` — i.e. the event stamped `self` is known to
+    /// (happened before or at) the point stamped `other`.
+    pub fn dominated_by(&self, other: &VClock) -> bool {
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn domination_tracks_knowledge() {
+        let mut store = VClock::new();
+        store.tick(0);
+        let mut reader = VClock::new();
+        assert!(!store.dominated_by(&reader));
+        reader.join(&store);
+        assert!(store.dominated_by(&reader));
+    }
+}

@@ -1,0 +1,98 @@
+//! Model-checked thread spawn/join.
+//!
+//! [`spawn`] registers a modeled thread with the active execution and
+//! backs it with a real OS thread; the engine guarantees only one
+//! modeled thread runs at a time. Every spawned thread must be joined
+//! before the driver closure returns — a leaked thread is reported as
+//! a violation.
+
+use super::exec::{Execution, ModelAbort};
+use super::{clear_ctx, ctx, install_ctx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Handle to a modeled thread; `join` is a modeled (blocking,
+/// scheduling-point) operation.
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<Option<T>>,
+    child: usize,
+    exec: Arc<Execution>,
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawns a modeled thread running `f`. The spawn is a visible
+/// operation (scheduling point); the child inherits the parent's
+/// happens-before knowledge.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let c = ctx();
+    let child = c.exec.spawn_thread(c.id);
+    let exec = Arc::clone(&c.exec);
+    let exec_for_body = Arc::clone(&exec);
+    let real = std::thread::spawn(move || {
+        install_ctx(Arc::clone(&exec_for_body), child);
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let out = match result {
+            Ok(v) => {
+                // Finishing is itself a modeled op; it can unwind with
+                // ModelAbort when the execution has already failed.
+                let finished =
+                    catch_unwind(AssertUnwindSafe(|| exec_for_body.finish_thread(child)));
+                if finished.is_ok() {
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<ModelAbort>().is_none() {
+                    exec_for_body.record_panic(child, panic_message(payload.as_ref()));
+                }
+                None
+            }
+        };
+        clear_ctx();
+        out
+    });
+    JoinHandle { real, child, exec }
+}
+
+impl<T> JoinHandle<T> {
+    /// Model-joins the thread (blocks the modeled caller until the
+    /// child finishes), then reaps the real thread.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `std::thread::JoinHandle::join`: a child that panicked
+    /// with a non-model payload yields `Err`. (In practice the engine
+    /// has already recorded such a panic as an execution violation.)
+    pub fn join(self) -> std::thread::Result<T> {
+        let c = ctx();
+        self.exec.join_thread(c.id, self.child);
+        match self.real.join() {
+            Ok(Some(v)) => Ok(v),
+            // The child unwound because the execution aborted; keep
+            // unwinding the caller the same way.
+            Ok(None) => std::panic::panic_any(ModelAbort),
+            Err(payload) => {
+                if payload.downcast_ref::<ModelAbort>().is_some() {
+                    std::panic::panic_any(ModelAbort)
+                }
+                Err(payload)
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The `std::sync` facade the MobiCore concurrency crates import.
+//!
+//! Normal builds re-export `std::sync` wholesale — zero overhead, same
+//! types, nothing to audit. Building with `RUSTFLAGS="--cfg
+//! mobicore_model"` swaps in the [`model`](crate::model) drop-ins, so
+//! code written against this facade can be driven by the interleaving
+//! explorer without an `#[cfg]` in the code under test.
+//!
+//! The surface is deliberately the subset MobiCore uses: `Arc`,
+//! `Mutex`/`MutexGuard`, `Condvar`, `LockResult`, and the fixed-width
+//! atomics with `Ordering`.
+
+#[cfg(not(mobicore_model))]
+pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+#[cfg(not(mobicore_model))]
+pub use std::sync::atomic;
+
+#[cfg(mobicore_model)]
+pub use crate::model::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(mobicore_model)]
+pub use std::sync::{LockResult, PoisonError};
+
+/// Model-aware thread spawn/join: `std::thread` normally, the modeled
+/// versions under `--cfg mobicore_model`.
+pub mod thread {
+    #[cfg(not(mobicore_model))]
+    pub use std::thread::{spawn, JoinHandle};
+
+    #[cfg(mobicore_model)]
+    pub use crate::model::thread::{spawn, JoinHandle};
+}
+
+/// Recovers the inner guard from a poisoned lock instead of panicking.
+///
+/// MobiCore's pools treat lock poisoning as survivable: a panicking job
+/// is caught and reported by the executor, and the protected state
+/// (deque slots, result cells) stays structurally valid. This helper
+/// encodes that policy once so call sites need neither `unwrap` nor a
+/// per-site justification comment.
+pub fn lock_unpoisoned<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}

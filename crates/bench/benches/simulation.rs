@@ -63,9 +63,7 @@ fn bench_simulation(c: &mut Criterion) {
                         .without_mpdecision();
                     let mut sim =
                         Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
-                    sim.add_workload(Box::new(BusyLoop::with_target_util(
-                        threads, 0.5, f_max, 1,
-                    )));
+                    sim.add_workload(Box::new(BusyLoop::with_target_util(threads, 0.5, f_max, 1)));
                     black_box(sim.run().executed_cycles)
                 })
             },

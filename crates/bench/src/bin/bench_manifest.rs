@@ -143,7 +143,9 @@ fn serve_loopback(sessions: usize) -> mobicore_serve::LoadReport {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_04.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_04.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -201,23 +203,32 @@ fn main() {
         .ok()
         .and_then(|d| u64::try_from(d.as_millis()).ok());
     m.wall_ms = Some(wall.elapsed().as_secs_f64() * 1e3);
-    m.metrics.insert("bench.mobicore_on_sample_ns".into(), mobicore_ns);
+    m.metrics
+        .insert("bench.mobicore_on_sample_ns".into(), mobicore_ns);
     m.metrics.insert("bench.bandwidth_decide_ns".into(), bw_ns);
     m.metrics.insert("bench.dcs_decide_ns".into(), dcs_ns);
-    m.metrics.insert("bench.sim_s_per_wall_s".into(), sim_s_per_wall_s);
+    m.metrics
+        .insert("bench.sim_s_per_wall_s".into(), sim_s_per_wall_s);
     // The headline sweep metric is the --jobs 4 figure-suite rate; j1 and
     // the ratio are recorded alongside so the trajectory stays readable
     // on hosts with different core counts (see docs/performance.md).
     m.metrics.insert("bench.sweep_jobs_per_s".into(), sweep_j4);
-    m.metrics.insert("bench.sweep_jobs_per_s_j1".into(), sweep_j1);
-    m.metrics.insert("bench.sweep_speedup_j4_over_j1".into(), speedup);
+    m.metrics
+        .insert("bench.sweep_jobs_per_s_j1".into(), sweep_j1);
+    m.metrics
+        .insert("bench.sweep_speedup_j4_over_j1".into(), speedup);
     m.metrics.insert("bench.host_cpus".into(), host_cpus as f64);
-    m.metrics.insert("serve.decisions_per_s".into(), serve.decisions_per_s);
-    m.metrics.insert("serve.rtt_p50_us".into(), serve.rtt_us.quantile(0.50));
-    m.metrics.insert("serve.rtt_p99_us".into(), serve.rtt_us.quantile(0.99));
-    m.metrics.insert("serve.rtt_p999_us".into(), serve.rtt_us.quantile(0.999));
+    m.metrics
+        .insert("serve.decisions_per_s".into(), serve.decisions_per_s);
+    m.metrics
+        .insert("serve.rtt_p50_us".into(), serve.rtt_us.quantile(0.50));
+    m.metrics
+        .insert("serve.rtt_p99_us".into(), serve.rtt_us.quantile(0.99));
+    m.metrics
+        .insert("serve.rtt_p999_us".into(), serve.rtt_us.quantile(0.999));
     #[allow(clippy::cast_precision_loss)]
-    m.metrics.insert("serve.sessions".into(), serve.sessions as f64);
+    m.metrics
+        .insert("serve.sessions".into(), serve.sessions as f64);
 
     match std::fs::write(&out, m.to_json_text()) {
         Ok(()) => {

@@ -109,7 +109,8 @@ fn bench_gate_sim_throughput_within_25_pct_of_committed() {
         return;
     }
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let Some((baseline_path, baseline)) = latest_committed_baseline(&root, "bench.sim_s_per_wall_s")
+    let Some((baseline_path, baseline)) =
+        latest_committed_baseline(&root, "bench.sim_s_per_wall_s")
     else {
         eprintln!("bench gate skipped: no committed BENCH_*.json found");
         return;

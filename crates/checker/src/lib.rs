@@ -30,7 +30,7 @@
 //! ([`mobicore::policy::step`], [`BandwidthAnalyzer::transition`],
 //! `DcsPass::decide`) — there is no re-implementation to drift.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -394,8 +394,8 @@ fn walk_state_space(
                 // capacity-floor: delivered capacity covers the
                 // quota-scaled demand up to the deadband.
                 capacity_floor.states_checked += 1;
-                let per_core = (u * d.scale * n_max as f64 / d.target_online.max(1) as f64)
-                    .clamp(0.0, 1.0);
+                let per_core =
+                    (u * d.scale * n_max as f64 / d.target_online.max(1) as f64).clamp(0.0, 1.0);
                 let raw_hz = d.f_ondemand.as_hz() * per_core;
                 if d.f_new.as_hz() * (1.0 + EPS) < (1.0 - cfg.freq_deadband) * raw_hz {
                     capacity_floor.violate(format!(
@@ -524,7 +524,12 @@ mod tests {
     #[test]
     fn nexus5_default_is_clean() {
         let p = profiles::nexus5();
-        let r = check(&p, &MobiCoreConfig::default(), "default", &CheckerConfig::quick());
+        let r = check(
+            &p,
+            &MobiCoreConfig::default(),
+            "default",
+            &CheckerConfig::quick(),
+        );
         assert!(r.ok(), "{}", r.human());
         assert_eq!(r.invariants.len(), 5);
         for inv in &r.invariants {
@@ -560,7 +565,12 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let p = profiles::nexus_s();
-        let r = check(&p, &MobiCoreConfig::default(), "default", &CheckerConfig::quick());
+        let r = check(
+            &p,
+            &MobiCoreConfig::default(),
+            "default",
+            &CheckerConfig::quick(),
+        );
         let j = r.json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"ok\":true"), "{j}");

@@ -95,7 +95,9 @@ fn apply_override(cfg: &mut MobiCoreConfig, field: &str, value: f64) -> Result<(
         "freq_deadband" => cfg.freq_deadband = value,
         "sampling_us" => {
             if !(value.is_finite() && (0.0..=1e15).contains(&value)) {
-                return Err(format!("sampling_us={value} is not a sane microsecond count"));
+                return Err(format!(
+                    "sampling_us={value} is not a sane microsecond count"
+                ));
             }
             // Integer-valued by construction after the range gate above.
             #[allow(clippy::cast_possible_truncation)]
@@ -124,7 +126,12 @@ fn main() -> ExitCode {
     if args.list {
         println!("profiles:");
         for p in builtin_profiles() {
-            println!("  {} ({} cores, {} OPPs)", p.name(), p.n_cores(), p.opps().len());
+            println!(
+                "  {} ({} cores, {} OPPs)",
+                p.name(),
+                p.n_cores(),
+                p.opps().len()
+            );
         }
         println!("configs:");
         for (label, _) in builtin_configs() {

@@ -70,13 +70,24 @@ fn unknown_config_field_exits_two() {
 
 #[test]
 fn json_mode_emits_one_object_with_verdict() {
-    let out = run(&["--profile", "Nexus 4", "--config", "default", "--quick", "--json"]);
+    let out = run(&[
+        "--profile",
+        "Nexus 4",
+        "--config",
+        "default",
+        "--quick",
+        "--json",
+    ]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let text = stdout(&out);
     let line = text.trim();
     assert!(line.starts_with("{\"ok\":true,\"reports\":["), "{line}");
     assert!(line.ends_with("]}"), "{line}");
-    assert_eq!(line.matches('{').count(), line.matches('}').count(), "{line}");
+    assert_eq!(
+        line.matches('{').count(),
+        line.matches('}').count(),
+        "{line}"
+    );
     assert!(line.contains("\"profile\":\"Nexus 4\""), "{line}");
 }
 
@@ -85,7 +96,13 @@ fn list_mode_names_profiles_and_configs() {
     let out = run(&["--list"]);
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
-    for needle in ["profiles:", "Nexus 5", "Synthetic Octa", "configs:", "without_dcs"] {
+    for needle in [
+        "profiles:",
+        "Nexus 5",
+        "Synthetic Octa",
+        "configs:",
+        "without_dcs",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }

@@ -231,7 +231,11 @@ mod tests {
         a.decide(Utilization::from_percent(10.0));
         a.decide(Utilization::from_percent(5.0)); // slow mode, tiny quota
         let d = a.decide(Utilization::from_percent(90.0));
-        assert_eq!(d.quota, Quota::FULL, "burst to high load restores everything");
+        assert_eq!(
+            d.quota,
+            Quota::FULL,
+            "burst to high load restores everything"
+        );
         assert_eq!(d.k_effective, Utilization::from_percent(90.0));
     }
 

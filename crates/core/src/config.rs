@@ -278,8 +278,22 @@ impl MobiCoreConfig {
             0.0,
             1.0,
         );
-        check_range(&mut out, Severity::Error, "quota_min", self.quota_min, 0.0, 1.0);
-        check_range(&mut out, Severity::Error, "quota_max", self.quota_max, 0.0, 1.0);
+        check_range(
+            &mut out,
+            Severity::Error,
+            "quota_min",
+            self.quota_min,
+            0.0,
+            1.0,
+        );
+        check_range(
+            &mut out,
+            Severity::Error,
+            "quota_max",
+            self.quota_max,
+            0.0,
+            1.0,
+        );
         if self.quota_min.is_finite()
             && self.quota_max.is_finite()
             && self.quota_min > self.quota_max

@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn min_cores_never_zero() {
         let p = pass();
-        assert_eq!(p.min_cores_for_demand(&snap(&[0.0, 0.0, 0.0, 0.0]), Quota::FULL), 1);
+        assert_eq!(
+            p.min_cores_for_demand(&snap(&[0.0, 0.0, 0.0, 0.0]), Quota::FULL),
+            1
+        );
     }
 
     #[test]

@@ -75,8 +75,12 @@ pub fn step(
     snap: &PolicySnapshot,
 ) -> StepOutcome {
     // 1. Initial state: the ondemand DVFS estimate (Fig 8 top).
-    let f_ondemand =
-        Ondemand::transition(ONDEMAND_UP_THRESHOLD, state.ondemand_khz, snap, profile.opps());
+    let f_ondemand = Ondemand::transition(
+        ONDEMAND_UP_THRESHOLD,
+        state.ondemand_khz,
+        snap,
+        profile.opps(),
+    );
 
     // 2. Expand/reduce the bandwidth (Table 2). The installed CFS quota
     //    tracks utilization; the *scaling factor* is what folds into the
@@ -205,10 +209,7 @@ impl MobiCore {
         });
         match optimizer.best_for_global_load(load) {
             Ok(pt) => (pt.cores, self.profile.opps().get_clamped(pt.opp_idx).khz),
-            Err(_) => (
-                self.profile.n_cores(),
-                self.profile.opps().max_khz(),
-            ),
+            Err(_) => (self.profile.n_cores(), self.profile.opps().max_khz()),
         }
     }
 }
@@ -249,8 +250,8 @@ impl CpuPolicy for MobiCore {
                     ctl.set_online(i, false);
                 }
                 for (i, core) in snap.cores.iter().enumerate() {
-                    let stays_online = (core.online && !out.offline.contains(&i))
-                        || out.online.contains(&i);
+                    let stays_online =
+                        (core.online && !out.offline.contains(&i)) || out.online.contains(&i);
                     if stays_online {
                         ctl.set_freq(i, out.decision.f_new);
                     }
@@ -269,8 +270,11 @@ impl CpuPolicy for MobiCore {
                     snap,
                     self.profile.opps(),
                 );
-                let (bw, mode) =
-                    BandwidthAnalyzer::transition(&self.cfg, self.state.prev_util, snap.overall_util);
+                let (bw, mode) = BandwidthAnalyzer::transition(
+                    &self.cfg,
+                    self.state.prev_util,
+                    snap.overall_util,
+                );
                 ctl.set_quota(bw.quota);
                 let scale = Quota::new(bw.scale);
                 let dcs = self.dcs.decide(snap, scale);

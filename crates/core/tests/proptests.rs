@@ -19,8 +19,7 @@ fn snapshot(cores_in: &[(bool, f64)], now_us: u64, runnable: usize) -> PolicySna
             busy_us: 0,
         })
         .collect();
-    let overall =
-        cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
+    let overall = cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
     PolicySnapshot {
         now_us,
         window_us: 20_000,

@@ -5,8 +5,8 @@
 //! cargo run --release -p mobicore-experiments --bin summary [-- --quick]
 //! ```
 
-use mobicore_experiments::{games_suite, runner};
 use mobicore::MobiCore;
+use mobicore_experiments::{games_suite, runner};
 use mobicore_governors::AndroidDefaultPolicy;
 use mobicore_model::{profiles, Battery};
 use mobicore_sim::CpuPolicy;
@@ -18,7 +18,10 @@ fn main() {
     let profile = profiles::nexus5();
     let f_max = profile.opps().max_khz();
 
-    println!("MobiCore reproduction — headline summary (seed {})", runner::SEED);
+    println!(
+        "MobiCore reproduction — headline summary (seed {})",
+        runner::SEED
+    );
     println!("────────────────────────────────────────────────────────────");
 
     let sink = runner::ManifestSink::from_env("summary");
@@ -33,7 +36,12 @@ fn main() {
         runner::run_policy(
             &profile,
             policy,
-            vec![Box::new(BusyLoop::with_target_util(4, 0.3, f_max, runner::SEED))],
+            vec![Box::new(BusyLoop::with_target_util(
+                4,
+                0.3,
+                f_max,
+                runner::SEED,
+            ))],
             secs,
             runner::SEED,
             &sink,
@@ -77,16 +85,12 @@ fn main() {
         cmp.iter().map(|c| c.freq_reduction_pct()).sum::<f64>() / cmp.len() as f64;
     let avg_cores_m: f64 = cmp.iter().map(|c| c.mobicore.avg_cores).sum::<f64>() / cmp.len() as f64;
     let avg_cores_a: f64 = cmp.iter().map(|c| c.android.avg_cores).sum::<f64>() / cmp.len() as f64;
-    println!(
-        "game power          paper: −5.3 % avg     measured: −{avg_saving:.1} % (5 games)"
-    );
+    println!("game power          paper: −5.3 % avg     measured: −{avg_saving:.1} % (5 games)");
     println!(
         "game FPS cost       paper: −22 %          measured: −{:.1} %",
         (1.0 - avg_ratio) * 100.0
     );
-    println!(
-        "avg frequency       paper: −22.5 %        measured: −{avg_freq_red:.1} %"
-    );
+    println!("avg frequency       paper: −22.5 %        measured: −{avg_freq_red:.1} %");
     println!(
         "avg online cores    paper: 2.52 vs 2.75   measured: {avg_cores_m:.2} vs {avg_cores_a:.2}"
     );

@@ -108,7 +108,11 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.check(
         "efficiency (score/W) of MobiCore vs schedutil",
         "DCS + quota should buy something schedutil lacks",
-        format!("{:.2} vs {:.2} score/W·1000", mob_eff * 1_000.0, su_eff * 1_000.0),
+        format!(
+            "{:.2} vs {:.2} score/W·1000",
+            mob_eff * 1_000.0,
+            su_eff * 1_000.0
+        ),
         mob_eff > su_eff * 0.85,
     );
     res

@@ -50,7 +50,11 @@ pub fn run(quick: bool) -> ExperimentResult {
     for (aware, r) in &rows {
         res.line(format!(
             "{},{:.1},{:.1},{:.3},{:.2}",
-            if *aware { "mobicore-thermal" } else { "mobicore" },
+            if *aware {
+                "mobicore-thermal"
+            } else {
+                "mobicore"
+            },
             r.avg_power_mw,
             r.max_temp_c,
             r.thermal_throttled_frac,

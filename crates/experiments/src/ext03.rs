@@ -10,8 +10,8 @@
 use crate::result::ExperimentResult;
 use crate::runner::{self, parallel_map};
 use mobicore::MobiCore;
-use mobicore_model::{profiles, DeviceProfile, IdleLadder};
 use mobicore_governors::{GovernorPolicy, Performance};
+use mobicore_model::{profiles, DeviceProfile, IdleLadder};
 use mobicore_sim::CpuPolicy;
 use mobicore_workloads::BusyLoop;
 

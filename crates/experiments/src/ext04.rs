@@ -20,10 +20,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let profile = profiles::synthetic_octa();
     let f_max = profile.opps().max_khz();
 
-    let mut res = ExperimentResult::new(
-        "ext04",
-        "generality on 8 cores + battery-life projection",
-    );
+    let mut res = ExperimentResult::new("ext04", "generality on 8 cores + battery-life projection");
     res.line("policy,util_pct,avg_power_mw,avg_cores,avg_mhz,battery_hours");
 
     let battery = Battery::nexus5();

@@ -48,7 +48,11 @@ fn mixed_scenario(f_max: mobicore_model::Khz, secs: u64) -> Scenario {
             2 * third,
             Box::new(BusyLoop::with_target_util(4, 0.6, f_max, runner::SEED)),
         )
-        .phase_secs(2 * third, secs, Box::new(AppLaunch::new(2_000_000, runner::SEED)))
+        .phase_secs(
+            2 * third,
+            secs,
+            Box::new(AppLaunch::new(2_000_000, runner::SEED)),
+        )
 }
 
 /// Runs the experiment.
@@ -83,7 +87,8 @@ pub fn run(quick: bool) -> ExperimentResult {
             r.avg_online_cores,
             r.first_metric("video-playback.frames").unwrap_or(0.0),
             r.first_metric("app-launch.launches").unwrap_or(0.0),
-            r.first_metric("app-launch.mean_launch_latency_ms").unwrap_or(0.0),
+            r.first_metric("app-launch.mean_launch_latency_ms")
+                .unwrap_or(0.0),
         ));
     }
     let find = |k: &str| &rows.iter().find(|r| r.0 == k).expect("ran").1;

@@ -70,7 +70,11 @@ pub fn run(quick: bool) -> ExperimentResult {
     let n5 = power[4];
     // Quick runs end before the thermal throttle has pulled the sustained
     // average down toward the trip budget, so allow the nominal ceiling.
-    let band = if quick { 1_800.0..3_200.0 } else { 2_000.0..2_900.0 };
+    let band = if quick {
+        1_800.0..3_200.0
+    } else {
+        2_000.0..2_900.0
+    };
     res.check(
         "Nexus 5 full-stress total",
         "≈ 2404 mW sustained (§1.2)",

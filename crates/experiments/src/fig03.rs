@@ -85,11 +85,9 @@ pub fn run(quick: bool) -> ExperimentResult {
         "power monotone in utilization at every frequency",
         "increasing curves",
         "checked pointwise".to_string(),
-        freqs.iter().all(|&f| {
-            utils
-                .windows(2)
-                .all(|w| at(f, w[0]) <= at(f, w[1]) + 1.0)
-        }),
+        freqs
+            .iter()
+            .all(|&f| utils.windows(2).all(|w| at(f, w[0]) <= at(f, w[1]) + 1.0)),
     );
     res
 }

@@ -37,7 +37,12 @@ pub fn run(quick: bool) -> ExperimentResult {
             &profile,
             n,
             f,
-            vec![Box::new(BusyLoop::with_target_util(n, 1.0, f, runner::SEED))],
+            vec![Box::new(BusyLoop::with_target_util(
+                n,
+                1.0,
+                f,
+                runner::SEED,
+            ))],
             secs,
             runner::SEED,
             &sink,

@@ -130,9 +130,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     // (3) The model's predicted optimum is close to the measured one.
     let mut model_agrees = 0;
     for &load in &loads {
-        let predicted = optimizer
-            .best_for_global_load(load)
-            .expect("feasible");
+        let predicted = optimizer.best_for_global_load(load).expect("feasible");
         let (mc, mf, _) = best_at(load);
         if predicted.cores == mc
             || (profile.opps().get_clamped(predicted.opp_idx).khz.as_mhz() - mf).abs() < 400.0

@@ -79,9 +79,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     res.check(
         "score plateaus at high frequency",
         "plateau near 1.95 GHz",
-        format!(
-            "last step: freq ×{f_gain:.3}, score ×{s_gain:.3}"
-        ),
+        format!("last step: freq ×{f_gain:.3}, score ×{s_gain:.3}"),
         s_gain < f_gain,
     );
     res

@@ -46,7 +46,13 @@ pub fn run(quick: bool) -> ExperimentResult {
             &sink,
         );
         let score = report.first_metric("score").expect("geekbench reports");
-        (n, khz, score, report.avg_power_mw, score / report.avg_power_mw)
+        (
+            n,
+            khz,
+            score,
+            report.avg_power_mw,
+            score / report.avg_power_mw,
+        )
     });
     for (n, khz, score, mw, ratio) in &rows {
         res.line(format!(

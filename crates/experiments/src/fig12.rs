@@ -29,7 +29,11 @@ pub fn run(quick: bool) -> ExperimentResult {
         m_cores.push(c.mobicore.avg_cores);
         res.line(format!(
             "{},{:.0},{:.0},{fr:.1},{:.2},{:.2}",
-            c.game, c.android.avg_mhz, c.mobicore.avg_mhz, c.android.avg_cores, c.mobicore.avg_cores
+            c.game,
+            c.android.avg_mhz,
+            c.mobicore.avg_mhz,
+            c.android.avg_cores,
+            c.mobicore.avg_cores
         ));
     }
     let avg_fr = freq_red.iter().sum::<f64>() / freq_red.len() as f64;

@@ -75,19 +75,16 @@ impl Session {
         })
     }
 
-    fn build_workload(
-        &self,
-        spec: &str,
-    ) -> Result<Box<dyn mobicore_sim::Workload>, String> {
+    fn build_workload(&self, spec: &str) -> Result<Box<dyn mobicore_sim::Workload>, String> {
         let f_max = self.profile.opps().max_khz();
         let mut parts = spec.splitn(2, ' ');
         let kind = parts.next().unwrap_or("");
         let arg = parts.next().unwrap_or("").trim().trim_matches('"');
         Ok(match kind {
             "busyloop" => {
-                let util: f64 = arg.parse().map_err(|_| {
-                    format!("busyloop needs a utilization in (0,1], got {arg:?}")
-                })?;
+                let util: f64 = arg
+                    .parse()
+                    .map_err(|_| format!("busyloop needs a utilization in (0,1], got {arg:?}"))?;
                 if !(util > 0.0 && util <= 1.0) {
                     return Err(format!("utilization out of range: {util}"));
                 }
@@ -126,8 +123,7 @@ impl Session {
                 .with_seed(self.seed)
                 .with_trace(TraceLevel::Full) // enables `analyze`
                 .without_mpdecision();
-            let mut sim =
-                Simulation::new(cfg, self.build_policy()?).map_err(|e| e.to_string())?;
+            let mut sim = Simulation::new(cfg, self.build_policy()?).map_err(|e| e.to_string())?;
             for spec in self.workloads.clone() {
                 let w = self.build_workload(&spec)?;
                 sim.add_workload(w);
@@ -274,7 +270,9 @@ pub fn run_repl(input: impl BufRead, mut out: impl Write) -> std::io::Result<usi
                     .freq_residency
                     .iter()
                     .filter(|(_, frac)| *frac > 0.05)
-                    .map(|(khz, frac)| format!("{:.0}MHz {:.0}%", *khz as f64 / 1_000.0, frac * 100.0))
+                    .map(|(khz, frac)| {
+                        format!("{:.0}MHz {:.0}%", *khz as f64 / 1_000.0, frac * 100.0)
+                    })
                     .collect();
                 Ok(format!(
                     "samples={} power p5/p50/p95 = {:.0}/{:.0}/{:.0} mW | max {:.1}°C |                      dvfs transitions {} | hotplug events {} | quota engaged {:.0}% | residency: {}",

@@ -66,6 +66,8 @@ impl ManifestSink {
     /// manifest under the sink's directory. A no-op on disabled sinks.
     pub fn emit(&self, sim: &Simulation, wall_ms: f64) {
         let Some(dir) = &self.dir else { return };
+        // relaxed: sequence allocation only needs atomicity; file names
+        // must be unique, not ordered across threads.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut m = sim.manifest(&format!("{}-{seq:04}", self.label));
         m.kind = "experiment".to_string();
@@ -222,7 +224,10 @@ mod tests {
             .collect();
         assert_eq!(mine.len(), 1, "exactly one manifest for our seed");
         let name = mine[0].file_name().to_string_lossy().into_owned();
-        assert!(name.starts_with("runner-test-0000-"), "label+seq prefix: {name}");
+        assert!(
+            name.starts_with("runner-test-0000-"),
+            "label+seq prefix: {name}"
+        );
         let text = std::fs::read_to_string(mine[0].path()).expect("readable");
         let m = mobicore_telemetry::RunManifest::from_json_text(&text).expect("parses");
         assert_eq!(m.kind, "experiment");

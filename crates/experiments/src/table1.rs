@@ -13,10 +13,7 @@ pub fn run(_quick: bool) -> ExperimentResult {
     res.line(format!("CPU,({}) Krait 400", p.n_cores()));
     res.line(format!("freq_min,{}", opps.min_khz()));
     res.line(format!("freq_max,{}", opps.max_khz()));
-    res.line(format!(
-        "volt_min,{}",
-        opps.get(0).expect("non-empty").mv
-    ));
+    res.line(format!("volt_min,{}", opps.get(0).expect("non-empty").mv));
     res.line(format!(
         "volt_max,{}",
         opps.get(opps.max_index()).expect("non-empty").mv
@@ -33,9 +30,7 @@ pub fn run(_quick: bool) -> ExperimentResult {
             opps.min_khz(),
             opps.max_khz()
         ),
-        opps.len() == 14
-            && opps.min_khz().0 == 300_000
-            && opps.max_khz().0 == 2_265_600,
+        opps.len() == 14 && opps.min_khz().0 == 300_000 && opps.max_khz().0 == 2_265_600,
     );
     res.check(
         "voltage range",

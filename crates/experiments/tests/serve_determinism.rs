@@ -15,7 +15,9 @@ use std::time::Duration;
 fn run_sim(policy: Box<dyn CpuPolicy>, scenario_name: &str, secs: u64) -> (String, String, String) {
     let profile = mobicore_model::profiles::nexus5();
     let workload = scenario::by_name(scenario_name, &profile, 7).expect("scenario exists");
-    let cfg = SimConfig::new(profile).with_duration_secs(secs).with_seed(7);
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(secs)
+        .with_seed(7);
     let mut sim = Simulation::new(cfg, policy).expect("config valid");
     sim.add_workload(Box::new(workload));
     let report = sim.run();
@@ -42,7 +44,11 @@ fn assert_remote_equals_local(policy_name: &str, scenario_name: &str, secs: u64)
     let (local_report, local_events, local_manifest) = run_sim(local, scenario_name, secs);
 
     let remote = RemotePolicy::connect(&addr, policy_name, "nexus5", 7).expect("connect");
-    assert_eq!(remote.name(), policy_name, "HelloAck must carry the resolved name");
+    assert_eq!(
+        remote.name(),
+        policy_name,
+        "HelloAck must carry the resolved name"
+    );
     let (remote_report, remote_events, remote_manifest) =
         run_sim(Box::new(remote), scenario_name, secs);
 
@@ -61,7 +67,10 @@ fn assert_remote_equals_local(policy_name: &str, scenario_name: &str, secs: u64)
 
     let stats = server.shutdown();
     assert_eq!(stats.protocol_errors, 0);
-    assert!(stats.decisions > 0, "the remote run must actually have used the wire");
+    assert!(
+        stats.decisions > 0,
+        "the remote run must actually have used the wire"
+    );
 }
 
 #[test]

@@ -189,7 +189,12 @@ mod tests {
         let mut ctl = CpuControl::new();
         p.on_sample(&snap(&[10.0, 10.0, 10.0, 10.0]), &mut ctl);
         let cmds = ctl.take();
-        assert_eq!(cmds, vec![Command::SetFreqAll { khz: opps.max_khz() }]);
+        assert_eq!(
+            cmds,
+            vec![Command::SetFreqAll {
+                khz: opps.max_khz()
+            }]
+        );
         assert_eq!(p.name(), "performance");
     }
 

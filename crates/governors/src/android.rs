@@ -19,7 +19,8 @@ pub struct AndroidDefaultPolicy {
 
 impl std::fmt::Debug for AndroidDefaultPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AndroidDefaultPolicy").finish_non_exhaustive()
+        f.debug_struct("AndroidDefaultPolicy")
+            .finish_non_exhaustive()
     }
 }
 

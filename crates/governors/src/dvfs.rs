@@ -210,9 +210,7 @@ impl DvfsGovernor for Conservative {
         } else if load < self.down_threshold {
             let want = cur.0.saturating_sub(step).max(opps.min_khz().0);
             // step down: floor-snap so we actually decrease
-            let idx = opps
-                .floor_index(Khz(want))
-                .unwrap_or(0);
+            let idx = opps.floor_index(Khz(want)).unwrap_or(0);
             opps.get_clamped(idx).khz
         } else {
             cur
@@ -391,11 +389,7 @@ mod tests {
                 busy_us: 0,
             })
             .collect();
-        let overall = cores
-            .iter()
-            .map(|c| c.util.as_fraction())
-            .sum::<f64>()
-            / cores.len() as f64;
+        let overall = cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
         PolicySnapshot {
             now_us: 0,
             window_us: 20_000,
@@ -502,14 +496,8 @@ mod tests {
     #[test]
     fn powersave_and_performance_pin_ends() {
         let o = opps();
-        assert_eq!(
-            Powersave::new().target(&snap(&[100.0]), &o),
-            o.min_khz()
-        );
-        assert_eq!(
-            Performance::new().target(&snap(&[0.0]), &o),
-            o.max_khz()
-        );
+        assert_eq!(Powersave::new().target(&snap(&[100.0]), &o), o.min_khz());
+        assert_eq!(Performance::new().target(&snap(&[0.0]), &o), o.max_khz());
     }
 
     #[test]

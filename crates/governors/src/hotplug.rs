@@ -204,11 +204,7 @@ mod tests {
                 busy_us: 0,
             })
             .collect();
-        let overall = cores
-            .iter()
-            .map(|c| c.util.as_fraction())
-            .sum::<f64>()
-            / cores.len() as f64;
+        let overall = cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
         PolicySnapshot {
             now_us,
             window_us: 20_000,
@@ -290,7 +286,10 @@ mod tests {
     fn rq_hotplug_follows_thread_count_up() {
         let mut h = RqHotplug::new();
         // 2 cores busy, 4 runnable threads: add a core.
-        assert_eq!(h.target_online(&snap_rq(0, &[90.0, 85.0, -1.0, -1.0], 4)), 3);
+        assert_eq!(
+            h.target_online(&snap_rq(0, &[90.0, 85.0, -1.0, -1.0], 4)),
+            3
+        );
     }
 
     #[test]
@@ -298,10 +297,16 @@ mod tests {
         let mut h = RqHotplug::new();
         // 4 runnable threads but the cores are mostly idle: never adds —
         // in fact the low load sheds a core.
-        assert_eq!(h.target_online(&snap_rq(0, &[20.0, 15.0, -1.0, -1.0], 4)), 1);
+        assert_eq!(
+            h.target_online(&snap_rq(0, &[20.0, 15.0, -1.0, -1.0], 4)),
+            1
+        );
         // Mid-band load with runqueue pressure holds steady instead.
         let mut h = RqHotplug::new();
-        assert_eq!(h.target_online(&snap_rq(0, &[45.0, 50.0, -1.0, -1.0], 4)), 2);
+        assert_eq!(
+            h.target_online(&snap_rq(0, &[45.0, 50.0, -1.0, -1.0], 4)),
+            2
+        );
     }
 
     #[test]
@@ -309,16 +314,28 @@ mod tests {
         let mut h = RqHotplug::new();
         // 4 online, only 1 runnable thread: shed (one per decision).
         assert_eq!(h.target_online(&snap_rq(0, &[95.0, 5.0, 5.0, 5.0], 1)), 3);
-        assert_eq!(h.target_online(&snap_rq(200_000, &[95.0, 5.0, 5.0, -1.0], 1)), 2);
+        assert_eq!(
+            h.target_online(&snap_rq(200_000, &[95.0, 5.0, 5.0, -1.0], 1)),
+            2
+        );
     }
 
     #[test]
     fn rq_hotplug_respects_holdoff() {
         let mut h = RqHotplug::new();
-        assert_eq!(h.target_online(&snap_rq(0, &[95.0, 95.0, -1.0, -1.0], 4)), 3);
+        assert_eq!(
+            h.target_online(&snap_rq(0, &[95.0, 95.0, -1.0, -1.0], 4)),
+            3
+        );
         // inside the 80 ms hold-off: no further change
-        assert_eq!(h.target_online(&snap_rq(20_000, &[95.0, 95.0, 95.0, -1.0], 4)), 3);
-        assert_eq!(h.target_online(&snap_rq(120_000, &[95.0, 95.0, 95.0, -1.0], 4)), 4);
+        assert_eq!(
+            h.target_online(&snap_rq(20_000, &[95.0, 95.0, 95.0, -1.0], 4)),
+            3
+        );
+        assert_eq!(
+            h.target_online(&snap_rq(120_000, &[95.0, 95.0, 95.0, -1.0], 4)),
+            4
+        );
     }
 
     #[test]

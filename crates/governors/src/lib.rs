@@ -44,7 +44,6 @@ pub mod registry;
 pub use adapter::GovernorPolicy;
 pub use android::AndroidDefaultPolicy;
 pub use dvfs::{
-    Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil,
-    Userspace,
+    Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil, Userspace,
 };
 pub use hotplug::{DefaultHotplug, HotplugPolicy, NoHotplug, RqHotplug};

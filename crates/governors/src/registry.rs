@@ -7,7 +7,9 @@
 
 use crate::adapter::GovernorPolicy;
 use crate::android::AndroidDefaultPolicy;
-use crate::dvfs::{Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil};
+use crate::dvfs::{
+    Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil,
+};
 use mobicore_model::DeviceProfile;
 use mobicore_sim::CpuPolicy;
 
@@ -33,9 +35,7 @@ pub const NAMES: [&str; 8] = [
 pub fn build(name: &str, profile: &DeviceProfile) -> Option<Box<dyn CpuPolicy + Send>> {
     let dvfs: Box<dyn DvfsGovernor + Send> = match name {
         "android-default" => return Some(Box::new(AndroidDefaultPolicy::new(profile))),
-        "android-ondemand-only" => {
-            return Some(Box::new(AndroidDefaultPolicy::dvfs_only(profile)))
-        }
+        "android-ondemand-only" => return Some(Box::new(AndroidDefaultPolicy::dvfs_only(profile))),
         "ondemand" => Box::new(Ondemand::new()),
         "interactive" => Box::new(Interactive::new()),
         "conservative" => Box::new(Conservative::new()),

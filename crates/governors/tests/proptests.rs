@@ -2,8 +2,7 @@
 //! snapshots and always answers with a frequency the hardware has.
 
 use mobicore_governors::dvfs::{
-    Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil,
-    Userspace,
+    Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil, Userspace,
 };
 use mobicore_governors::hotplug::{DefaultHotplug, HotplugPolicy, NoHotplug};
 use mobicore_model::{profiles, Khz, Quota, Utilization};
@@ -28,8 +27,8 @@ fn snapshot_strategy() -> impl Strategy<Value = PolicySnapshot> {
                     busy_us: 0,
                 })
                 .collect();
-            let overall = cores.iter().map(|c| c.util.as_fraction()).sum::<f64>()
-                / cores.len() as f64;
+            let overall =
+                cores.iter().map(|c| c.util.as_fraction()).sum::<f64>() / cores.len() as f64;
             PolicySnapshot {
                 now_us,
                 window_us: 20_000,

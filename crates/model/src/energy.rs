@@ -350,8 +350,7 @@ mod tests {
     fn eq10_power_drops_with_load() {
         let m = model();
         let heavy = m.mobicore_core_power_mw(m.f_max, Utilization::FULL, Quota::FULL, 4, 4);
-        let light =
-            m.mobicore_core_power_mw(m.f_max, Utilization::new(0.3), Quota::FULL, 4, 4);
+        let light = m.mobicore_core_power_mw(m.f_max, Utilization::new(0.3), Quota::FULL, 4, 4);
         assert!(light < heavy);
     }
 
@@ -359,6 +358,8 @@ mod tests {
     fn eq7_energy_matches_total_power() {
         let m = model();
         let p = m.total_power_mw(2, Khz(960_000), Utilization::new(0.7));
-        assert!((m.energy_mj(2, Khz(960_000), Utilization::new(0.7), 500_000) - p * 0.5).abs() < 1e-9);
+        assert!(
+            (m.energy_mj(2, Khz(960_000), Utilization::new(0.7), 500_000) - p * 0.5).abs() < 1e-9
+        );
     }
 }

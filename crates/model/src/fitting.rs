@@ -305,7 +305,12 @@ mod tests {
             .into_profile("refit", 4, &opps, &shape)
             .expect("valid profile");
         let original = profiles::nexus5();
-        for &(n, opp, u) in &[(1usize, 13usize, 1.0f64), (2, 5, 0.5), (4, 0, 0.2), (3, 9, 0.8)] {
+        for &(n, opp, u) in &[
+            (1usize, 13usize, 1.0f64),
+            (2, 5, 0.5),
+            (4, 0, 0.2),
+            (3, 9, 0.8),
+        ] {
             let a = original.uniform_power_mw(n, opp, u);
             let b = fitted.uniform_power_mw(n, opp, u);
             assert!((a - b).abs() / a < 0.02, "({n},{opp},{u}): {a} vs {b}");

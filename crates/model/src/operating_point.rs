@@ -110,7 +110,11 @@ impl<'a> OperatingPointOptimizer<'a> {
                 if cap + 1e-9 < demand {
                     continue;
                 }
-                let util = if cap > 0.0 { (demand / cap).min(1.0) } else { 0.0 };
+                let util = if cap > 0.0 {
+                    (demand / cap).min(1.0)
+                } else {
+                    0.0
+                };
                 out.push(EvaluatedPoint {
                     point: OperatingPoint { cores: n, opp_idx },
                     khz: opps.get_clamped(opp_idx).khz,

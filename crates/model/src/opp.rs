@@ -219,12 +219,21 @@ mod tests {
     }
 
     fn table() -> OppTable {
-        OppTable::new(vec![opp(300_000), opp(600_000), opp(1_200_000), opp(2_400_000)]).unwrap()
+        OppTable::new(vec![
+            opp(300_000),
+            opp(600_000),
+            opp(1_200_000),
+            opp(2_400_000),
+        ])
+        .unwrap()
     }
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(OppTable::new(vec![]).unwrap_err(), ModelError::EmptyOppTable);
+        assert_eq!(
+            OppTable::new(vec![]).unwrap_err(),
+            ModelError::EmptyOppTable
+        );
     }
 
     #[test]

@@ -455,7 +455,10 @@ mod tests {
             },
         ])
         .unwrap();
-        DeviceProfile::builder("test", 4).opps(opps).build().unwrap()
+        DeviceProfile::builder("test", 4)
+            .opps(opps)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -564,7 +567,10 @@ mod tests {
     #[test]
     fn uniform_power_out_of_range_opp_clamps() {
         let p = profile();
-        assert_eq!(p.uniform_power_mw(1, 99, 1.0), p.uniform_power_mw(1, 2, 1.0));
+        assert_eq!(
+            p.uniform_power_mw(1, 99, 1.0),
+            p.uniform_power_mw(1, 2, 1.0)
+        );
     }
 
     #[test]

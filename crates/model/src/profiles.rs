@@ -53,7 +53,9 @@ pub fn opp_ladder(
     let opps = freqs_khz
         .iter()
         .map(|&khz| {
-            let mv = quantize_u32(interp(khz, f_min, f_max, f64::from(mv_min), f64::from(mv_max)).round());
+            let mv = quantize_u32(
+                interp(khz, f_min, f_max, f64::from(mv_min), f64::from(mv_max)).round(),
+            );
             let volts = f64::from(mv) / 1_000.0;
             let busy_extra_mw = ceff_f * volts * volts * (f64::from(khz) * 1_000.0) * 1_000.0;
             Opp {
@@ -362,10 +364,7 @@ mod tests {
         let t_ns = ns.thermal().steady_state_c(ns_power);
         // Nexus 5 sustained power is pinned near the trip point by the
         // throttle, so its steady temperature ≈ trip_c = 42.
-        assert!(
-            (25.5..29.0).contains(&t_ns),
-            "Nexus S steady {t_ns:.1} °C"
-        );
+        assert!((25.5..29.0).contains(&t_ns), "Nexus S steady {t_ns:.1} °C");
         assert!((41.0..43.0).contains(&n5.thermal().trip_c));
         assert!(n5.thermal().trip_c - t_ns > 10.0, "clear IR contrast");
     }

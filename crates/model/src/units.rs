@@ -66,7 +66,10 @@ impl Khz {
 /// to zero (and trip a debug assertion, since callers deal in magnitudes).
 #[must_use]
 pub fn quantize_u64(v: f64) -> u64 {
-    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_u64 expects a non-negative quantity, got {v}");
+    debug_assert!(
+        v >= 0.0 || v.is_nan(),
+        "quantize_u64 expects a non-negative quantity, got {v}"
+    );
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     {
         v.max(0.0) as u64
@@ -76,7 +79,10 @@ pub fn quantize_u64(v: f64) -> u64 {
 /// `u32` variant of [`quantize_u64`] for kHz/mV-sized quantities.
 #[must_use]
 pub fn quantize_u32(v: f64) -> u32 {
-    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_u32 expects a non-negative quantity, got {v}");
+    debug_assert!(
+        v >= 0.0 || v.is_nan(),
+        "quantize_u32 expects a non-negative quantity, got {v}"
+    );
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     {
         v.max(0.0) as u32
@@ -86,7 +92,10 @@ pub fn quantize_u32(v: f64) -> u32 {
 /// `usize` variant of [`quantize_u64`] for counts and indices.
 #[must_use]
 pub fn quantize_usize(v: f64) -> usize {
-    debug_assert!(v >= 0.0 || v.is_nan(), "quantize_usize expects a non-negative quantity, got {v}");
+    debug_assert!(
+        v >= 0.0 || v.is_nan(),
+        "quantize_usize expects a non-negative quantity, got {v}"
+    );
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     {
         v.max(0.0) as usize

@@ -74,7 +74,11 @@ fn main() {
     };
     println!(
         "sessions={} decisions={} ({} server-side) stream_len={} wall_s={:.3}",
-        report.sessions, report.decisions, report.server_decisions, report.stream_len, report.wall_s,
+        report.sessions,
+        report.decisions,
+        report.server_decisions,
+        report.stream_len,
+        report.wall_s,
     );
     println!(
         "decisions/s={:.0} rtt p50={:.0}us p99={:.0}us p999={:.0}us backpressure={}",

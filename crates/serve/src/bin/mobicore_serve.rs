@@ -50,7 +50,8 @@ fn main() {
             "--workers" => cfg = cfg.with_workers(parse(&mut args, "--workers")),
             "--max-sessions" => cfg.max_sessions = parse(&mut args, "--max-sessions"),
             "--drain-secs" => {
-                cfg = cfg.with_drain_deadline(Duration::from_secs(parse(&mut args, "--drain-secs")));
+                cfg =
+                    cfg.with_drain_deadline(Duration::from_secs(parse(&mut args, "--drain-secs")));
             }
             "--idle-secs" => {
                 cfg = cfg.with_idle_timeout(Duration::from_secs(parse(&mut args, "--idle-secs")));

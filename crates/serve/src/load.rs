@@ -128,6 +128,7 @@ impl LoadReport {
             policy: cfg.policy.clone(),
             profile: cfg.profile.clone(),
             seed: cfg.seed,
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             duration_us: (self.wall_s * 1e6) as u64,
             git: None,
             created_unix_ms: None,
@@ -161,7 +162,9 @@ pub fn record_snapshots(
     let f = device.opps().max_khz();
     let inner = Box::new(PinnedPolicy::new(device.n_cores(), f));
     let policy = RecordingPolicy::new(inner, recorder.clone());
-    let cfg = SimConfig::new(device).with_duration_secs(secs).without_mpdecision();
+    let cfg = SimConfig::new(device)
+        .with_duration_secs(secs)
+        .without_mpdecision();
     let mut sim = Simulation::new(cfg, Box::new(policy)).map_err(|e| e.to_string())?;
     sim.add_workload(Box::new(workload));
     let _ = sim.run();
@@ -175,11 +178,7 @@ pub fn record_snapshots(
 /// Replays `snaps` through a fresh local instance of `policy` and
 /// returns each decision as encoded wire bytes — the reference the
 /// daemon's answers must match byte-for-byte.
-fn local_reference(
-    policy: &str,
-    profile: &str,
-    snaps: &[PolicySnapshot],
-) -> Option<Vec<Vec<u8>>> {
+fn local_reference(policy: &str, profile: &str, snaps: &[PolicySnapshot]) -> Option<Vec<Vec<u8>>> {
     let device = registry::profile_by_name(profile)?;
     let mut p = registry::build_policy(policy, &device)?;
     let mut ctl = mobicore_sim::CpuControl::new();

@@ -250,7 +250,10 @@ fn put_snapshot(out: &mut Vec<u8>, snap: &PolicySnapshot) {
     put_f64(out, snap.temp_c);
     put_bool(out, snap.mpdecision_enabled);
     put_clamped_u32(out, snap.max_runnable_threads);
-    put_u16(out, u16::try_from(snap.cores.len().min(MAX_WIRE_CORES)).unwrap_or(u16::MAX));
+    put_u16(
+        out,
+        u16::try_from(snap.cores.len().min(MAX_WIRE_CORES)).unwrap_or(u16::MAX),
+    );
     for core in snap.cores.iter().take(MAX_WIRE_CORES) {
         put_bool(out, core.online);
         put_u32(out, core.cur_khz.0);
@@ -367,7 +370,10 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
         }
     }
     let len = out.len() - len_at - 4;
-    debug_assert!(len <= MAX_FRAME_LEN as usize, "encoder stayed under the cap");
+    debug_assert!(
+        len <= MAX_FRAME_LEN as usize,
+        "encoder stayed under the cap"
+    );
     #[allow(clippy::cast_possible_truncation)]
     out[len_at..len_at + 4].copy_from_slice(&(len as u32).to_le_bytes());
 }
@@ -695,7 +701,10 @@ mod tests {
     fn snapshot_round_trip_preserves_exact_bits() {
         let mut s = snap();
         s.temp_c = 36.600_000_000_000_01; // not exactly representable inputs stay bit-exact
-        let frame = Frame::Snapshot { seq: 0, snap: s.clone() };
+        let frame = Frame::Snapshot {
+            seq: 0,
+            snap: s.clone(),
+        };
         let bytes = frame_bytes(&frame);
         let (back, _) = decode_frame(&bytes).unwrap().unwrap();
         let Frame::Snapshot { snap: back, .. } = back else {
@@ -749,12 +758,18 @@ mod tests {
         // Grow the declared length and append a stray byte.
         bytes[0] += 1;
         bytes.push(0xAB);
-        assert_eq!(decode_frame(&bytes), Err(WireError::TrailingBytes("decoded")));
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::TrailingBytes("decoded"))
+        );
     }
 
     #[test]
     fn bad_bool_and_bad_utf8_are_typed() {
-        let mut bytes = frame_bytes(&Frame::Snapshot { seq: 1, snap: snap() });
+        let mut bytes = frame_bytes(&Frame::Snapshot {
+            seq: 1,
+            snap: snap(),
+        });
         // mpdecision bool lives at offset 4 (len) + 1 (type) + 8 (seq) +
         // 8+8 (now/window) + 8*3 (three f64s) = 53.
         bytes[53] = 7;
@@ -763,7 +778,9 @@ mod tests {
             Err(WireError::BadBool("snapshot.mpdecision"))
         );
 
-        let mut bytes = frame_bytes(&Frame::GoingAway { reason: "né".into() });
+        let mut bytes = frame_bytes(&Frame::GoingAway {
+            reason: "né".into(),
+        });
         let at = bytes.len() - 1;
         bytes[at] = 0xFF; // clobber the second UTF-8 byte
         assert_eq!(

@@ -103,7 +103,14 @@ mod tests {
         let profile = profiles::nexus5();
         let p = build_policy("pinned:2:960000", &profile).expect("valid pinned");
         assert!(p.name().contains("pinned-2c"));
-        for bad in ["pinned:", "pinned:2", "pinned:0:960000", "pinned:2:0", "pinned:x:1", "warp"] {
+        for bad in [
+            "pinned:",
+            "pinned:2",
+            "pinned:0:960000",
+            "pinned:2:0",
+            "pinned:x:1",
+            "warp",
+        ] {
             assert!(build_policy(bad, &profile).is_none(), "{bad}");
         }
     }
@@ -111,7 +118,10 @@ mod tests {
     #[test]
     fn mobicore_variants_resolve_to_their_names() {
         let profile = profiles::nexus5();
-        assert_eq!(build_policy("mobicore", &profile).unwrap().name(), "mobicore");
+        assert_eq!(
+            build_policy("mobicore", &profile).unwrap().name(),
+            "mobicore"
+        );
         assert_eq!(
             build_policy("mobicore-optpoint", &profile).unwrap().name(),
             "mobicore-optpoint"

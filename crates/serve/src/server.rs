@@ -29,13 +29,13 @@ use crate::protocol::{
     codes, decode_frame, encode_frame, has_complete_frame, Frame, PROTOCOL_VERSION,
 };
 use crate::registry;
+use mobicore_analyze::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use mobicore_analyze::sync::{lock_unpoisoned, Arc, Mutex};
 use mobicore_sim::{CpuControl, CpuPolicy};
 use mobicore_telemetry::{EventData, RunManifest, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -182,14 +182,21 @@ impl Shared {
     }
 
     fn stats(&self) -> ServeStats {
+        // A live snapshot is advisory by contract: each counter is
+        // internally consistent, cross-counter skew is acceptable
+        // while sessions are in flight. The *final* stats read in
+        // `begin_drain_and_join` is exact because every worker's
+        // Release decrement of `live_sessions` (and the join itself)
+        // happens-before it — model-checked in
+        // `mobicore_analyze::protocols::serve::check_drain_stats_exact`.
         ServeStats {
-            sessions: self.sessions.load(Ordering::Relaxed),
-            decisions: self.decisions.load(Ordering::Relaxed),
-            drained_sessions: self.drained.load(Ordering::Relaxed),
-            aborted_sessions: self.aborted.load(Ordering::Relaxed),
-            backpressure_events: self.backpressure.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            active_conns: self.active_conns.load(Ordering::Relaxed) as u64,
+            sessions: self.sessions.load(Ordering::Relaxed), // relaxed: advisory snapshot (see above)
+            decisions: self.decisions.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            drained_sessions: self.drained.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            aborted_sessions: self.aborted.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            backpressure_events: self.backpressure.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            active_conns: self.active_conns.load(Ordering::Relaxed) as u64, // relaxed: advisory snapshot
         }
     }
 }
@@ -361,6 +368,8 @@ fn service(sess: &mut Session, shared: &Shared) -> Service {
                 handle_frame(sess, shared, frame);
             }
             Err(err) => {
+                // relaxed: monotonic counter; published by the Release
+                // decrement of live_sessions when the session retires.
                 shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 shared.count("serve.protocol_errors", 1);
                 sess.fail(codes::MALFORMED, &err.to_string());
@@ -382,6 +391,8 @@ fn service(sess: &mut Session, shared: &Shared) -> Service {
             if !sess.backpressured {
                 sess.backpressured = true;
                 let queued = count_complete_frames(sess.pending_input());
+                // relaxed: monotonic counter; published by the Release
+                // decrement of live_sessions when the session retires.
                 shared.backpressure.fetch_add(1, Ordering::Relaxed);
                 shared.count("serve.backpressure", 1);
                 shared.emit(EventData::Backpressure {
@@ -430,7 +441,15 @@ fn count_complete_frames(mut buf: &[u8]) -> u64 {
 
 fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
     match (sess.state, frame) {
-        (SessState::AwaitHello, Frame::Hello { version, policy, profile, .. }) => {
+        (
+            SessState::AwaitHello,
+            Frame::Hello {
+                version,
+                policy,
+                profile,
+                ..
+            },
+        ) => {
             if version != PROTOCOL_VERSION {
                 sess.fail(
                     codes::VERSION_MISMATCH,
@@ -439,7 +458,10 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
                 return;
             }
             let Some(device) = registry::profile_by_name(&profile) else {
-                sess.fail(codes::UNKNOWN_PROFILE, &format!("unknown profile `{profile}`"));
+                sess.fail(
+                    codes::UNKNOWN_PROFILE,
+                    &format!("unknown profile `{profile}`"),
+                );
                 return;
             };
             let Some(resolved) = registry::build_policy(&policy, &device) else {
@@ -451,6 +473,8 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
             let sampling_us = resolved.sampling_period_us();
             sess.policy = Some(resolved);
             sess.state = SessState::Streaming;
+            // relaxed: monotonic counter; published by the Release
+            // decrement of live_sessions when the session retires.
             shared.sessions.fetch_add(1, Ordering::Relaxed);
             shared.count("serve.sessions", 1);
             shared.emit(EventData::SessionStart {
@@ -466,7 +490,10 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
         }
         (SessState::Streaming, Frame::Snapshot { seq, snap }) => {
             if sess.last_seq.is_some_and(|last| seq <= last) {
-                sess.fail(codes::BAD_SEQ, &format!("sequence number {seq} did not increase"));
+                sess.fail(
+                    codes::BAD_SEQ,
+                    &format!("sequence number {seq} did not increase"),
+                );
                 return;
             }
             sess.last_seq = Some(seq);
@@ -480,11 +507,18 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
             let notes = sess.ctl.take_notes();
             let service_us = t0.elapsed().as_secs_f64() * 1e6;
             sess.decisions += 1;
+            // relaxed: monotonic counter; published by the Release
+            // decrement of live_sessions when the session retires
+            // (model-checked: protocols::serve::check_drain_stats_exact).
             shared.decisions.fetch_add(1, Ordering::Relaxed);
             shared.count("serve.decisions", 1);
             shared.count("serve.notes", notes.len() as u64);
             shared.record("serve.decision_us", service_us);
-            sess.send(&Frame::Decision { seq, commands, notes });
+            sess.send(&Frame::Decision {
+                seq,
+                commands,
+                notes,
+            });
         }
         (_, Frame::Bye) => {
             sess.closed_clean = true;
@@ -523,8 +557,12 @@ fn frame_name(frame: &Frame) -> &'static str {
 fn finalize(sess: &Session, shared: &Shared) {
     if sess.session_id != 0 {
         if sess.closed_clean {
+            // relaxed: monotonic counter; the Release fence below
+            // (live_sessions decrement) publishes it.
             shared.drained.fetch_add(1, Ordering::Relaxed);
         } else {
+            // relaxed: monotonic counter; the Release fence below
+            // (live_sessions decrement) publishes it.
             shared.aborted.fetch_add(1, Ordering::Relaxed);
         }
         shared.emit(EventData::SessionEnd {
@@ -538,8 +576,14 @@ fn finalize(sess: &Session, shared: &Shared) {
         frames_in: sess.frames_in,
         frames_out: sess.frames_out,
     });
+    // relaxed: admission gate only; an off-by-one race at the cap is
+    // benign (one connection briefly over/under the limit).
     shared.active_conns.fetch_sub(1, Ordering::Relaxed);
-    shared.live_sessions.fetch_sub(1, Ordering::Relaxed);
+    // Release pairs with the Acquire load in worker_loop's drain exit:
+    // whoever observes live_sessions == 0 also observes every counter
+    // update this session made above. Downgrading this to Relaxed is
+    // caught by protocols::serve::check_drain_stats_exact.
+    shared.live_sessions.fetch_sub(1, Ordering::Release);
     let _ = sess.stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -548,14 +592,14 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
     loop {
         // Adopt newly accepted sessions.
         {
-            let mut injector = shared.injector.lock().expect("injector lock");
+            let mut injector = lock_unpoisoned(shared.injector.lock());
             if !injector.is_empty() {
-                let mut q = own.lock().expect("own deque lock");
+                let mut q = lock_unpoisoned(own.lock());
                 q.append(&mut injector);
             }
         }
         // Steal the back half of the busiest victim when idle.
-        if own.lock().expect("own deque lock").is_empty() {
+        if lock_unpoisoned(own.lock()).is_empty() {
             let victim = deques
                 .iter()
                 .enumerate()
@@ -563,16 +607,16 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
                 .max_by_key(|(_, d)| d.lock().map(|q| q.len()).unwrap_or(0));
             if let Some((_, victim)) = victim {
                 let stolen = {
-                    let mut q = victim.lock().expect("victim deque lock");
+                    let mut q = lock_unpoisoned(victim.lock());
                     let keep = q.len() / 2;
                     q.split_off(keep)
                 };
                 if !stolen.is_empty() {
-                    own.lock().expect("own deque lock").extend(stolen);
+                    lock_unpoisoned(own.lock()).extend(stolen);
                 }
             }
         }
-        let batch = own.lock().expect("own deque lock").len();
+        let batch = lock_unpoisoned(own.lock()).len();
         if batch == 0 {
             if shared.draining() && shared.live_sessions.load(Ordering::Acquire) == 0 {
                 return;
@@ -582,13 +626,13 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
         }
         let mut any_progress = false;
         for _ in 0..batch {
-            let Some(mut sess) = own.lock().expect("own deque lock").pop_front() else {
+            let Some(mut sess) = lock_unpoisoned(own.lock()).pop_front() else {
                 break; // a thief got there first
             };
             match service(&mut sess, shared) {
                 Service::Keep { progress } => {
                     any_progress |= progress;
-                    own.lock().expect("own deque lock").push_back(sess);
+                    lock_unpoisoned(own.lock()).push_back(sess);
                 }
                 Service::Close => {
                     finalize(&sess, shared);
@@ -609,6 +653,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // relaxed: id allocation only needs atomicity, not ordering.
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
                 shared.emit(EventData::ConnAccepted { conn: conn_id });
                 shared.count("serve.conns", 1);
@@ -617,11 +662,15 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 }
                 let _ = stream.set_nodelay(true);
                 let mut sess = Session::new(stream, conn_id);
+                // relaxed: admission gate only; a stale read briefly over-
+                // or under-admits by one connection, which is benign.
                 if shared.active_conns.load(Ordering::Relaxed) >= shared.cfg.max_sessions {
                     // Refuse politely: best-effort error frame, then drop.
                     sess.fail(codes::SERVER_FULL, "session cap reached");
                     let _ = sess.stream.set_nonblocking(false);
-                    let _ = sess.stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = sess
+                        .stream
+                        .set_write_timeout(Some(Duration::from_millis(100)));
                     let _ = sess.stream.write_all(&sess.wbuf);
                     shared.emit(EventData::ConnClosed {
                         conn: conn_id,
@@ -630,13 +679,10 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                     });
                     continue;
                 }
+                // relaxed: admission gate only; see the cap check above.
                 shared.active_conns.fetch_add(1, Ordering::Relaxed);
                 shared.live_sessions.fetch_add(1, Ordering::AcqRel);
-                shared
-                    .injector
-                    .lock()
-                    .expect("injector lock")
-                    .push_back(sess);
+                lock_unpoisoned(shared.injector.lock()).push_back(sess);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_SLEEP),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -735,8 +781,14 @@ impl Server {
         };
         let mut tags = BTreeMap::new();
         tags.insert("workers".to_string(), shared.cfg.workers.to_string());
-        tags.insert("max_sessions".to_string(), shared.cfg.max_sessions.to_string());
-        tags.insert("queue_budget".to_string(), shared.cfg.queue_budget.to_string());
+        tags.insert(
+            "max_sessions".to_string(),
+            shared.cfg.max_sessions.to_string(),
+        );
+        tags.insert(
+            "queue_budget".to_string(),
+            shared.cfg.queue_budget.to_string(),
+        );
         RunManifest {
             kind: "serve".to_string(),
             name: name.to_string(),

@@ -2,9 +2,9 @@
 //! `cargo test -q`, so they are kept to a handful of sessions and a
 //! few dozen frames each.
 
+use mobicore_model::{Khz, Utilization};
 use mobicore_serve::protocol::{codes, frame_bytes, Frame};
 use mobicore_serve::{ClientError, ClientSession, LoadConfig, ServeConfig, Server};
-use mobicore_model::{Khz, Utilization};
 use mobicore_sim::PolicySnapshot;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -29,7 +29,13 @@ fn handshake_stream_and_clean_bye() {
 
     let mut decisions = 0u64;
     for i in 0..32u64 {
-        let snap = PolicySnapshot::synthetic(4, 4, Khz(960_000), Utilization::new(0.5 + (i as f64) * 0.01), 20_000);
+        let snap = PolicySnapshot::synthetic(
+            4,
+            4,
+            Khz(960_000),
+            Utilization::new(0.5 + (i as f64) * 0.01),
+            20_000,
+        );
         let d = sess.request(&snap).expect("decision");
         assert_eq!(d.seq, i);
         decisions += 1;
@@ -59,7 +65,10 @@ fn unknown_policy_and_profile_are_typed_errors() {
         other => panic!("expected UNKNOWN_PROFILE, got {other:?}"),
     }
     let stats = server.shutdown();
-    assert_eq!(stats.sessions, 0, "failed handshakes must not count as sessions");
+    assert_eq!(
+        stats.sessions, 0,
+        "failed handshakes must not count as sessions"
+    );
 }
 
 #[test]
@@ -68,11 +77,13 @@ fn malformed_frame_is_rejected_without_panic() {
     let addr = server.local_addr();
 
     let mut raw = TcpStream::connect(addr).expect("connect");
-    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    raw.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
     // A framed payload with an unknown frame type.
     raw.write_all(&[2, 0, 0, 0, 0xEE, 0xFF]).expect("write");
     let mut buf = Vec::new();
-    raw.read_to_end(&mut buf).expect("server closes after error frame");
+    raw.read_to_end(&mut buf)
+        .expect("server closes after error frame");
     assert!(!buf.is_empty(), "expected a typed Error frame before close");
     let (frame, _) = mobicore_serve::protocol::decode_frame(&buf)
         .expect("server sent a valid frame")
@@ -93,7 +104,8 @@ fn version_mismatch_is_rejected() {
     let addr = server.local_addr();
 
     let mut raw = TcpStream::connect(addr).expect("connect");
-    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    raw.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
     let hello = frame_bytes(&Frame::Hello {
         version: 99,
         policy: "mobicore".to_string(),
@@ -119,7 +131,8 @@ fn non_monotonic_seq_is_rejected() {
     let addr = server.local_addr();
 
     let mut raw = TcpStream::connect(addr).expect("connect");
-    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    raw.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
     raw.write_all(&frame_bytes(&Frame::Hello {
         version: 1,
         policy: "noop".to_string(),
@@ -128,8 +141,11 @@ fn non_monotonic_seq_is_rejected() {
     }))
     .expect("hello");
     let snap = PolicySnapshot::synthetic(4, 4, Khz(960_000), Utilization::new(0.5), 20_000);
-    raw.write_all(&frame_bytes(&Frame::Snapshot { seq: 5, snap: snap.clone() }))
-        .expect("snap 5");
+    raw.write_all(&frame_bytes(&Frame::Snapshot {
+        seq: 5,
+        snap: snap.clone(),
+    }))
+    .expect("snap 5");
     raw.write_all(&frame_bytes(&Frame::Snapshot { seq: 5, snap }))
         .expect("snap 5 again");
     let mut buf = Vec::new();
@@ -140,8 +156,14 @@ fn non_monotonic_seq_is_rejected() {
         pos += used;
         frames.push(f);
     }
-    assert!(matches!(frames.first(), Some(Frame::HelloAck { .. })), "{frames:?}");
-    assert!(matches!(frames.get(1), Some(Frame::Decision { seq: 5, .. })), "{frames:?}");
+    assert!(
+        matches!(frames.first(), Some(Frame::HelloAck { .. })),
+        "{frames:?}"
+    );
+    assert!(
+        matches!(frames.get(1), Some(Frame::Decision { seq: 5, .. })),
+        "{frames:?}"
+    );
     assert!(
         matches!(frames.get(2), Some(Frame::Error { code, .. }) if *code == codes::BAD_SEQ),
         "{frames:?}"

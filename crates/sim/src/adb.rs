@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn parses_service_controls() {
-        assert_eq!(parse("stop mpdecision").unwrap(), AdbCommand::StopMpdecision);
+        assert_eq!(
+            parse("stop mpdecision").unwrap(),
+            AdbCommand::StopMpdecision
+        );
         assert_eq!(
             parse(" start   mpdecision ").unwrap(),
             AdbCommand::StartMpdecision

@@ -186,8 +186,7 @@ mod tests {
             .with_duration_secs(2)
             .with_trace(TraceLevel::Full)
             .without_mpdecision();
-        let mut sim =
-            Simulation::new(cfg, Box::new(PinnedPolicy::new(2, Khz(960_000)))).unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(2, Khz(960_000)))).unwrap();
         let r = sim.run();
         let a = analyze(&r.trace).expect("full trace retained");
         assert!(a.samples > 100);

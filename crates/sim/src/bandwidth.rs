@@ -64,7 +64,9 @@ impl BandwidthController {
     }
 
     fn budget_per_period_us(&self) -> u64 {
-        quantize_u64((self.quota.as_fraction() * self.period_us as f64 * self.n_cores as f64).round())
+        quantize_u64(
+            (self.quota.as_fraction() * self.period_us as f64 * self.n_cores as f64).round(),
+        )
     }
 
     fn refill(&mut self, now_us: u64) {

@@ -239,10 +239,8 @@ mod tests {
     #[test]
     fn recording_policy_is_transparent() {
         let log = SnapshotRecorder::new();
-        let mut rec = RecordingPolicy::new(
-            Box::new(PinnedPolicy::new(2, Khz(960_000))),
-            log.clone(),
-        );
+        let mut rec =
+            RecordingPolicy::new(Box::new(PinnedPolicy::new(2, Khz(960_000))), log.clone());
         let mut direct = PinnedPolicy::new(2, Khz(960_000));
         assert_eq!(rec.name(), direct.name());
         assert_eq!(rec.sampling_period_us(), direct.sampling_period_us());

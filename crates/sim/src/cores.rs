@@ -229,10 +229,7 @@ impl CpuSet {
 
     /// Aggregate `time_in_state` across cores, µs per OPP index.
     pub fn time_in_state_total(&self) -> Vec<u64> {
-        let n = self
-            .cores
-            .first()
-            .map_or(0, |c| c.time_in_state_us.len());
+        let n = self.cores.first().map_or(0, |c| c.time_in_state_us.len());
         let mut total = vec![0u64; n];
         for c in &self.cores {
             for (t, &v) in total.iter_mut().zip(&c.time_in_state_us) {

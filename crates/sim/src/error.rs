@@ -50,7 +50,9 @@ impl fmt::Display for SimError {
                 write!(f, "core {core} does not exist (device has {n_cores})")
             }
             SimError::NoSuchAttribute { path } => write!(f, "no sysfs attribute at {path}"),
-            SimError::ReadOnlyAttribute { path } => write!(f, "sysfs attribute {path} is read-only"),
+            SimError::ReadOnlyAttribute { path } => {
+                write!(f, "sysfs attribute {path} is read-only")
+            }
             SimError::InvalidValue { path, value } => {
                 write!(f, "invalid value {value:?} for {path}")
             }
@@ -69,13 +71,12 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let errs = vec![
-            SimError::NoSuchCore { core: 7, n_cores: 4 },
-            SimError::NoSuchAttribute {
-                path: "/x".into(),
+            SimError::NoSuchCore {
+                core: 7,
+                n_cores: 4,
             },
-            SimError::ReadOnlyAttribute {
-                path: "/x".into(),
-            },
+            SimError::NoSuchAttribute { path: "/x".into() },
+            SimError::ReadOnlyAttribute { path: "/x".into() },
             SimError::InvalidValue {
                 path: "/x".into(),
                 value: "y".into(),

@@ -37,7 +37,8 @@ impl PowerMeter {
     /// decimated pushes inside the tick loop never reallocate.
     pub fn reserve_for_duration(&mut self, duration_us: u64) {
         let expected = usize::try_from(duration_us / self.sample_period_us + 1).unwrap_or(0);
-        self.samples.reserve(expected.saturating_sub(self.samples.len()));
+        self.samples
+            .reserve(expected.saturating_sub(self.samples.len()));
     }
 
     /// Records one tick of dissipation.

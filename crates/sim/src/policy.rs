@@ -102,8 +102,7 @@ impl PolicySnapshot {
     ) -> Self {
         assert!(n_total >= 1, "need at least one core");
         let n_online = n_online.clamp(1, n_total);
-        let per_core =
-            Utilization::new(overall.as_fraction() * n_total as f64 / n_online as f64);
+        let per_core = Utilization::new(overall.as_fraction() * n_total as f64 / n_online as f64);
         let cores: Vec<CoreSnapshot> = (0..n_total)
             .map(|i| {
                 if i < n_online {

@@ -324,7 +324,19 @@ mod tests {
     fn quota_allowance_limits_execution() {
         let mut rt = rt_with_threads(1);
         rt.push_work(0, 10_000, 0);
-        let o = schedule_tick(&mut rt, &TickParams { now_us: 0, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[F], global_allowance_us: 400, rotation: 0, stall_us: &[] });
+        let o = schedule_tick(
+            &mut rt,
+            &TickParams {
+                now_us: 0,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[F],
+                global_allowance_us: 400,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         assert_eq!(o.busy_us[0], 400);
         assert_eq!(o.executed_cycles, 400);
         assert_eq!(o.denied_us, 600, "throttled demand recorded");
@@ -334,10 +346,34 @@ mod tests {
     fn faster_core_does_more_cycles_same_busy_time() {
         let mut rt = rt_with_threads(1);
         rt.push_work(0, 10_000_000, 0);
-        let slow = schedule_tick(&mut rt, &TickParams { now_us: 0, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[Khz(500_000)], global_allowance_us: 1_000, rotation: 0, stall_us: &[] });
+        let slow = schedule_tick(
+            &mut rt,
+            &TickParams {
+                now_us: 0,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[Khz(500_000)],
+                global_allowance_us: 1_000,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         let mut rt2 = rt_with_threads(1);
         rt2.push_work(0, 10_000_000, 0);
-        let fast = schedule_tick(&mut rt2, &TickParams { now_us: 0, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[Khz(2_000_000)], global_allowance_us: 1_000, rotation: 0, stall_us: &[] });
+        let fast = schedule_tick(
+            &mut rt2,
+            &TickParams {
+                now_us: 0,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[Khz(2_000_000)],
+                global_allowance_us: 1_000,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         assert_eq!(slow.busy_us[0], 1_000);
         assert_eq!(fast.busy_us[0], 1_000);
         assert_eq!(fast.executed_cycles, 4 * slow.executed_cycles);
@@ -347,7 +383,19 @@ mod tests {
     fn partial_work_leaves_core_partially_busy() {
         let mut rt = rt_with_threads(1);
         rt.push_work(0, 250, 9);
-        let o = schedule_tick(&mut rt, &TickParams { now_us: 0, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[F], global_allowance_us: 1_000, rotation: 0, stall_us: &[] });
+        let o = schedule_tick(
+            &mut rt,
+            &TickParams {
+                now_us: 0,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[F],
+                global_allowance_us: 1_000,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         assert_eq!(o.busy_us[0], 250);
         assert_eq!(o.denied_us, 0);
         assert_eq!(rt.completions()[0].time_us, 250);
@@ -358,7 +406,19 @@ mod tests {
         let mut rt = rt_with_threads(1);
         rt.push_work(0, 100, 1);
         rt.push_work(0, 100, 2);
-        let o = schedule_tick(&mut rt, &TickParams { now_us: 5_000, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[F], global_allowance_us: 1_000, rotation: 0, stall_us: &[] });
+        let o = schedule_tick(
+            &mut rt,
+            &TickParams {
+                now_us: 5_000,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[F],
+                global_allowance_us: 1_000,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         assert_eq!(o.executed_cycles, 200);
         let done = rt.completions();
         assert_eq!(done.len(), 2);
@@ -406,7 +466,19 @@ mod tests {
     fn zero_frequency_core_executes_nothing() {
         let mut rt = rt_with_threads(1);
         rt.push_work(0, 100, 0);
-        let o = schedule_tick(&mut rt, &TickParams { now_us: 0, tick_us: 1_000, n_cores: 1, online: &[0], khz: &[Khz::ZERO], global_allowance_us: 1_000, rotation: 0, stall_us: &[] });
+        let o = schedule_tick(
+            &mut rt,
+            &TickParams {
+                now_us: 0,
+                tick_us: 1_000,
+                n_cores: 1,
+                online: &[0],
+                khz: &[Khz::ZERO],
+                global_allowance_us: 1_000,
+                rotation: 0,
+                stall_us: &[],
+            },
+        );
         assert_eq!(o.executed_cycles, 0);
         assert_eq!(o.busy_us[0], 0);
     }

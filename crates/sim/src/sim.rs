@@ -15,9 +15,7 @@ use crate::sysfs::{paths, CorePath, PathTable, SysFs};
 use crate::thermal::ThermalModel;
 use crate::trace::{Trace, TraceSample};
 use crate::workload::{Workload, WorkloadRt};
-use mobicore_model::{
-    ClusterPowerCache, CoreActivity, Khz, PowerBreakdown, Quota, Utilization,
-};
+use mobicore_model::{ClusterPowerCache, CoreActivity, Khz, PowerBreakdown, Quota, Utilization};
 use mobicore_telemetry::{EventData, RunManifest, Telemetry};
 
 /// Buffers the tick loop reuses across iterations so the steady state
@@ -187,11 +185,7 @@ impl Simulation {
         meter.reserve_for_duration(cfg.duration_us);
         let mut sysfs = SysFs::new();
         let path_table = PathTable::new(profile.n_cores());
-        let freq_list: Vec<String> = profile
-            .opps()
-            .iter()
-            .map(|o| o.khz.0.to_string())
-            .collect();
+        let freq_list: Vec<String> = profile.opps().iter().map(|o| o.khz.0.to_string()).collect();
         for i in 0..profile.n_cores() {
             let core_paths = path_table.core(i);
             sysfs.register_rw(core_paths.online.clone(), "1");
@@ -298,7 +292,10 @@ impl Simulation {
 
     /// Adds a workload. Must be called before the first [`Simulation::step`].
     pub fn add_workload(&mut self, w: Box<dyn Workload>) -> &mut Self {
-        assert!(!self.started, "workloads must be added before the run starts");
+        assert!(
+            !self.started,
+            "workloads must be added before the run starts"
+        );
         self.workloads.push(w);
         self
     }
@@ -536,12 +533,7 @@ impl Simulation {
                     },
                     CorePath::MaxFreq(i) => match value.trim().parse::<u32>() {
                         Ok(khz) => {
-                            let idx = self
-                                .cfg
-                                .profile
-                                .opps()
-                                .floor_index(Khz(khz))
-                                .unwrap_or(0);
+                            let idx = self.cfg.profile.opps().floor_index(Khz(khz)).unwrap_or(0);
                             self.cpus.core_mut(i).limit_max_opp = idx;
                         }
                         Err(_) => self.invalid_sysfs_writes += 1,
@@ -768,9 +760,15 @@ impl Simulation {
             self.telemetry.emit(
                 now,
                 if cap < self.last_thermal_cap {
-                    EventData::ThermalThrottle { cap_opp: cap, temp_c }
+                    EventData::ThermalThrottle {
+                        cap_opp: cap,
+                        temp_c,
+                    }
                 } else {
-                    EventData::ThermalClear { cap_opp: cap, temp_c }
+                    EventData::ThermalClear {
+                        cap_opp: cap,
+                        temp_c,
+                    }
                 },
             );
             self.last_thermal_cap = cap;
@@ -899,7 +897,12 @@ impl Simulation {
         tags.insert("cores".to_string(), self.cpus.len().to_string());
         tags.insert(
             "mpdecision".to_string(),
-            if self.cfg.mpdecision_enabled { "1" } else { "0" }.to_string(),
+            if self.cfg.mpdecision_enabled {
+                "1"
+            } else {
+                "0"
+            }
+            .to_string(),
         );
         tags.insert("tick_us".to_string(), self.cfg.tick_us.to_string());
         RunManifest {

@@ -369,10 +369,7 @@ mod tests {
     #[test]
     fn path_table_classifies_writable_paths() {
         let table = PathTable::new(4);
-        assert_eq!(
-            table.classify(&paths::online(3)),
-            Some(CorePath::Online(3))
-        );
+        assert_eq!(table.classify(&paths::online(3)), Some(CorePath::Online(3)));
         assert_eq!(
             table.classify(&paths::scaling_setspeed(0)),
             Some(CorePath::Setspeed(0))

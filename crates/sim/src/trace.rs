@@ -61,7 +61,9 @@ impl Trace {
     /// Encodes the trace to a compact little-endian binary blob.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        buf.put_u32_le(u32::try_from(self.samples.len()).expect("trace longer than the u32 wire format"));
+        buf.put_u32_le(
+            u32::try_from(self.samples.len()).expect("trace longer than the u32 wire format"),
+        );
         for s in &self.samples {
             buf.put_u64_le(s.t_us);
             buf.put_f64_le(s.power_mw);

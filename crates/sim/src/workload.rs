@@ -162,7 +162,10 @@ impl WorkloadReport {
 
     /// Looks a metric up by name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|m| m.name == name).map(|m| m.value)
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
     }
 }
 

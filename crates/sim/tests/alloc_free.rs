@@ -68,8 +68,8 @@ fn tick_loop_is_allocation_free_after_warmup() {
         .with_seed(42)
         .without_mpdecision()
         .with_telemetry(false);
-    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max)))
-        .expect("valid config");
+    let mut sim =
+        Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).expect("valid config");
     sim.add_workload(Box::new(BusyLoop::with_target_util(4, 0.7, f_max, 42)));
 
     // Warmup: one simulated second grows every scratch buffer, meter
@@ -100,7 +100,10 @@ fn warmup_itself_does_allocate() {
         .with_duration_secs(1)
         .without_mpdecision()
         .with_telemetry(false);
-    let _sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(1, Khz(300_000))))
-        .expect("valid config");
-    assert!(allocs() > before, "allocator counter must observe setup allocations");
+    let _sim =
+        Simulation::new(cfg, Box::new(PinnedPolicy::new(1, Khz(300_000)))).expect("valid config");
+    assert!(
+        allocs() > before,
+        "allocator counter must observe setup allocations"
+    );
 }

@@ -2,8 +2,8 @@
 
 use mobicore_model::{profiles, Khz};
 use mobicore_sim::sched::{schedule_tick, TickParams};
-use mobicore_sim::trace::{Trace, TraceSample};
 use mobicore_sim::sysfs::SysFs;
+use mobicore_sim::trace::{Trace, TraceSample};
 use mobicore_sim::{adb, WorkloadRt};
 use proptest::prelude::*;
 

@@ -21,7 +21,10 @@ impl CpuPolicy for Recorder {
         self.period_us
     }
     fn on_sample(&mut self, snap: &PolicySnapshot, _ctl: &mut CpuControl) {
-        self.samples.lock().expect("not poisoned").push(snap.clone());
+        self.samples
+            .lock()
+            .expect("not poisoned")
+            .push(snap.clone());
     }
 }
 
@@ -170,15 +173,18 @@ fn trace_level_full_retains_samples_summary_does_not() {
     assert!(mk(TraceLevel::Summary).trace.is_empty());
     let full = mk(TraceLevel::Full);
     // one sample per 10 ms trace period over 500 ms
-    assert!((45..=55).contains(&full.trace.len()), "{}", full.trace.len());
+    assert!(
+        (45..=55).contains(&full.trace.len()),
+        "{}",
+        full.trace.len()
+    );
 }
 
 #[test]
 fn time_in_state_visible_in_sysfs() {
     let profile = profiles::nexus5();
     let cfg = SimConfig::new(profile.clone()).with_duration_secs(2);
-    let mut sim =
-        Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(960_000)))).unwrap();
+    let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(960_000)))).unwrap();
     for _ in 0..2_000 {
         sim.step();
     }
@@ -220,7 +226,11 @@ fn effective_frequency_capped_by_thermal_engine() {
         }));
     }
     let r = sim.run();
-    assert!(r.thermal_throttled_frac > 0.5, "{}", r.thermal_throttled_frac);
+    assert!(
+        r.thermal_throttled_frac > 0.5,
+        "{}",
+        r.thermal_throttled_frac
+    );
     let cur: u32 = sim
         .adb("cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq")
         .unwrap()
@@ -282,6 +292,10 @@ fn overall_util_uses_all_cores_snapshot_convention() {
     let last = snaps.last().expect("sampled");
     assert_eq!(last.cores.iter().filter(|c| c.online).count(), 2);
     // Two saturated cores of four: overall K ≈ 0.5, online average ≈ 1.0.
-    assert!((last.overall_util.as_fraction() - 0.5).abs() < 0.08, "{:?}", last.overall_util);
+    assert!(
+        (last.overall_util.as_fraction() - 0.5).abs() < 0.08,
+        "{:?}",
+        last.overall_util
+    );
     assert!(last.online_avg_util() > Utilization::new(0.9));
 }

@@ -45,11 +45,60 @@
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+use mobicore_analyze::sync::{lock_unpoisoned, Mutex};
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "MOBICORE_JOBS";
+
+/// A captured panic from one sweep job.
+///
+/// Produced by [`Executor::run_settled`] when a job's closure panics.
+/// The panic is confined to that job: the worker that caught it keeps
+/// draining its deque, siblings' results are kept, and the pool joins
+/// normally (no deadlock, no poisoned executor state).
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl JobPanic {
+    /// The panic message, when the payload was a string (the common
+    /// `panic!("...")` case); a placeholder otherwise.
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The raw panic payload, for re-raising with
+    /// [`std::panic::resume_unwind`].
+    pub fn into_payload(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("index", &self.index)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message())
+    }
+}
 
 /// A fixed-width work-stealing executor for coarse-grained sweep jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,9 +109,7 @@ pub struct Executor {
 impl Executor {
     /// An executor with `jobs` workers (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        Executor {
-            jobs: jobs.max(1),
-        }
+        Executor { jobs: jobs.max(1) }
     }
 
     /// Worker count from `MOBICORE_JOBS`, falling back to the machine's
@@ -89,9 +136,45 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// If `f` panics on any item, the panic propagates out of the scope
-    /// (remaining jobs may or may not have run).
+    /// If `f` panics on any item, every *other* job still runs to
+    /// completion (the pool settles), then the first panic **in
+    /// submission order** is re-raised on the calling thread. Use
+    /// [`Executor::run_settled`] to observe all outcomes instead.
     pub fn run_ordered<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let mut first_panic = None;
+        let results: Vec<R> = self
+            .run_settled(items, f)
+            .into_iter()
+            .filter_map(|settled| match settled {
+                Ok(r) => Some(r),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                    None
+                }
+            })
+            .collect();
+        if let Some(p) = first_panic {
+            resume_unwind(p.into_payload());
+        }
+        results
+    }
+
+    /// Like [`Executor::run_ordered`], but a panicking job becomes an
+    /// `Err(JobPanic)` in its submission slot instead of taking the
+    /// sweep down: the worker that caught it keeps draining its deque,
+    /// every sibling's result is kept, and the pool joins normally.
+    ///
+    /// This is the failure-isolation primitive for long sweeps — one
+    /// diverging simulation (a panicking policy, a profile assertion)
+    /// costs exactly its own slot, not the hours of results around it.
+    pub fn run_settled<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, JobPanic>>
     where
         T: Send,
         R: Send,
@@ -99,51 +182,50 @@ impl Executor {
     {
         let n = items.len();
         let workers = self.jobs.min(n);
+        let settle = |idx: usize, item: T| {
+            catch_unwind(AssertUnwindSafe(|| f(idx, item))).map_err(|payload| JobPanic {
+                index: idx,
+                payload,
+            })
+        };
         if workers <= 1 {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| settle(i, item))
                 .collect();
         }
 
         // Deal jobs in contiguous chunks: worker w owns indices
         // [w·n/workers, (w+1)·n/workers). Chunks keep the owner's pops
         // sequential in submission order; steals take from the back.
+        // The exactly-once claim of this deal/steal protocol is
+        // model-checked in `mobicore_analyze::protocols::sweep`.
         let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, item) in items.into_iter().enumerate() {
             let w = i * workers / n;
-            deques[w]
-                .get_mut()
-                .expect("freshly built mutex is not poisoned")
-                .push_back((i, item));
+            lock_unpoisoned(deques[w].get_mut()).push_back((i, item));
         }
         let deques = &deques;
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<R, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let slots = &results;
-        let f = &f;
+        let settle = &settle;
 
         std::thread::scope(|scope| {
             for w in 0..workers {
-                scope.spawn(move || {
-                    loop {
-                        let job = deques[w]
-                            .lock()
-                            .expect("worker deque not poisoned")
-                            .pop_front();
-                        let (idx, item) = match job {
+                scope.spawn(move || loop {
+                    let job = lock_unpoisoned(deques[w].lock()).pop_front();
+                    let (idx, item) = match job {
+                        Some(j) => j,
+                        None => match steal(deques, w) {
                             Some(j) => j,
-                            None => match steal(deques, w) {
-                                Some(j) => j,
-                                None => break,
-                            },
-                        };
-                        let r = f(idx, item);
-                        *slots[idx]
-                            .lock()
-                            .expect("result slot not poisoned") = Some(r);
-                    }
+                            None => break,
+                        },
+                    };
+                    let r = settle(idx, item);
+                    *lock_unpoisoned(slots[idx].lock()) = Some(r);
                 });
             }
         });
@@ -151,9 +233,7 @@ impl Executor {
         results
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot not poisoned")
-                    .expect("every submitted job ran exactly once")
+                lock_unpoisoned(slot.into_inner()).expect("every submitted job ran exactly once")
             })
             .collect()
     }
@@ -176,7 +256,7 @@ fn steal<T>(deques: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize,
     for k in 1..n {
         let v = (me + k) % n;
         let mut chunk = {
-            let mut victim = deques[v].lock().expect("victim deque not poisoned");
+            let mut victim = lock_unpoisoned(deques[v].lock());
             let len = victim.len();
             if len == 0 {
                 continue;
@@ -186,10 +266,7 @@ fn steal<T>(deques: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<(usize,
         };
         let first = chunk.pop_front();
         if !chunk.is_empty() {
-            deques[me]
-                .lock()
-                .expect("own deque not poisoned")
-                .append(&mut chunk);
+            lock_unpoisoned(deques[me].lock()).append(&mut chunk);
         }
         if first.is_some() {
             return first;

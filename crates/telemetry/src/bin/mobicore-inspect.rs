@@ -83,7 +83,11 @@ fn cmd_diff(a_path: &str, b_path: &str) -> Result<ExitCode, String> {
     let d = a.diff(&b);
     out(&d.summary_text());
     let same = d.changed().count() == 0 && d.only_a.is_empty() && d.only_b.is_empty();
-    Ok(if same { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    Ok(if same {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// Expands a `--kind` argument: an exact wire name, or the `hotplug`

@@ -332,9 +332,9 @@ impl Event {
                 .with("policy", Json::Str(policy.clone()))
                 .with("online_now", num_usize(*online_now))
                 .with("want", num_usize(*want)),
-            EventData::QuotaShrink { from, to } | EventData::QuotaRestore { from, to } => {
-                base.with("from", Json::Num(*from)).with("to", Json::Num(*to))
-            }
+            EventData::QuotaShrink { from, to } | EventData::QuotaRestore { from, to } => base
+                .with("from", Json::Num(*from))
+                .with("to", Json::Num(*to)),
             EventData::ThermalThrottle { cap_opp, temp_c }
             | EventData::ThermalClear { cap_opp, temp_c } => base
                 .with("cap_opp", num_usize(*cap_opp))
@@ -410,18 +410,30 @@ impl Event {
             offset: 0,
             message: format!("event line is missing or mistypes `{what}`"),
         };
-        let t_us = doc.get("t_us").and_then(Json::as_u64).ok_or_else(|| field_err("t_us"))?;
-        let kind_name = doc.get("kind").and_then(Json::as_str).ok_or_else(|| field_err("kind"))?;
+        let t_us = doc
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_err("t_us"))?;
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("kind"))?;
         let kind = EventKind::from_name(kind_name).ok_or_else(|| JsonError {
             offset: 0,
             message: format!("unknown event kind `{kind_name}`"),
         })?;
-        let u = |k: &str| doc.get(k).and_then(Json::as_u64).ok_or_else(|| field_err(k));
-        let us = |k: &str| u(k).map(|v| usize::try_from(v).unwrap_or(usize::MAX));
-        let khz = |k: &str| {
-            u(k).map(|v| u32::try_from(v).unwrap_or(u32::MAX))
+        let u = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_err(k))
         };
-        let f = |k: &str| doc.get(k).and_then(Json::as_f64).ok_or_else(|| field_err(k));
+        let us = |k: &str| u(k).map(|v| usize::try_from(v).unwrap_or(usize::MAX));
+        let khz = |k: &str| u(k).map(|v| u32::try_from(v).unwrap_or(u32::MAX));
+        let f = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err(k))
+        };
         let s = |k: &str| {
             doc.get(k)
                 .and_then(Json::as_str)
@@ -551,7 +563,10 @@ mod tests {
             },
             Event {
                 t_us: 60_000,
-                data: EventData::QuotaShrink { from: 1.0, to: 0.62 },
+                data: EventData::QuotaShrink {
+                    from: 1.0,
+                    to: 0.62,
+                },
             },
             Event {
                 t_us: 80_000,
@@ -598,7 +613,10 @@ mod tests {
             },
             Event {
                 t_us: 180_000,
-                data: EventData::QuotaRestore { from: 0.62, to: 1.0 },
+                data: EventData::QuotaRestore {
+                    from: 0.62,
+                    to: 1.0,
+                },
             },
             Event {
                 t_us: 200_000,
@@ -654,7 +672,11 @@ mod tests {
         let events = samples();
         let kinds: std::collections::BTreeSet<&str> =
             events.iter().map(|e| e.kind().name()).collect();
-        assert_eq!(kinds.len(), EventKind::ALL.len(), "sample set covers all kinds");
+        assert_eq!(
+            kinds.len(),
+            EventKind::ALL.len(),
+            "sample set covers all kinds"
+        );
         for e in events {
             let line = e.to_json().to_compact();
             let back = Event::from_json_line(&line).unwrap_or_else(|err| panic!("{line}: {err}"));

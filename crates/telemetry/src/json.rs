@@ -386,7 +386,10 @@ impl<'a> Parser<'a> {
                     let start = self.pos - 1;
                     let rest = std::str::from_utf8(&self.bytes[start..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -440,7 +443,10 @@ mod tests {
         assert_eq!(Json::parse(&doc.to_compact()).unwrap(), doc);
         assert_eq!(Json::parse(&doc.to_pretty()).unwrap(), doc);
         assert_eq!(doc.get("a").and_then(Json::as_u64), Some(1));
-        assert_eq!(doc.get("b").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(
+            doc.get("b").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
         assert_eq!(doc.get("s").and_then(Json::as_str), Some("x\"y\nz"));
     }
 
@@ -453,7 +459,16 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error_with_offset() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"abc", "{\"a\":1} x", "nul"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "{\"a\":1} x",
+            "nul",
+        ] {
             let err = Json::parse(bad).unwrap_err();
             assert!(err.offset <= bad.len(), "{bad:?}: {err}");
         }

@@ -51,14 +51,22 @@ impl RunManifest {
     /// Serializes the manifest as a JSON document.
     pub fn to_json(&self) -> Json {
         let map_str = |m: &BTreeMap<String, String>| {
-            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect())
+            Json::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            )
         };
         let map_f64 = |m: &BTreeMap<String, f64>| {
             Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
         };
         #[allow(clippy::cast_precision_loss)]
         let map_u64 = |m: &BTreeMap<String, u64>| {
-            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect())
+            Json::Obj(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            )
         };
         let opt_str = |v: &Option<String>| match v {
             Some(s) => Json::Str(s.clone()),
@@ -129,14 +137,25 @@ impl RunManifest {
                 .map(str::to_string)
                 .ok_or_else(|| field_err(k))
         };
-        let u = |k: &str| doc.get(k).and_then(Json::as_u64).ok_or_else(|| field_err(k));
+        let u = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_err(k))
+        };
         let opt_s = |k: &str| doc.get(k).and_then(Json::as_str).map(str::to_string);
         let opt_u = |k: &str| doc.get(k).and_then(Json::as_u64);
-        let obj = |k: &str| doc.get(k).and_then(Json::as_obj).ok_or_else(|| field_err(k));
+        let obj = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| field_err(k))
+        };
 
         let mut tags = BTreeMap::new();
         for (k, v) in obj("tags")? {
-            tags.insert(k.clone(), v.as_str().ok_or_else(|| field_err("tags"))?.to_string());
+            tags.insert(
+                k.clone(),
+                v.as_str().ok_or_else(|| field_err("tags"))?.to_string(),
+            );
         }
         let mut metrics = BTreeMap::new();
         for (k, v) in obj("metrics")? {
@@ -144,7 +163,10 @@ impl RunManifest {
         }
         let mut event_counts = BTreeMap::new();
         for (k, v) in obj("event_counts")? {
-            event_counts.insert(k.clone(), v.as_u64().ok_or_else(|| field_err("event_counts"))?);
+            event_counts.insert(
+                k.clone(),
+                v.as_u64().ok_or_else(|| field_err("event_counts"))?,
+            );
         }
         Ok(RunManifest {
             kind: s("kind")?,
@@ -214,7 +236,11 @@ impl RunManifest {
                     a,
                     b,
                     delta: b - a,
-                    pct: if a == 0.0 { None } else { Some((b - a) / a * 100.0) },
+                    pct: if a == 0.0 {
+                        None
+                    } else {
+                        Some((b - a) / a * 100.0)
+                    },
                 }),
                 None => only_a.push(name.clone()),
             }
@@ -234,7 +260,11 @@ impl RunManifest {
                 a,
                 b,
                 delta: b - a,
-                pct: if a == 0.0 { None } else { Some((b - a) / a * 100.0) },
+                pct: if a == 0.0 {
+                    None
+                } else {
+                    Some((b - a) / a * 100.0)
+                },
             });
         }
         for (name, &b) in &other.event_counts {
@@ -249,7 +279,11 @@ impl RunManifest {
                 });
             }
         }
-        ManifestDiff { rows, only_a, only_b }
+        ManifestDiff {
+            rows,
+            only_a,
+            only_b,
+        }
     }
 }
 
@@ -283,6 +317,7 @@ impl ManifestDiff {
     /// Rows whose values differ (exact float inequality — manifests are
     /// deterministic, so equal runs produce bitwise-equal rollups).
     pub fn changed(&self) -> impl Iterator<Item = &DiffRow> {
+        #[allow(clippy::float_cmp)] // bitwise equality is the contract here
         self.rows.iter().filter(|r| r.a != r.b)
     }
 
@@ -413,10 +448,9 @@ mod tests {
 
     #[test]
     fn version_and_field_errors() {
-        let bumped = sample().to_json_text().replace(
-            "\"schema_version\": 1",
-            "\"schema_version\": 99",
-        );
+        let bumped = sample()
+            .to_json_text()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
         let err = RunManifest::from_json_text(&bumped).unwrap_err();
         assert!(err.message.contains("schema_version 99"), "{err}");
         let err = RunManifest::from_json_text("{}").unwrap_err();
@@ -436,7 +470,11 @@ mod tests {
         let power = d.rows.iter().find(|r| r.name == "avg_power_mw").unwrap();
         assert!((power.delta + 112.0).abs() < 1e-9);
         assert!(power.pct.unwrap() < 0.0);
-        let fc = d.rows.iter().find(|r| r.name == "events.freq-change").unwrap();
+        let fc = d
+            .rows
+            .iter()
+            .find(|r| r.name == "events.freq-change")
+            .unwrap();
         assert_eq!(fc.delta, -21.0);
         assert_eq!(d.only_a, vec!["energy_mj".to_string()]);
         assert_eq!(d.only_b, vec!["avg_temp_c".to_string()]);
@@ -445,13 +483,22 @@ mod tests {
         assert!(text.contains("only in a: energy_mj"), "{text}");
         // Identical manifests: clean report.
         assert_eq!(a.diff(&a.clone()).changed().count(), 0);
-        assert!(a.diff(&a.clone()).summary_text().contains("no metric differences"));
+        assert!(a
+            .diff(&a.clone())
+            .summary_text()
+            .contains("no metric differences"));
     }
 
     #[test]
     fn summary_text_mentions_key_facts() {
         let text = sample().summary_text();
-        for needle in ["mobicore", "mixed", "20170315", "freq-change", "avg_power_mw"] {
+        for needle in [
+            "mobicore",
+            "mixed",
+            "20170315",
+            "freq-change",
+            "avg_power_mw",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }
@@ -460,6 +507,9 @@ mod tests {
     fn git_describe_of_this_repo_or_none() {
         // Must never panic; in this repo it should normally resolve.
         let _ = git_describe(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
-        assert_eq!(git_describe(std::path::Path::new("/nonexistent-dir-xyz")), None);
+        assert_eq!(
+            git_describe(std::path::Path::new("/nonexistent-dir-xyz")),
+            None
+        );
     }
 }

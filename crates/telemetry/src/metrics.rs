@@ -46,7 +46,8 @@ impl Histogram {
     }
 
     fn bucket_of(v: f64) -> usize {
-        if !(v >= 1.0) || !v.is_finite() {
+        // NaN lands in bucket 0 via the is_finite check.
+        if v < 1.0 || !v.is_finite() {
             return 0;
         }
         // Octave = floor(log2 v); sub-bucket = position inside [2^e, 2^{e+1}).
@@ -150,7 +151,11 @@ impl Histogram {
         if q <= 0.0 {
             return self.min();
         }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
@@ -193,7 +198,10 @@ impl MetricSet {
 
     /// Records `value` into histogram `name` (creating it empty).
     pub fn record(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_default().record(value);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 
     /// Counter value, if the counter exists.

@@ -73,7 +73,13 @@ fn summary_renders_a_manifest() {
     let out = run(&["summary", &path]);
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let text = stdout(&out);
-    for needle in ["mobicore", "mixed", "5.000 s simulated", "freq-change", "avg_power_mw"] {
+    for needle in [
+        "mobicore",
+        "mixed",
+        "5.000 s simulated",
+        "freq-change",
+        "avg_power_mw",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }
@@ -136,7 +142,11 @@ fn kinds_lists_every_wire_name() {
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
     for k in mobicore_telemetry::EventKind::ALL {
-        assert!(text.contains(k.name()), "missing `{}` in:\n{text}", k.name());
+        assert!(
+            text.contains(k.name()),
+            "missing `{}` in:\n{text}",
+            k.name()
+        );
     }
 }
 

@@ -12,7 +12,10 @@
 use mobicore_telemetry::RunManifest;
 use std::collections::BTreeMap;
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_manifest.json");
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/golden_manifest.json"
+);
 
 /// A fully-populated manifest with every field class exercised:
 /// optional fields both set and null, tags, metrics and event counts.
@@ -51,7 +54,8 @@ fn manifest_bytes_match_golden_file() {
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(GOLDEN_PATH, &text).expect("write golden file");
     }
-    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists (run with BLESS=1 to create)");
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (run with BLESS=1 to create)");
     assert_eq!(
         text, golden,
         "manifest serialization drifted from the golden file; if intentional, \
@@ -70,7 +74,10 @@ fn golden_file_parses_back_to_the_same_manifest() {
 fn golden_file_declares_the_current_schema_version() {
     let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
     assert!(
-        golden.contains(&format!("\"schema_version\": {}", mobicore_telemetry::SCHEMA_VERSION)),
+        golden.contains(&format!(
+            "\"schema_version\": {}",
+            mobicore_telemetry::SCHEMA_VERSION
+        )),
         "{golden}"
     );
 }

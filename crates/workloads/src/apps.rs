@@ -160,7 +160,10 @@ impl Workload for AppLaunch {
     fn report(&self, _now_us: u64, _rt: &WorkloadRt) -> WorkloadReport {
         WorkloadReport::named(self.name())
             .with_metric("launches", self.launches as f64)
-            .with_metric("mean_launch_latency_ms", self.mean_launch_latency_us() / 1_000.0)
+            .with_metric(
+                "mean_launch_latency_ms",
+                self.mean_launch_latency_us() / 1_000.0,
+            )
     }
 }
 

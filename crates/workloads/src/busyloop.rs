@@ -149,15 +149,19 @@ mod tests {
     use mobicore_sim::builtin::PinnedPolicy;
     use mobicore_sim::{SimConfig, Simulation};
 
-    fn run_pinned(util: f64, n_threads: usize, n_cores: usize, opp: usize) -> mobicore_sim::SimReport {
+    fn run_pinned(
+        util: f64,
+        n_threads: usize,
+        n_cores: usize,
+        opp: usize,
+    ) -> mobicore_sim::SimReport {
         let profile = profiles::nexus5();
         let khz = profile.opps().get_clamped(opp).khz;
         let cfg = SimConfig::new(profile)
             .with_duration_secs(5)
             .without_mpdecision()
             .with_seed(42);
-        let mut sim =
-            Simulation::new(cfg, Box::new(PinnedPolicy::new(n_cores, khz))).unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(n_cores, khz))).unwrap();
         sim.add_workload(Box::new(BusyLoop::with_target_util(
             n_threads, util, khz, 42,
         )));

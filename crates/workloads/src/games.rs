@@ -218,8 +218,8 @@ impl GameApp {
             let rng = self.rng.as_mut().expect("on_start ran");
             if now_us >= self.next_scene_change_us {
                 self.scene_mult_now = rng.random_range(lo..=hi);
-                self.next_scene_change_us =
-                    now_us + rng.random_range(quantize_u64(period * 0.5)..=quantize_u64(period * 1.5));
+                self.next_scene_change_us = now_us
+                    + rng.random_range(quantize_u64(period * 0.5)..=quantize_u64(period * 1.5));
             }
         }
         let cv = self.profile.frame_cv;
@@ -235,7 +235,9 @@ impl GameApp {
         for i in 0..self.worker_threads.len() {
             let cycles = {
                 let rng = self.rng.as_mut().expect("on_start ran");
-                quantize_u64(((self.profile.worker_cycles as f64) * mult * jitter(rng, cv)).max(1.0))
+                quantize_u64(
+                    ((self.profile.worker_cycles as f64) * mult * jitter(rng, cv)).max(1.0),
+                )
             };
             rt.push_work(self.worker_threads[i], cycles, tag_base | (i as u64 + 1));
             self.parts_outstanding += 1;
@@ -423,8 +425,7 @@ mod tests {
         let cfg = SimConfig::new(device)
             .with_duration_secs(10)
             .without_mpdecision();
-        let mut sim =
-            Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(2_265_600)))).unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(2_265_600)))).unwrap();
         sim.add_workload(Box::new(GameApp::new(GameProfile::asphalt_8(), 3)));
         let report = sim.run();
         assert!(report.first_metric("frames").unwrap() > 50.0);

@@ -200,8 +200,7 @@ impl Workload for GeekBenchApp {
             if self.cur_phase >= self.phases.len() {
                 self.cur_phase = 0;
                 self.suites_completed += 1;
-                self.suite_durations_us
-                    .push(now_us - self.suite_started_us);
+                self.suite_durations_us.push(now_us - self.suite_started_us);
                 self.suite_started_us = now_us;
             }
             for at in &mut self.next_chunk_at {
@@ -307,11 +306,7 @@ mod tests {
         let cfg = SimConfig::new(profile)
             .with_duration_secs(20)
             .without_mpdecision();
-        let mut sim = Simulation::new(
-            cfg,
-            Box::new(PinnedPolicy::new(4, Khz(2_265_600))),
-        )
-        .unwrap();
+        let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(2_265_600)))).unwrap();
         sim.add_workload(Box::new(GeekBenchApp::standard(4)));
         let report = sim.run();
         assert!(report.first_metric("suites").unwrap() >= 1.0);

@@ -99,7 +99,9 @@ pub const CATALOG: [&str; 5] = [
 pub fn by_name(name: &str, profile: &DeviceProfile, seed: u64) -> Option<Scenario> {
     let f_ref = profile.opps().max_khz();
     let s = match name {
-        "steady-video" => Scenario::new().phase_secs(0, 60, Box::new(VideoPlayback::new(12_000_000))),
+        "steady-video" => {
+            Scenario::new().phase_secs(0, 60, Box::new(VideoPlayback::new(12_000_000)))
+        }
         "bursty-launches" => {
             Scenario::new().phase_secs(0, 60, Box::new(AppLaunch::new(800_000, seed)))
         }
@@ -110,12 +112,24 @@ pub fn by_name(name: &str, profile: &DeviceProfile, seed: u64) -> Option<Scenari
         ),
         "mixed-day" => Scenario::new()
             .phase_secs(0, 15, Box::new(VideoPlayback::new(12_000_000)))
-            .phase_secs(15, 30, Box::new(BusyLoop::with_target_util(2, 0.5, f_ref, seed)))
-            .phase_secs(30, 45, Box::new(GameApp::new(GameProfile::subway_surf(), seed)))
+            .phase_secs(
+                15,
+                30,
+                Box::new(BusyLoop::with_target_util(2, 0.5, f_ref, seed)),
+            )
+            .phase_secs(
+                30,
+                45,
+                Box::new(GameApp::new(GameProfile::subway_surf(), seed)),
+            )
             .phase_secs(45, 60, Box::new(AppLaunch::new(800_000, seed))),
         "mixed-day-mini" => Scenario::new()
             .phase_secs(0, 2, Box::new(VideoPlayback::new(12_000_000)))
-            .phase_secs(2, 4, Box::new(BusyLoop::with_target_util(2, 0.6, f_ref, seed)))
+            .phase_secs(
+                2,
+                4,
+                Box::new(BusyLoop::with_target_util(2, 0.6, f_ref, seed)),
+            )
             .phase_secs(4, 6, Box::new(AppLaunch::new(500_000, seed))),
         _ => return None,
     };

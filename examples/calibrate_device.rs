@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = fit(&opps, &shape, &samples)?;
     println!(
         "fit: base = {:.0} mW, cluster_max = {:.0} mW, idle ×{:.2}, busy ×{:.2} (rmse {:.1} mW)",
-        result.base_mw, result.cluster_max_mw, result.idle_scale, result.busy_scale,
-        result.rmse_mw
+        result.base_mw, result.cluster_max_mw, result.idle_scale, result.busy_scale, result.rmse_mw
     );
 
     // 3. Build the profile and check held-out points.

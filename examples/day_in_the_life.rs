@@ -18,7 +18,11 @@ fn scenario(f_max: mobicore_model::Khz) -> Scenario {
         // 0–30 s: a video
         .phase_secs(0, 30, Box::new(VideoPlayback::new(12_000_000)))
         // 30–60 s: light browsing-ish load
-        .phase_secs(30, 60, Box::new(BusyLoop::with_target_util(2, 0.15, f_max, 3)))
+        .phase_secs(
+            30,
+            60,
+            Box::new(BusyLoop::with_target_util(2, 0.15, f_max, 3)),
+        )
         // 60–100 s: a game session
         .phase_secs(
             60,

@@ -33,7 +33,11 @@ fn quota_contributes_at_low_load() {
         0.15,
         15,
     );
-    assert!(with_quota.avg_quota < 0.99, "quota engaged: {}", with_quota.avg_quota);
+    assert!(
+        with_quota.avg_quota < 0.99,
+        "quota engaged: {}",
+        with_quota.avg_quota
+    );
     assert!((without.avg_quota - 1.0).abs() < 1e-9, "quota disabled");
     assert!(
         with_quota.avg_power_mw <= without.avg_power_mw * 1.03,
@@ -197,8 +201,8 @@ fn mobicore_tracks_default_when_nothing_to_optimize() {
     };
     let android = run(Box::new(AndroidDefaultPolicy::new(&profile)));
     let mobicore = run(Box::new(MobiCore::new(&profile)));
-    let fps_ratio = mobicore.first_metric("avg_fps").unwrap()
-        / android.first_metric("avg_fps").unwrap();
+    let fps_ratio =
+        mobicore.first_metric("avg_fps").unwrap() / android.first_metric("avg_fps").unwrap();
     assert!(
         fps_ratio > 0.9,
         "no headroom ⇒ no FPS sacrifice, got {fps_ratio}"

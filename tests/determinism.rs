@@ -33,10 +33,7 @@ fn identical_configs_produce_identical_runs() {
     assert_eq!(a.energy_mj, b.energy_mj);
     assert_eq!(a.avg_khz_online, b.avg_khz_online);
     assert_eq!(a.trace, b.trace, "full traces are bit-identical");
-    assert_eq!(
-        a.first_metric("avg_fps"),
-        b.first_metric("avg_fps")
-    );
+    assert_eq!(a.first_metric("avg_fps"), b.first_metric("avg_fps"));
 }
 
 #[test]

@@ -159,7 +159,11 @@ fn thermal_throttling_caps_sustained_power() {
         "avg {} vs budget {budget}",
         r.avg_power_mw
     );
-    assert!(r.thermal_throttled_frac > 0.3, "{}", r.thermal_throttled_frac);
+    assert!(
+        r.thermal_throttled_frac > 0.3,
+        "{}",
+        r.thermal_throttled_frac
+    );
     assert!(r.max_temp_c > profile.thermal().trip_c - 1.0);
 }
 

@@ -32,7 +32,11 @@ fn thermal_runaway_walks_cap_to_the_floor_and_survives() {
     let mut sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).unwrap();
     sim.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f_max, 1)));
     let r = sim.run();
-    assert!(r.thermal_throttled_frac > 0.8, "{}", r.thermal_throttled_frac);
+    assert!(
+        r.thermal_throttled_frac > 0.8,
+        "{}",
+        r.thermal_throttled_frac
+    );
     // Sustained power pinned near the 167 mW/°C budget: (35−25)/60 W.
     let budget = profile.thermal().sustainable_power_mw();
     assert!(
@@ -83,7 +87,11 @@ fn quota_floor_guarantees_forward_progress() {
     let mut sim = Simulation::new(cfg, Box::new(Starver)).unwrap();
     sim.add_workload(Box::new(RateLoad::constant(4, f_max, 1.0)));
     let r = sim.run();
-    assert!((r.avg_quota - Quota::MIN_FRACTION).abs() < 0.02, "{}", r.avg_quota);
+    assert!(
+        (r.avg_quota - Quota::MIN_FRACTION).abs() < 0.02,
+        "{}",
+        r.avg_quota
+    );
     assert!(r.bw_throttled_us > 0, "the load is being throttled");
     // 20 % of 4 cores ≈ 0.8 cores' worth of runtime must still flow.
     assert!(
@@ -111,7 +119,11 @@ fn hotplug_thrash_does_not_corrupt_state() {
             for i in 1..snap.cores.len() {
                 ctl.set_online(i, (self.tick + i as u64).is_multiple_of(2));
             }
-            ctl.set_freq_all(Khz(if self.tick.is_multiple_of(2) { 300_000 } else { 2_265_600 }));
+            ctl.set_freq_all(Khz(if self.tick.is_multiple_of(2) {
+                300_000
+            } else {
+                2_265_600
+            }));
         }
     }
     let profile = profiles::nexus5();
@@ -140,7 +152,11 @@ fn thread_storm_is_survivable() {
     // 512 threads demanding ~1.3× the whole platform.
     sim.add_workload(Box::new(RateLoad::constant(512, f_max, 0.01)));
     let r = sim.run();
-    assert!(r.avg_overall_util > 0.9, "storm saturates cores: {}", r.avg_overall_util);
+    assert!(
+        r.avg_overall_util > 0.9,
+        "storm saturates cores: {}",
+        r.avg_overall_util
+    );
     assert!(r.executed_cycles > 0);
 }
 

@@ -135,14 +135,8 @@ fn all_governors_settle_back_after_the_burst() {
 fn powersave_and_performance_never_move() {
     use mobicore_governors::{Performance, Powersave};
     for (gov, expect) in [
-        (
-            dvfs_only(Box::new(Powersave::new())),
-            Khz(300_000),
-        ),
-        (
-            dvfs_only(Box::new(Performance::new())),
-            Khz(2_265_600),
-        ),
+        (dvfs_only(Box::new(Powersave::new())), Khz(300_000)),
+        (dvfs_only(Box::new(Performance::new())), Khz(2_265_600)),
     ] {
         let profile = profiles::nexus5();
         let f_max = profile.opps().max_khz();

@@ -17,8 +17,12 @@ fn doc() -> String {
 /// The doc's "Event taxonomy" section (so metric names and event kinds
 /// cannot vouch for each other).
 fn event_section(doc: &str) -> &str {
-    let start = doc.find("## Event taxonomy").expect("event taxonomy section");
-    let end = doc[start..].find("## Metrics").expect("metrics section follows");
+    let start = doc
+        .find("## Event taxonomy")
+        .expect("event taxonomy section");
+    let end = doc[start..]
+        .find("## Metrics")
+        .expect("metrics section follows");
     &doc[start..start + end]
 }
 
@@ -91,7 +95,16 @@ fn documented_umbrella_filter_matches_the_cli() {
     // The doc promises `hotplug` expands to these four kinds; the CLI
     // test asserts the expansion — here we only pin the doc wording.
     let doc = doc();
-    for name in ["`hotplug`", "`core-online`", "`core-offline`", "`hotplug-vetoed`", "`hotplug-decision`"] {
-        assert!(doc.contains(name), "{name} missing from umbrella documentation");
+    for name in [
+        "`hotplug`",
+        "`core-online`",
+        "`core-offline`",
+        "`hotplug-vetoed`",
+        "`hotplug-decision`",
+    ] {
+        assert!(
+            doc.contains(name),
+            "{name} missing from umbrella documentation"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests on the core invariants, spanning crates.
 
 use mobicore::bandwidth::BandwidthAnalyzer;
-use mobicore::{MobiCoreConfig};
+use mobicore::MobiCoreConfig;
 use mobicore_model::energy::{mobicore_frequency, CpuEnergyModel};
 use mobicore_model::operating_point::OperatingPointOptimizer;
 use mobicore_model::{profiles, Khz, Quota, Utilization};

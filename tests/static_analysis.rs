@@ -1,7 +1,14 @@
-//! Workspace-level static-analysis gate: every built-in device profile is
-//! model-checked against the three configuration ablations (`default`,
-//! `without_quota`, `without_dcs`) with `mobicore-checker`, so `cargo test`
-//! fails if a policy change ever breaks one of the MobiCore invariants.
+//! Workspace-level static-analysis gate, two layers:
+//!
+//! 1. Every built-in device profile is model-checked against the three
+//!    configuration ablations (`default`, `without_quota`, `without_dcs`)
+//!    with `mobicore-checker`, so `cargo test` fails if a policy change
+//!    ever breaks one of the MobiCore invariants.
+//! 2. The `mobicore-analyze` invariant linter runs over the whole
+//!    workspace source tree: unjustified `Ordering::Relaxed`, panic
+//!    paths in the serve daemon, wall-clock reads in the simulator,
+//!    missing crate lint headers, and registry/doc drift all fail
+//!    tier-1 here (see docs/static-analysis.md).
 //!
 //! The exhaustive grid is reserved for the `checker` binary; these tests use
 //! the `quick` grid to keep the tier-1 suite fast while still walking every
@@ -57,7 +64,11 @@ fn every_builtin_profile_passes_every_config_ablation() {
 fn opp_membership_invariant_is_exercised() {
     let report = quick_report("Nexus 5", "default");
     let inv = invariant(&report, "opp-membership");
-    assert!(inv.states_checked > 100, "expected a real walk, got {} states", inv.states_checked);
+    assert!(
+        inv.states_checked > 100,
+        "expected a real walk, got {} states",
+        inv.states_checked
+    );
     assert_eq!(inv.violation_count, 0, "{:?}", inv.violations);
 }
 
@@ -68,7 +79,11 @@ fn capacity_floor_invariant_is_exercised() {
     for label in ["default", "without_quota"] {
         let report = quick_report("Nexus 5", label);
         let inv = invariant(&report, "capacity-floor");
-        assert!(inv.states_checked > 100, "({label}) walk too small: {}", inv.states_checked);
+        assert!(
+            inv.states_checked > 100,
+            "({label}) walk too small: {}",
+            inv.states_checked
+        );
         assert_eq!(inv.violation_count, 0, "({label}) {:?}", inv.violations);
     }
 }
@@ -81,8 +96,15 @@ fn no_ping_pong_invariant_is_exercised() {
     for profile_name in ["Nexus 5", "Synthetic Octa"] {
         let report = quick_report(profile_name, "default");
         let inv = invariant(&report, "no-ping-pong");
-        assert!(inv.states_checked > 0, "({profile_name}) no orbits were walked");
-        assert_eq!(inv.violation_count, 0, "({profile_name}) {:?}", inv.violations);
+        assert!(
+            inv.states_checked > 0,
+            "({profile_name}) no orbits were walked"
+        );
+        assert_eq!(
+            inv.violation_count, 0,
+            "({profile_name}) {:?}",
+            inv.violations
+        );
     }
 }
 
@@ -106,6 +128,30 @@ fn inverted_quota_window_fails_with_diagnostic() {
     assert!(
         text.contains("quota_min") && text.contains("quota_max"),
         "diagnostic should name the offending fields:\n{text}"
+    );
+}
+
+/// The `mobicore-analyze` invariant linter is clean over the workspace.
+///
+/// This is the in-tree gate for the source-level rules (`cargo run -p
+/// mobicore-analyze -- rules` lists them): removing a `// relaxed:`
+/// justification, adding an `.unwrap()` to a serve non-test path, or
+/// adding a registry entry without documenting it fails this test with
+/// the same file:line findings the CLI prints.
+#[test]
+fn analyze_lint_is_clean_over_the_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = mobicore_analyze::lint::lint_workspace(root)
+        .unwrap_or_else(|e| panic!("lint walk failed: {e}"));
+    assert!(
+        findings.is_empty(),
+        "mobicore-analyze found {} invariant violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 

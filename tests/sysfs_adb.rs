@@ -23,10 +23,18 @@ fn cpufreq_tree_is_complete() {
     }
     for i in 0..4 {
         let base = format!("/sys/devices/system/cpu/cpu{i}/cpufreq");
-        let avail = s.adb(&format!("cat {base}/scaling_available_frequencies")).unwrap();
+        let avail = s
+            .adb(&format!("cat {base}/scaling_available_frequencies"))
+            .unwrap();
         assert_eq!(avail.split_whitespace().count(), 14);
-        assert_eq!(s.adb(&format!("cat {base}/cpuinfo_min_freq")).unwrap(), "300000");
-        assert_eq!(s.adb(&format!("cat {base}/cpuinfo_max_freq")).unwrap(), "2265600");
+        assert_eq!(
+            s.adb(&format!("cat {base}/cpuinfo_min_freq")).unwrap(),
+            "300000"
+        );
+        assert_eq!(
+            s.adb(&format!("cat {base}/cpuinfo_max_freq")).unwrap(),
+            "2265600"
+        );
         let cur: u32 = s
             .adb(&format!("cat {base}/scaling_cur_freq"))
             .unwrap()
@@ -40,7 +48,8 @@ fn cpufreq_tree_is_complete() {
 fn echo_offline_takes_a_core_out() {
     let mut s = sim();
     s.adb("stop mpdecision").unwrap();
-    s.adb("echo 0 > /sys/devices/system/cpu/cpu3/online").unwrap();
+    s.adb("echo 0 > /sys/devices/system/cpu/cpu3/online")
+        .unwrap();
     for _ in 0..20 {
         s.step();
     }
@@ -62,7 +71,8 @@ fn echo_offline_takes_a_core_out() {
 fn core0_offline_echo_is_rejected_by_kernel() {
     let mut s = sim();
     s.adb("stop mpdecision").unwrap();
-    s.adb("echo 0 > /sys/devices/system/cpu/cpu0/online").unwrap();
+    s.adb("echo 0 > /sys/devices/system/cpu/cpu0/online")
+        .unwrap();
     for _ in 0..20 {
         s.step();
     }
@@ -81,7 +91,10 @@ fn thermal_zone_reads_millidegrees() {
         .unwrap()
         .parse()
         .unwrap();
-    assert!(milli > 25_000, "warmer than ambient after 3 s of load: {milli}");
+    assert!(
+        milli > 25_000,
+        "warmer than ambient after 3 s of load: {milli}"
+    );
     assert!(milli < 100_000);
 }
 
@@ -95,7 +108,8 @@ fn cfs_quota_write_throttles() {
     let mut s = Simulation::without_policy(cfg).unwrap();
     s.add_workload(Box::new(BusyLoop::with_target_util(4, 1.0, f, 9)));
     // 100 ms period × 4 cores: full is 400 000; write half.
-    s.adb("echo 200000 > /sys/fs/cgroup/cpu/cpu.cfs_quota_us").unwrap();
+    s.adb("echo 200000 > /sys/fs/cgroup/cpu/cpu.cfs_quota_us")
+        .unwrap();
     for _ in 0..2_000 {
         s.step();
     }
@@ -145,7 +159,8 @@ fn bad_commands_and_paths_error_cleanly() {
         Err(SimError::ReadOnlyAttribute { .. })
     ));
     // Unparsable values are dropped like a kernel EINVAL, counted.
-    s.adb("echo banana > /sys/devices/system/cpu/cpu1/online").unwrap();
+    s.adb("echo banana > /sys/devices/system/cpu/cpu1/online")
+        .unwrap();
     for _ in 0..5 {
         s.step();
     }

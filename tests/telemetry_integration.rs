@@ -33,11 +33,20 @@ fn mobicore_run_emits_decision_and_actuation_events() {
     let decisions: Vec<_> = t.events_of(EventKind::PolicyDecision).collect();
     assert!(!decisions.is_empty(), "no policy decisions recorded");
     for d in &decisions {
-        let EventData::PolicyDecision { policy, mode, quota, .. } = &d.data else {
+        let EventData::PolicyDecision {
+            policy,
+            mode,
+            quota,
+            ..
+        } = &d.data
+        else {
             panic!("wrong payload kind");
         };
         assert_eq!(policy, "mobicore");
-        assert!(["burst", "slow", "steady", "high-load"].contains(&mode.as_str()), "{mode}");
+        assert!(
+            ["burst", "slow", "steady", "high-load"].contains(&mode.as_str()),
+            "{mode}"
+        );
         assert!((0.0..=1.0).contains(quota), "{quota}");
     }
     // The decisions actuate: frequency changes and quota moves happen.
@@ -53,7 +62,10 @@ fn mobicore_run_emits_decision_and_actuation_events() {
     assert!(t.metrics().histogram("power_mw").unwrap().count() == ticks);
     // Events are time-ordered.
     let times: Vec<u64> = t.events().iter().map(|e| e.t_us).collect();
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "events out of order");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "events out of order"
+    );
 }
 
 #[test]
@@ -62,11 +74,17 @@ fn android_default_run_notes_dvfs_and_hotplug_decisions() {
     let mut sim = sim_with(Box::new(AndroidDefaultPolicy::new(&profile)), 10, 7, true);
     sim.run();
     let t = sim.telemetry();
-    assert!(t.events_of(EventKind::DvfsDecision).count() > 0, "no dvfs notes");
+    assert!(
+        t.events_of(EventKind::DvfsDecision).count() > 0,
+        "no dvfs notes"
+    );
     let hp: Vec<_> = t.events_of(EventKind::HotplugDecision).collect();
     assert!(!hp.is_empty(), "no hotplug decisions on a bursty load");
     for e in hp {
-        let EventData::HotplugDecision { online_now, want, .. } = &e.data else {
+        let EventData::HotplugDecision {
+            online_now, want, ..
+        } = &e.data
+        else {
             panic!("wrong payload kind");
         };
         assert_ne!(online_now, want, "decision events fire only on change");
@@ -123,7 +141,11 @@ fn manifest_captures_the_run_and_round_trips() {
     ] {
         assert!(m.metrics.contains_key(metric), "missing metric {metric}");
     }
-    assert!(m.event_counts.contains_key("policy-decision"), "{:?}", m.event_counts);
+    assert!(
+        m.event_counts.contains_key("policy-decision"),
+        "{:?}",
+        m.event_counts
+    );
     let back = RunManifest::from_json_text(&m.to_json_text()).expect("parses");
     assert_eq!(back, m);
 }
@@ -150,5 +172,8 @@ fn different_seeds_produce_diffable_manifests() {
         "different seeds must show metric deltas:\n{}",
         d.summary_text()
     );
-    assert!(d.only_a.is_empty() && d.only_b.is_empty(), "same schema both sides");
+    assert!(
+        d.only_a.is_empty() && d.only_b.is_empty(),
+        "same schema both sides"
+    );
 }

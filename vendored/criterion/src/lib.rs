@@ -87,7 +87,11 @@ fn run_one(
         iters: 0,
     };
     f(&mut b);
-    let mut line = format!("{label:<50} {:>14}/iter ({} iters)", fmt_ns(b.ns_per_iter), b.iters);
+    let mut line = format!(
+        "{label:<50} {:>14}/iter ({} iters)",
+        fmt_ns(b.ns_per_iter),
+        b.iters
+    );
     if let Some(Throughput::Elements(n)) = throughput {
         let per_elem = b.ns_per_iter / *n as f64;
         line.push_str(&format!("  [{} /elem]", fmt_ns(per_elem)));

@@ -423,9 +423,7 @@ pub mod test_runner {
             // Mix the test name in so sibling tests see different streams.
             let seed = test_name
                 .bytes()
-                .fold(0xCAFE_F00D_u64, |h, b| {
-                    h.rotate_left(7) ^ u64::from(b)
-                })
+                .fold(0xCAFE_F00D_u64, |h, b| h.rotate_left(7) ^ u64::from(b))
                 .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9));
             let mut rng = TestRng::new(seed);
             let mut rendered = String::new();
@@ -539,9 +537,9 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z0-9_]{1,16}".sample(&mut rng);
             assert!((1..=16).contains(&s.len()), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()
-                || c.is_ascii_digit()
-                || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
 
             let p = "(/[a-z]{1,4}){1,3}".sample(&mut rng);
             assert!(p.starts_with('/'), "{p:?}");
@@ -574,6 +572,9 @@ mod tests {
                 saw_weird = true;
             }
         }
-        assert!(saw_weird, "bit-pattern sampling should produce non-finite values");
+        assert!(
+            saw_weird,
+            "bit-pattern sampling should produce non-finite values"
+        );
     }
 }
