@@ -1,15 +1,16 @@
 //! The workspace invariant linter.
 //!
-//! Five rules, each encoding a MobiCore-specific invariant that
+//! Six rules, each encoding a MobiCore-specific invariant that
 //! `rustc`/`clippy` cannot express:
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | `no-wall-clock-in-sim` | `crates/sim` is deterministic virtual time; `Instant::now`/`SystemTime` are banned outside tests (escape: `// wall-clock:` with a reason) |
+//! | `no-wall-clock-in-sim` | `crates/sim` — including the event scheduler (`engine.rs`, the `sim.rs` wake/burst paths) — is deterministic virtual time; `Instant::now`/`SystemTime` are banned outside tests (escape: `// wall-clock:` with a reason) |
 //! | `serve-no-panic-paths` | `crates/serve` protocol/session code must not `unwrap`/`expect`/`panic!` — a malformed frame must never kill a worker (escape: `// infallible:` with a proof) |
 //! | `relaxed-needs-justification` | every `Ordering::Relaxed` outside tests carries a `// relaxed:` comment saying why the weak ordering is sound |
 //! | `crate-lint-headers` | every crate root pins `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
-//! | `registry-doc-sync` | frame types, event kinds, governor and profile registries are each fully enumerated (backticked) in their doc page |
+//! | `registry-doc-sync` | frame types, event kinds, governor, profile and sim-engine registries are each fully enumerated (backticked) in their doc page |
+//! | `next-tick-equivalence-coverage` | every `fn next_tick_us` wake-time implementation is registered here and exercised by the engine-equivalence suite |
 //!
 //! Escape annotations go on the offending line or the line directly
 //! above. The linter runs in tier-1 (`tests/static_analysis.rs`) and
@@ -52,10 +53,10 @@ impl fmt::Display for Finding {
 }
 
 /// Rule identifiers with one-line descriptions (CLI `rules` output).
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     (
         "no-wall-clock-in-sim",
-        "crates/sim must stay on virtual time: no Instant::now/SystemTime outside tests (escape: // wall-clock:)",
+        "crates/sim (incl. the event scheduler) must stay on virtual time: no Instant::now/SystemTime outside tests (escape: // wall-clock:)",
     ),
     (
         "serve-no-panic-paths",
@@ -71,7 +72,11 @@ pub const RULES: [(&str, &str); 5] = [
     ),
     (
         "registry-doc-sync",
-        "frame/event/governor/profile registries must be fully enumerated in their docs",
+        "frame/event/governor/profile/engine registries must be fully enumerated in their docs",
+    ),
+    (
+        "next-tick-equivalence-coverage",
+        "every fn next_tick_us wake-time impl must be registered in NEXT_TICK_IMPLS and exercised by the engine-equivalence suite",
     ),
 ];
 
@@ -84,6 +89,7 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
     rule_wall_clock(rel, &view, &mut findings);
     rule_serve_panic(rel, &view, &mut findings);
     rule_relaxed(rel, &view, &mut findings);
+    rule_next_tick_registered(rel, &view, &mut findings);
     findings
 }
 
@@ -161,6 +167,100 @@ fn rule_relaxed(rel: &str, view: &SourceView, out: &mut Vec<Finding>) {
     );
 }
 
+/// A source file implementing the event engine's wake-time contract
+/// (`fn next_tick_us`), with the tokens that prove the tier-1
+/// engine-equivalence suite exercises the workloads it declares wakes
+/// for. The fast-forward engine *skips* ticks these implementations
+/// promise are no-ops, so an untested implementation is an untested
+/// correctness claim (docs/simulator.md).
+struct NextTickSpec {
+    source: &'static str,
+    markers: &'static [&'static str],
+}
+
+/// The tier-1 suite every wake-time implementation must be exercised by.
+const NEXT_TICK_TEST: &str = "crates/experiments/tests/engine_equivalence.rs";
+
+const NEXT_TICK_IMPLS: [NextTickSpec; 3] = [
+    NextTickSpec {
+        // The trait default (EveryTick, always sound) and the `Box`
+        // forwarder: on the path of every boxed workload the suite runs.
+        source: "crates/sim/src/workload.rs",
+        markers: &["add_workload"],
+    },
+    NextTickSpec {
+        source: "crates/workloads/src/apps.rs",
+        markers: &["VideoPlayback", "AppLaunch"],
+    },
+    NextTickSpec {
+        source: "crates/workloads/src/scenario.rs",
+        markers: &["Scenario", "CATALOG"],
+    },
+];
+
+fn rule_next_tick_registered(rel: &str, view: &SourceView, out: &mut Vec<Finding>) {
+    if NEXT_TICK_IMPLS.iter().any(|s| s.source == rel) {
+        return;
+    }
+    for (idx, line) in view.code.iter().enumerate() {
+        if view.test_mask[idx] {
+            continue;
+        }
+        if line.contains("fn next_tick_us") {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "next-tick-equivalence-coverage",
+                message: "new wake-time implementation; register it in NEXT_TICK_IMPLS \
+                          (crates/analyze/src/lint.rs) with markers the engine-equivalence \
+                          suite exercises"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Checks the wake-time coverage registry against the equivalence
+/// suite: every registered file still implements the contract, and
+/// every marker appears in the suite's source.
+fn next_tick_coverage(root: &Path, out: &mut Vec<Finding>) -> Result<(), String> {
+    let test_path = root.join(NEXT_TICK_TEST);
+    let test_text =
+        std::fs::read_to_string(&test_path).map_err(|e| format!("{}: {e}", test_path.display()))?;
+    for spec in &NEXT_TICK_IMPLS {
+        let src_path = root.join(spec.source);
+        let text = std::fs::read_to_string(&src_path)
+            .map_err(|e| format!("{}: {e}", src_path.display()))?;
+        let view = source::view(&text);
+        if !view.code.iter().any(|l| l.contains("fn next_tick_us")) {
+            out.push(Finding {
+                file: spec.source.to_string(),
+                line: 1,
+                rule: "next-tick-equivalence-coverage",
+                message: "registered in NEXT_TICK_IMPLS but no longer implements \
+                          `fn next_tick_us`; drop the stale registry entry"
+                    .to_string(),
+            });
+            continue;
+        }
+        for marker in spec.markers {
+            if !test_text.contains(marker) {
+                out.push(Finding {
+                    file: NEXT_TICK_TEST.to_string(),
+                    line: 1,
+                    rule: "next-tick-equivalence-coverage",
+                    message: format!(
+                        "`{marker}` (wake-time implementation in {}) is no longer \
+                         exercised by the engine-equivalence suite",
+                        spec.source
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn scan_tokens(
     rel: &str,
@@ -203,7 +303,13 @@ struct RegistrySpec {
     what: &'static str,
 }
 
-const REGISTRIES: [RegistrySpec; 4] = [
+const REGISTRIES: [RegistrySpec; 5] = [
+    RegistrySpec {
+        source: "crates/sim/src/config.rs",
+        extract: Extract::ArrayStrings("ENGINE_NAMES"),
+        doc: "docs/simulator.md",
+        what: "sim engine",
+    },
     RegistrySpec {
         source: "crates/serve/src/protocol.rs",
         extract: Extract::EnumVariants("Frame"),
@@ -314,6 +420,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         findings.extend(lint_source(&rel, &text));
     }
     registry_doc_sync(root, &mut findings)?;
+    next_tick_coverage(root, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -376,6 +483,20 @@ mod tests {
         assert_eq!(rules_of(&findings), ["no-wall-clock-in-sim"]);
         // The same token outside the sim crate is fine.
         assert!(lint_source("crates/bench/src/timer.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unregistered_next_tick_impl_is_flagged() {
+        let src = "impl Workload for Pulse {\n    fn next_tick_us(&self, now_us: u64) -> Wake { Wake::At(now_us + 1) }\n}\n";
+        let findings = lint_source("crates/workloads/src/pulse.rs", src);
+        assert_eq!(rules_of(&findings), ["next-tick-equivalence-coverage"]);
+        assert_eq!(findings[0].line, 2);
+        // Registered files carry the implementation without findings.
+        assert!(lint_source("crates/workloads/src/apps.rs", src).is_empty());
+        // The token in a string or comment (e.g. this linter's own
+        // registry) does not count as an implementation.
+        let quoted = "const T: &str = \"fn next_tick_us\"; // fn next_tick_us\n";
+        assert!(lint_source("crates/workloads/src/pulse.rs", quoted).is_empty());
     }
 
     #[test]

@@ -8,16 +8,18 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_04.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_05.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
 use mobicore_experiments::runner::{run_pinned, ManifestSink};
 use mobicore_model::{profiles, Khz, Quota, Utilization};
-use mobicore_sim::{CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot, SimConfig, Simulation};
+use mobicore_sim::{
+    CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot, SimConfig, SimEngine, Simulation,
+};
 use mobicore_sweep::Executor;
 use mobicore_telemetry::git_describe;
-use mobicore_workloads::BusyLoop;
+use mobicore_workloads::{scenario, BusyLoop};
 use std::hint::black_box;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -74,6 +76,35 @@ fn sim_throughput(secs: u64) -> (f64, Simulation) {
     let t = Instant::now();
     sim.run();
     (secs as f64 / t.elapsed().as_secs_f64(), sim)
+}
+
+/// Simulated-seconds per wall-second of the > 99 %-idle `idle-day`
+/// catalog scenario under `engine`; median of `rounds` runs. The
+/// cyclic/event pair on the same scenario and host is the event
+/// engine's fast-forward win (docs/simulator.md) — the acceptance bar
+/// is event ≥ 5× cyclic here.
+fn idle_throughput(engine: SimEngine, rounds: usize) -> f64 {
+    const SECS: u64 = 60;
+    let mut per_round: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let profile = profiles::nexus5();
+            let cfg = SimConfig::new(profile.clone())
+                .with_duration_secs(SECS)
+                .with_seed(20_170_315)
+                .without_mpdecision()
+                .with_engine(engine);
+            let mut sim = Simulation::new(cfg, Box::new(MobiCore::new(&profile)))
+                .expect("bench config is valid");
+            let day = scenario::by_name("idle-day", &profile, 20_170_315)
+                .expect("idle-day is in the catalog");
+            sim.add_workload(Box::new(day));
+            let t = Instant::now();
+            sim.run();
+            SECS as f64 / t.elapsed().as_secs_f64()
+        })
+        .collect();
+    per_round.sort_by(|a, b| a.total_cmp(b));
+    per_round[per_round.len() / 2]
 }
 
 /// Wall-clock jobs/second for a fig03/fig04-shaped pinned sweep (16
@@ -145,7 +176,7 @@ fn serve_loopback(sessions: usize) -> mobicore_serve::LoadReport {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_04.json".into());
+        .unwrap_or_else(|| "BENCH_05.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -173,6 +204,15 @@ fn main() {
     let wall = Instant::now();
     let (sim_s_per_wall_s, sim) = sim_throughput(10);
 
+    eprintln!("measuring idle-day throughput (cyclic vs event-driven)...");
+    let idle_cyclic = idle_throughput(SimEngine::Cyclic, 5);
+    let idle_event = idle_throughput(SimEngine::EventDriven, 5);
+    eprintln!(
+        "idle-day: {idle_cyclic:.0} sim-s/wall-s cyclic vs {idle_event:.0} \
+         event-driven (×{:.2})",
+        idle_event / idle_cyclic
+    );
+
     eprintln!("measuring sweep throughput (--jobs 1 vs --jobs 4)...");
     let sweep_j1 = sweep_jobs_per_s(1, 5, 3);
     let sweep_j4 = sweep_jobs_per_s(4, 5, 3);
@@ -195,7 +235,7 @@ fn main() {
         serve.rtt_us.quantile(0.999),
     );
 
-    let mut m = sim.manifest("bench-04");
+    let mut m = sim.manifest("bench-05");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -209,6 +249,10 @@ fn main() {
     m.metrics.insert("bench.dcs_decide_ns".into(), dcs_ns);
     m.metrics
         .insert("bench.sim_s_per_wall_s".into(), sim_s_per_wall_s);
+    m.metrics
+        .insert("bench.sim_s_per_wall_s_idle_cyclic".into(), idle_cyclic);
+    m.metrics
+        .insert("bench.sim_s_per_wall_s_event".into(), idle_event);
     // The headline sweep metric is the --jobs 4 figure-suite rate; j1 and
     // the ratio are recorded alongside so the trajectory stays readable
     // on hosts with different core counts (see docs/performance.md).

@@ -58,6 +58,10 @@ pub use result::{Check, ExperimentResult};
 /// `DIR` for `mobicore-inspect` (see docs/observability.md).
 /// `--jobs N` sets the sweep-executor worker count (equivalent to the
 /// `MOBICORE_JOBS` environment variable; see docs/performance.md).
+/// `--engine NAME` selects the simulator engine for every run —
+/// `cyclic` or `event-driven`, equivalent to the `MOBICORE_SIM_ENGINE`
+/// environment variable (see docs/simulator.md); both engines produce
+/// byte-identical results.
 pub fn bin_main(id: &str) {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut experiments = all_experiments();
@@ -94,11 +98,33 @@ pub fn bin_main(id: &str) {
     if let Some(n) = jobs {
         std::env::set_var(mobicore_sweep::JOBS_ENV, n.to_string());
     }
+    if let Some(name) = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+    {
+        // Every simulation a runner builds picks the engine up from the
+        // environment (SimConfig::new reads ENGINE_ENV), so one set_var
+        // here reaches them all — the same pattern as --manifest.
+        match mobicore_sim::SimEngine::from_name(name) {
+            Some(engine) => std::env::set_var(mobicore_sim::ENGINE_ENV, engine.name()),
+            None => {
+                eprintln!(
+                    "unknown engine {name:?}; valid engines: {}",
+                    mobicore_sim::ENGINE_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
-        "# MobiCore reproduction — seed {} — {} mode — {} sweep worker(s)",
+        "# MobiCore reproduction — seed {} — {} mode — {} sweep worker(s) — {} engine",
         runner::SEED,
         if quick { "quick" } else { "full" },
-        mobicore_sweep::Executor::from_env().jobs()
+        mobicore_sweep::Executor::from_env().jobs(),
+        mobicore_sim::SimEngine::from_env()
+            .unwrap_or_default()
+            .name()
     );
     let mut ok = true;
     let mut md = format!(

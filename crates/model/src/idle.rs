@@ -130,6 +130,20 @@ impl IdleLadder {
             .find(|s| s.target_residency_us <= idle_so_far_us.max(1))
             .map_or(self.states[0].power_frac, |s| s.power_frac)
     }
+
+    /// The smallest target residency strictly greater than
+    /// `idle_so_far_us.max(1)` — i.e. when the *next* deeper idle state
+    /// engages — or `None` when the ladder is fully descended. This is
+    /// how an idling core declares its wake time to the event engine:
+    /// [`IdleLadder::power_frac_after`] is constant until that boundary.
+    pub fn next_residency_above(&self, idle_so_far_us: u64) -> Option<u64> {
+        let floor = idle_so_far_us.max(1);
+        self.states
+            .iter()
+            .map(|s| s.target_residency_us)
+            .filter(|&r| r > floor)
+            .min()
+    }
 }
 
 impl Default for IdleLadder {
@@ -214,6 +228,22 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_ladder_rejected() {
         let _ = IdleLadder::new(vec![]);
+    }
+
+    #[test]
+    fn next_residency_matches_power_frac_boundaries() {
+        let l = IdleLadder::with_power_collapse(0.2);
+        // From a fresh streak the next change is the 10 ms collapse.
+        assert_eq!(l.next_residency_above(0), Some(10_000));
+        assert_eq!(l.next_residency_above(9_999), Some(10_000));
+        // At/after the boundary the ladder is fully descended.
+        assert_eq!(l.next_residency_above(10_000), None);
+        // wfi_only has no deeper state to wait for.
+        assert_eq!(IdleLadder::wfi_only().next_residency_above(0), None);
+        // The contract: power_frac_after is constant below the boundary.
+        let t = l.next_residency_above(50).unwrap();
+        assert_eq!(l.power_frac_after(50), l.power_frac_after(t - 1));
+        assert_ne!(l.power_frac_after(t - 1), l.power_frac_after(t));
     }
 
     #[test]

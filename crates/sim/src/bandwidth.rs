@@ -92,6 +92,38 @@ impl BandwidthController {
         smooth.min(self.runtime_left_us)
     }
 
+    /// Advances `ticks` consecutive ticks in one tight loop,
+    /// bit-identically to that many [`BandwidthController::begin_tick`]
+    /// calls whose allowance is discarded — the event engine's quiet
+    /// fast path (docs/simulator.md), where no thread runs and so the
+    /// allowance feeds nothing.
+    ///
+    /// Period rollover and the quota integral stay per-tick in sequence
+    /// (the integral is a float sum) with the constant `quota·tick`
+    /// increment hoisted; the elapsed integral is batched (integer,
+    /// exact). The smooth-allowance arithmetic `begin_tick` performs is
+    /// pure — skipping it leaves no state behind.
+    pub fn quiet_run(&mut self, start_us: u64, tick_us: u64, ticks: u64) {
+        let dq = self.quota.as_fraction() * tick_us as f64;
+        let mut now = start_us;
+        for _ in 0..ticks {
+            if now >= self.period_end_us {
+                self.refill(now);
+            }
+            self.quota_integral += dq;
+            now += tick_us;
+        }
+        self.integral_us += ticks * tick_us;
+    }
+
+    /// When the current enforcement period rolls over, µs — the pool's
+    /// declared wake time. `begin_tick` runs every tick in both engines
+    /// (the quota integral is float-sequence-sensitive), so this wake is
+    /// [`Inline`](crate::engine::WakeClass::Inline).
+    pub fn period_end_us(&self) -> u64 {
+        self.period_end_us
+    }
+
     /// Charges actually-consumed runtime and records throttled demand.
     pub fn charge(&mut self, used_us: u64, denied_us: u64) {
         self.runtime_left_us = self.runtime_left_us.saturating_sub(used_us);
@@ -157,6 +189,25 @@ mod tests {
         bw.begin_tick(2_000, 1_000);
         let avg = bw.avg_quota();
         assert!((avg - (1.0 + 0.5 + 0.5) / 3.0).abs() < 1e-9, "{avg}");
+    }
+
+    #[test]
+    fn quiet_run_is_bit_identical_to_begin_tick_loop() {
+        let mut a = BandwidthController::new(100_000, 4);
+        let mut b = a.clone();
+        a.set_quota(Quota::new(0.37), 0);
+        b.set_quota(Quota::new(0.37), 0);
+        let mut now = 0u64;
+        for _ in 0..2_500u64 {
+            let _ = a.begin_tick(now, 1_000);
+            now += 1_000;
+        }
+        b.quiet_run(0, 1_000, 1_000);
+        b.quiet_run(1_000_000, 1_000, 1_500);
+        assert_eq!(a.quota_integral.to_bits(), b.quota_integral.to_bits());
+        assert_eq!(a.integral_us, b.integral_us);
+        assert_eq!(a.runtime_left_us, b.runtime_left_us);
+        assert_eq!(a.period_end_us, b.period_end_us, "rollovers must align");
     }
 
     #[test]

@@ -3,6 +3,57 @@
 use crate::error::SimError;
 use mobicore_model::DeviceProfile;
 
+/// Which loop drives simulated time forward (docs/simulator.md).
+///
+/// Both engines produce byte-identical reports, telemetry event streams
+/// and manifests; the event-driven engine only skips work it can prove
+/// is a no-op (asserted across the scenario catalog by
+/// `engine_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Fixed-step loop: every component is stepped every tick (the
+    /// default, and the reference semantics).
+    #[default]
+    Cyclic,
+    /// Discrete-event loop: components declare wake times and the loop
+    /// jumps over provably-idle tick runs.
+    EventDriven,
+}
+
+/// Engine names in [`SimEngine`] discriminant order — the vocabulary of
+/// the `--engine` CLI flag, the [`ENGINE_ENV`] variable and
+/// docs/simulator.md.
+pub const ENGINE_NAMES: [&str; 2] = ["cyclic", "event-driven"];
+
+/// Environment variable selecting the default engine
+/// (`MOBICORE_SIM_ENGINE=cyclic|event-driven`). Unknown values are
+/// ignored and the built-in default applies.
+pub const ENGINE_ENV: &str = "MOBICORE_SIM_ENGINE";
+
+impl SimEngine {
+    /// The engine's name as used by the CLI and docs.
+    pub fn name(self) -> &'static str {
+        ENGINE_NAMES[self as usize]
+    }
+
+    /// Parses an engine name (`None` for anything outside
+    /// [`ENGINE_NAMES`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "cyclic" => Some(SimEngine::Cyclic),
+            "event-driven" => Some(SimEngine::EventDriven),
+            _ => None,
+        }
+    }
+
+    /// The engine [`ENGINE_ENV`] selects, if it is set to a valid name.
+    pub fn from_env() -> Option<Self> {
+        std::env::var(ENGINE_ENV)
+            .ok()
+            .and_then(|v| Self::from_name(v.trim()))
+    }
+}
+
 /// How much per-tick detail a run keeps in memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TraceLevel {
@@ -53,10 +104,16 @@ pub struct SimConfig {
     /// metric rollups; default on). Disabling reduces every telemetry
     /// call in the hot loop to a single branch.
     pub telemetry: bool,
+    /// Which engine advances simulated time (default [`SimEngine::Cyclic`],
+    /// overridable per-process via [`ENGINE_ENV`]).
+    pub engine: SimEngine,
 }
 
 impl SimConfig {
     /// A 60-second, 1 ms-tick run on `profile` with seed 0.
+    ///
+    /// The engine defaults to [`SimEngine::Cyclic`] unless [`ENGINE_ENV`]
+    /// selects a valid engine name for the whole process.
     pub fn new(profile: DeviceProfile) -> Self {
         SimConfig {
             profile,
@@ -69,6 +126,7 @@ impl SimConfig {
             mpdecision_enabled: true,
             thermal_poll_us: 100_000,
             telemetry: true,
+            engine: SimEngine::from_env().unwrap_or_default(),
         }
     }
 
@@ -112,6 +170,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Selects the engine driving the run (overrides [`ENGINE_ENV`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -189,5 +254,22 @@ mod tests {
         assert!(!cfg.mpdecision_enabled);
         assert!(!cfg.telemetry);
         assert!(SimConfig::new(profiles::nexus5()).telemetry, "default on");
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for (i, name) in ENGINE_NAMES.iter().enumerate() {
+            let engine = SimEngine::from_name(name).expect("catalog name parses");
+            assert_eq!(engine as usize, i);
+            assert_eq!(engine.name(), *name);
+        }
+        assert_eq!(SimEngine::from_name("warp"), None);
+        assert_eq!(SimEngine::default(), SimEngine::Cyclic);
+    }
+
+    #[test]
+    fn engine_builder_overrides_default() {
+        let cfg = SimConfig::new(profiles::nexus5()).with_engine(SimEngine::EventDriven);
+        assert_eq!(cfg.engine, SimEngine::EventDriven);
     }
 }

@@ -1,0 +1,285 @@
+//! The discrete-event engine's wake-time machinery (docs/simulator.md).
+//!
+//! Components of the simulated SoC — the governor sample timer, hotplug
+//! transitions, workload phase boundaries, the thermal RC model, the
+//! energy meter and the bandwidth pool — each declare when they next
+//! need attention as a [`Wake`]. The [`WakeQueue`] holds one entry per
+//! registered component and answers "when is the earliest wake?", which
+//! is what lets [`Simulation::run`](crate::Simulation::run) under
+//! [`SimEngine::EventDriven`](crate::SimEngine::EventDriven) jump over
+//! provably-idle milliseconds instead of iterating them.
+//!
+//! Two classes of wake exist:
+//!
+//! * [`WakeClass::FullStep`] — the wake needs one full cycle-synchronous
+//!   [`step`](crate::Simulation::step) (a governor sample, a maturing
+//!   hotplug transition, a workload that will queue work). Full-step
+//!   wakes bound how far the engine may fast-forward.
+//! * [`WakeClass::Inline`] — the wake is serviced *inside* the quiet
+//!   fast path because its component's per-tick method is still called
+//!   every simulated tick (thermal RC step, meter decimation, bandwidth
+//!   period rollover). These keep every floating-point accumulation in
+//!   exactly the cyclic engine's sequence; they never bound a burst.
+//!
+//! Determinism: ties between simultaneous wakes resolve by registration
+//! index — the component registered first wins. Registration order in
+//! the simulator is fixed (governor, hotplug, workloads, cores/idle
+//! ladder, thermal, meter, bandwidth), so the tie-break is stable across
+//! runs and asserted by the unit tests below.
+
+use crate::error::SimError;
+
+/// When a component next needs the simulator's attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Needs every tick — the conservative default that degrades the
+    /// event engine to cyclic behaviour without changing results.
+    EveryTick,
+    /// Needs nothing until this absolute simulated time, µs. Declaring
+    /// `At(t)` is a promise: calling the component's per-tick hook at
+    /// any time strictly before `t` (with no completions pending) is an
+    /// observable no-op.
+    At(u64),
+    /// Needs nothing for the rest of the run.
+    Never,
+}
+
+impl Wake {
+    /// The earlier of two wakes — how a composite component (e.g. a
+    /// multi-phase scenario workload) folds its parts' declarations into
+    /// one. `EveryTick` dominates; `Never` is the identity.
+    #[must_use]
+    pub fn earliest_of(self, other: Wake) -> Wake {
+        match (self, other) {
+            (Wake::EveryTick, _) | (_, Wake::EveryTick) => Wake::EveryTick,
+            (Wake::Never, w) | (w, Wake::Never) => w,
+            (Wake::At(a), Wake::At(b)) => Wake::At(a.min(b)),
+        }
+    }
+}
+
+/// How the engine services a component's wake (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeClass {
+    /// Serviced by one full cycle-synchronous step; bounds fast-forward.
+    FullStep,
+    /// Serviced inside the quiet fast path; informational for
+    /// introspection, never bounds a burst.
+    Inline,
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    class: WakeClass,
+    wake: Wake,
+}
+
+/// A fixed registry of components and their declared wake times.
+///
+/// All entries are registered up front (before the warm loop) so the
+/// queue performs no allocation while the simulation runs. With a
+/// handful of components a linear scan beats a binary heap and keeps
+/// the tie-break trivially deterministic.
+#[derive(Debug, Default)]
+pub struct WakeQueue {
+    now_us: u64,
+    entries: Vec<Entry>,
+}
+
+/// Identifier of a registered component (its registration index).
+pub type WakeId = usize;
+
+impl WakeQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component; returns its [`WakeId`]. Components start
+    /// as [`Wake::EveryTick`] (always due) until they declare otherwise.
+    pub fn register(&mut self, name: &'static str, class: WakeClass) -> WakeId {
+        self.entries.push(Entry {
+            name,
+            class,
+            wake: Wake::EveryTick,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The queue's current time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Advances the queue's clock (monotonic; moving backwards is
+    /// ignored rather than rejected so callers can re-declare at a
+    /// boundary).
+    pub fn advance_to(&mut self, t_us: u64) {
+        self.now_us = self.now_us.max(t_us);
+    }
+
+    /// Declares component `id`'s next wake.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WakeInPast`] when `wake` is `At(t)` with `t` before
+    /// the queue's current time — an event engine cannot travel
+    /// backwards, so a stale declaration is an API-misuse bug, not
+    /// something to silently clamp at this layer. (The simulator clamps
+    /// *component-sourced* stale times to "due now" before declaring
+    /// them, which turns them into an immediate full step.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`WakeQueue::register`].
+    pub fn set(&mut self, id: WakeId, wake: Wake) -> Result<(), SimError> {
+        if let Wake::At(t) = wake {
+            if t < self.now_us {
+                return Err(SimError::WakeInPast {
+                    component: self.entries[id].name,
+                    wake_us: t,
+                    now_us: self.now_us,
+                });
+            }
+        }
+        self.entries[id].wake = wake;
+        Ok(())
+    }
+
+    /// The earliest wake as `(time_us, id)`, or `None` when every
+    /// component sleeps forever. [`Wake::EveryTick`] counts as due at
+    /// the current time. Ties resolve to the lowest registration index.
+    pub fn earliest(&self) -> Option<(u64, WakeId)> {
+        self.earliest_matching(|_| true)
+    }
+
+    /// Like [`WakeQueue::earliest`] but restricted to
+    /// [`WakeClass::FullStep`] entries — the bound the quiet fast path
+    /// respects.
+    pub fn earliest_full_step(&self) -> Option<(u64, WakeId)> {
+        self.earliest_matching(|c| c == WakeClass::FullStep)
+    }
+
+    fn earliest_matching(&self, keep: impl Fn(WakeClass) -> bool) -> Option<(u64, WakeId)> {
+        let mut best: Option<(u64, WakeId)> = None;
+        for (id, e) in self.entries.iter().enumerate() {
+            if !keep(e.class) {
+                continue;
+            }
+            let t = match e.wake {
+                Wake::EveryTick => self.now_us,
+                Wake::At(t) => t,
+                Wake::Never => continue,
+            };
+            // Strict `<` keeps the earliest-registered entry on ties.
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, id));
+            }
+        }
+        best
+    }
+
+    /// The registered name of component `id`.
+    pub fn name(&self, id: WakeId) -> &'static str {
+        self.entries[id].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simultaneous_wakes_tie_break_by_registration_order() {
+        let mut q = WakeQueue::new();
+        let a = q.register("a", WakeClass::FullStep);
+        let b = q.register("b", WakeClass::FullStep);
+        q.set(a, Wake::At(500)).unwrap();
+        q.set(b, Wake::At(500)).unwrap();
+        assert_eq!(q.earliest(), Some((500, a)), "first registered wins");
+        // Re-declaring does not change the tie-break.
+        q.set(b, Wake::At(500)).unwrap();
+        assert_eq!(q.earliest(), Some((500, a)));
+        assert_eq!(q.name(a), "a");
+    }
+
+    #[test]
+    fn sleep_forever_components_are_skipped() {
+        let mut q = WakeQueue::new();
+        let a = q.register("a", WakeClass::FullStep);
+        let b = q.register("b", WakeClass::FullStep);
+        q.set(a, Wake::Never).unwrap();
+        q.set(b, Wake::At(900)).unwrap();
+        assert_eq!(q.earliest(), Some((900, b)));
+        q.set(b, Wake::Never).unwrap();
+        assert_eq!(q.earliest(), None, "everyone asleep → no wake at all");
+    }
+
+    #[test]
+    fn wake_in_the_past_is_a_typed_error() {
+        let mut q = WakeQueue::new();
+        let a = q.register("thermal", WakeClass::Inline);
+        q.advance_to(10_000);
+        let err = q.set(a, Wake::At(9_999)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WakeInPast {
+                component: "thermal",
+                wake_us: 9_999,
+                now_us: 10_000,
+            }
+        );
+        // The entry is untouched by the failed set.
+        assert_eq!(q.earliest(), Some((10_000, a)), "still EveryTick");
+        // Exactly-now is fine.
+        q.set(a, Wake::At(10_000)).unwrap();
+        assert_eq!(q.earliest(), Some((10_000, a)));
+    }
+
+    #[test]
+    fn every_tick_is_due_now_and_full_step_filter_works() {
+        let mut q = WakeQueue::new();
+        let gov = q.register("governor", WakeClass::FullStep);
+        let th = q.register("thermal", WakeClass::Inline);
+        q.advance_to(3_000);
+        q.set(gov, Wake::At(20_000)).unwrap();
+        // thermal still EveryTick → due now, but inline.
+        assert_eq!(q.earliest(), Some((3_000, th)));
+        assert_eq!(q.earliest_full_step(), Some((20_000, gov)));
+        q.set(th, Wake::At(5_000)).unwrap();
+        assert_eq!(q.earliest(), Some((5_000, th)));
+        assert_eq!(q.earliest_full_step(), Some((20_000, gov)));
+    }
+
+    #[test]
+    fn earliest_of_folds_correctly() {
+        use Wake::{At, EveryTick, Never};
+        assert_eq!(At(5).earliest_of(At(3)), At(3));
+        assert_eq!(At(5).earliest_of(Never), At(5));
+        assert_eq!(Never.earliest_of(Never), Never);
+        assert_eq!(Never.earliest_of(EveryTick), EveryTick);
+        assert_eq!(At(5).earliest_of(EveryTick), EveryTick);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut q = WakeQueue::new();
+        q.advance_to(5_000);
+        q.advance_to(1_000);
+        assert_eq!(q.now_us(), 5_000);
+        assert!(q.is_empty());
+        let _ = q.register("x", WakeClass::FullStep);
+        assert_eq!(q.len(), 1);
+    }
+}

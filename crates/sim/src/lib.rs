@@ -20,7 +20,11 @@
 //! * [`policy`] — the [`CpuPolicy`] trait governors and MobiCore implement,
 //! * [`workload`] — the [`Workload`] trait apps implement
 //!   (`mobicore-workloads` provides the paper's busy loop, GeekBench-like
-//!   suite and games).
+//!   suite and games),
+//! * [`engine`] — the wake-time queue behind the event-driven engine
+//!   (`SimEngine::EventDriven`), which jumps over provably-quiet ticks
+//!   while staying byte-identical to the cyclic loop (see
+//!   docs/simulator.md).
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ pub mod bandwidth;
 pub mod builtin;
 pub mod config;
 pub mod cores;
+pub mod engine;
 pub mod error;
 pub mod meter;
 pub mod policy;
@@ -63,7 +68,8 @@ pub mod thermal;
 pub mod trace;
 pub mod workload;
 
-pub use config::{SimConfig, TraceLevel};
+pub use config::{SimConfig, SimEngine, TraceLevel, ENGINE_ENV, ENGINE_NAMES};
+pub use engine::{Wake, WakeClass, WakeId, WakeQueue};
 pub use error::SimError;
 pub use policy::{Command, CoreId, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
 pub use report::SimReport;

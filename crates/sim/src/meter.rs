@@ -53,6 +53,34 @@ impl PowerMeter {
         }
     }
 
+    /// Records `ticks` consecutive ticks at constant `power_mw` in one
+    /// tight loop, bit-identically to that many [`PowerMeter::record`]
+    /// calls — the event engine's quiet fast path (docs/simulator.md).
+    ///
+    /// The energy accumulation stays per-tick in sequence (float sums
+    /// are order-sensitive) with the constant `power·tick` product
+    /// hoisted; elapsed time is batched (integer, exact) and the
+    /// max/min fold is applied once, which equals applying it `ticks`
+    /// times because `max`/`min` with the same value is idempotent.
+    pub fn quiet_run(&mut self, start_us: u64, tick_us: u64, power_mw: f64, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        let energy_add = power_mw * tick_us as f64;
+        let mut now = start_us;
+        for _ in 0..ticks {
+            self.energy_uj += energy_add;
+            if now >= self.next_sample_us {
+                self.samples.push((now, power_mw));
+                self.next_sample_us = now + self.sample_period_us;
+            }
+            now += tick_us;
+        }
+        self.elapsed_us += ticks * tick_us;
+        self.max_mw = self.max_mw.max(power_mw);
+        self.min_mw = self.min_mw.min(power_mw);
+    }
+
     /// Average power over everything recorded, mW.
     pub fn avg_power_mw(&self) -> f64 {
         if self.elapsed_us == 0 {
@@ -89,6 +117,13 @@ impl PowerMeter {
     /// The decimated `(time_us, power_mw)` series.
     pub fn samples(&self) -> &[(u64, f64)] {
         &self.samples
+    }
+
+    /// When the next decimated sample is due, µs — the meter's declared
+    /// wake time. Energy integration runs every tick in both engines, so
+    /// this wake is [`Inline`](crate::engine::WakeClass::Inline).
+    pub fn next_sample_us(&self) -> u64 {
+        self.next_sample_us
     }
 }
 
@@ -135,6 +170,31 @@ mod tests {
         assert_eq!(m.samples().len(), 10);
         assert_eq!(m.samples()[0], (0, 0.0));
         assert_eq!(m.samples()[1], (10_000, 10.0));
+    }
+
+    #[test]
+    fn quiet_run_is_bit_identical_to_record_loop() {
+        let mut a = PowerMeter::new(10_000);
+        let mut b = PowerMeter::new(10_000);
+        // An irrational-ish power makes any accumulation-order slip show
+        // up in the low mantissa bits.
+        let p = 123.456_789;
+        let mut now = 0u64;
+        for _ in 0..5_000u64 {
+            a.record(now, 1_000, p);
+            now += 1_000;
+        }
+        b.quiet_run(0, 1_000, p, 3_000);
+        b.quiet_run(3_000_000, 1_000, p, 2_000);
+        assert_eq!(a.energy_uj.to_bits(), b.energy_uj.to_bits());
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        assert_eq!(a.max_mw.to_bits(), b.max_mw.to_bits());
+        assert_eq!(a.min_mw.to_bits(), b.min_mw.to_bits());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.next_sample_us, b.next_sample_us);
+        // A zero-length run is a no-op (and must not poison max/min).
+        b.quiet_run(5_000_000, 1_000, 9e9, 0);
+        assert_eq!(a.max_mw.to_bits(), b.max_mw.to_bits());
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use crate::adb::{self, AdbCommand};
 use crate::bandwidth::BandwidthController;
 use crate::builtin::NoopPolicy;
-use crate::config::{SimConfig, TraceLevel};
+use crate::config::{SimConfig, SimEngine, TraceLevel};
 use crate::cores::CpuSet;
+use crate::engine::{Wake, WakeClass, WakeId, WakeQueue};
 use crate::error::SimError;
 use crate::meter::PowerMeter;
 use crate::policy::{Command, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
@@ -41,10 +42,23 @@ struct TickScratch {
     outcome: TickOutcome,
     /// Pending sysfs writes, swapped with the sysfs queue each tick.
     writes: Vec<(String, String)>,
+    /// Effective OPP index per core, hoisted at quiet-burst entry (the
+    /// event engine bills `time_in_state` at the pre-burst OPP, exactly
+    /// as the cyclic loop does before each tick's thermal update lands).
+    opps: Vec<usize>,
     /// Per-core window busy times drained at each sample.
     busy_window: Vec<u64>,
     /// Policy commands drained from the control buffer.
     cmds: Vec<Command>,
+    /// The activity vector of the previous quiet burst, memo key for
+    /// `quiet_power`.
+    quiet_acts: Vec<CoreActivity>,
+    /// Memoized per-tick energy increments and total power of the
+    /// previous quiet burst, `(base_add, cluster_add, core_add,
+    /// power_mw)`. The power model is a pure function of the activity
+    /// vector, so when a burst's activities equal `quiet_acts` these are
+    /// bitwise the values it would recompute.
+    quiet_power: Option<(f64, f64, f64, f64)>,
 }
 
 impl TickScratch {
@@ -68,8 +82,57 @@ impl TickScratch {
                 denied_us: 0,
             },
             writes: Vec::new(),
+            opps: Vec::new(),
             busy_window: Vec::new(),
             cmds: Vec::new(),
+            quiet_acts: Vec::new(),
+            quiet_power: None,
+        }
+    }
+}
+
+/// The event engine's registry: one [`WakeQueue`] entry per simulated
+/// component, ids held so each loop iteration can re-declare wakes
+/// without allocating. Registration order is fixed (and documented in
+/// [`crate::engine`]): governor, hotplug, workloads, idle ladder,
+/// thermal, meter, bandwidth — this is what makes the simultaneous-wake
+/// tie-break deterministic.
+#[derive(Debug)]
+struct EventState {
+    queue: WakeQueue,
+    governor: WakeId,
+    hotplug: WakeId,
+    workloads: Vec<WakeId>,
+    idle_ladder: WakeId,
+    thermal: WakeId,
+    meter: WakeId,
+    bandwidth: WakeId,
+}
+
+impl EventState {
+    fn new(n_workloads: usize) -> Self {
+        let mut queue = WakeQueue::new();
+        let governor = queue.register("governor", WakeClass::FullStep);
+        let hotplug = queue.register("hotplug", WakeClass::FullStep);
+        let workloads = (0..n_workloads)
+            .map(|_| queue.register("workload", WakeClass::FullStep))
+            .collect();
+        let idle_ladder = queue.register("idle-ladder", WakeClass::FullStep);
+        // Inline components run their per-tick float methods inside the
+        // quiet fast path; their wakes are introspection-only and never
+        // bound a burst (crate::engine module docs).
+        let thermal = queue.register("thermal", WakeClass::Inline);
+        let meter = queue.register("meter", WakeClass::Inline);
+        let bandwidth = queue.register("bandwidth", WakeClass::Inline);
+        EventState {
+            queue,
+            governor,
+            hotplug,
+            workloads,
+            idle_ladder,
+            thermal,
+            meter,
+            bandwidth,
         }
     }
 }
@@ -152,6 +215,9 @@ pub struct Simulation {
     /// Most-recent `ceil_index` lookup (policies request the same target
     /// frequency for long stretches).
     ceil_cache: Option<(Khz, usize)>,
+    /// Wake-time registry for the event-driven engine (built on the
+    /// first event-driven `run_until`, `None` under the cyclic engine).
+    event: Option<EventState>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -278,6 +344,7 @@ impl Simulation {
             ctl: CpuControl::new(),
             sysfs_stale: false,
             ceil_cache: None,
+            event: None,
         })
     }
 
@@ -647,13 +714,15 @@ impl Simulation {
             self.fill_snapshot();
             self.policy.on_sample(&self.snap, &mut self.ctl);
             if self.telemetry.is_enabled() {
-                self.telemetry.count("sim.samples", 1);
-                self.telemetry.record(
+                // Warm variants: the sampling block is on both engines'
+                // hot path, and must not allocate once warm.
+                self.telemetry.count_warm("sim.samples", 1);
+                self.telemetry.record_warm(
                     "overall_util_pct",
                     self.snap.overall_util.as_fraction() * 100.0,
                 );
                 self.telemetry
-                    .record("quota_pct", self.snap.quota.as_fraction() * 100.0);
+                    .record_warm("quota_pct", self.snap.quota.as_fraction() * 100.0);
             }
             // Notes first: the decision record should precede the
             // freq/hotplug/quota events it causes at the same timestamp.
@@ -662,7 +731,7 @@ impl Simulation {
             }
             let mut cmds = std::mem::take(&mut self.scratch.cmds);
             self.ctl.drain_commands_into(&mut cmds);
-            self.telemetry.count("sim.commands", cmds.len() as u64);
+            self.telemetry.count_warm("sim.commands", cmds.len() as u64);
             for cmd in cmds.drain(..) {
                 self.apply_command(cmd);
             }
@@ -800,12 +869,368 @@ impl Simulation {
         self.now_us += tick;
     }
 
-    /// Runs to the configured duration and reports.
+    /// Runs to the configured duration and reports, under the engine the
+    /// config selects ([`SimConfig::engine`]). Both engines produce
+    /// byte-identical reports, telemetry and manifests (docs/simulator.md;
+    /// asserted across the scenario catalog by the `engine-equivalence`
+    /// tier-1 test).
     pub fn run(&mut self) -> SimReport {
-        while self.now_us < self.cfg.duration_us {
-            self.step();
-        }
+        self.run_until(self.cfg.duration_us);
         self.report()
+    }
+
+    /// Advances the simulation to `t_us` under the configured engine.
+    pub fn run_until(&mut self, t_us: u64) {
+        match self.cfg.engine {
+            SimEngine::Cyclic => {
+                while self.now_us < t_us {
+                    self.step();
+                }
+            }
+            SimEngine::EventDriven => self.run_event_until(t_us),
+        }
+    }
+
+    /// The event-driven loop: one full cycle-synchronous [`Simulation::step`]
+    /// whenever any full-step component is due, and a cycle-exact quiet
+    /// burst across the gap to the next full-step wake otherwise.
+    fn run_event_until(&mut self, end_us: u64) {
+        self.start_if_needed();
+        let mut ev = match self.event.take() {
+            Some(ev) => ev,
+            None => EventState::new(self.workloads.len()),
+        };
+        // The first iteration is always a full step: wake declarations
+        // describe a simulation that has already ticked at least once.
+        let mut first = self.now_us == 0;
+        while self.now_us < end_us {
+            let n = if first {
+                first = false;
+                0
+            } else {
+                self.quiet_run_len(&mut ev, end_us)
+            };
+            if n == 0 {
+                self.step();
+            } else {
+                self.quiet_burst(n);
+            }
+        }
+        self.event = Some(ev);
+    }
+
+    /// Re-declares every component's wake in the queue. Stale
+    /// component-sourced times are clamped to "due now" (an immediate
+    /// full step) rather than tripping [`SimError::WakeInPast`], which is
+    /// reserved for true API misuse.
+    fn refresh_wakes(&mut self, ev: &mut EventState) {
+        let now = self.now_us;
+        let tick = self.cfg.tick_us;
+        ev.queue.advance_to(now);
+        let set = |queue: &mut WakeQueue, id: WakeId, wake: Wake| {
+            let clamped = match wake {
+                Wake::At(t) => Wake::At(t.max(now)),
+                w => w,
+            };
+            queue.set(id, clamped).expect("wakes are clamped to now");
+        };
+        set(&mut ev.queue, ev.governor, Wake::At(self.next_sample_us));
+        let hotplug = self
+            .cpus
+            .iter()
+            .filter_map(|c| c.online_at_us)
+            .min()
+            .map_or(Wake::Never, Wake::At);
+        set(&mut ev.queue, ev.hotplug, hotplug);
+        for (w, &id) in self.workloads.iter().zip(&ev.workloads) {
+            set(&mut ev.queue, id, w.next_tick_us(now));
+        }
+        // An idling online core crosses into a deeper (cheaper) idle
+        // state when its streak reaches the next target residency; the
+        // tick on which that happens must be a full step so the power
+        // model re-reads the ladder. The streak the power model sees at
+        // a tick includes that tick's own increment, hence `+ tick`.
+        let ladder = self.cfg.profile.idle_ladder();
+        let mut ladder_wake = Wake::Never;
+        for c in self.cpus.iter() {
+            if !c.online {
+                continue;
+            }
+            if let Some(t) = ladder.next_residency_above(c.idle_streak_us + tick) {
+                let k_t = (t - c.idle_streak_us).div_ceil(tick);
+                ladder_wake = ladder_wake.earliest_of(Wake::At(now + (k_t - 1) * tick));
+            }
+        }
+        set(&mut ev.queue, ev.idle_ladder, ladder_wake);
+        set(
+            &mut ev.queue,
+            ev.thermal,
+            Wake::At(self.thermal.next_poll_us()),
+        );
+        set(
+            &mut ev.queue,
+            ev.meter,
+            Wake::At(self.meter.next_sample_us()),
+        );
+        set(
+            &mut ev.queue,
+            ev.bandwidth,
+            Wake::At(self.bw.period_end_us()),
+        );
+    }
+
+    /// How many consecutive ticks from `now` are provably quiet — safe to
+    /// fast-forward with [`Simulation::quiet_burst`] — or 0 when the next
+    /// tick needs a full [`Simulation::step`].
+    fn quiet_run_len(&mut self, ev: &mut EventState, end_us: u64) -> u64 {
+        // Preconditions: any pending work makes the next tick a full
+        // step. Runnable threads or undelivered completions mean the
+        // scheduler and workloads have real work; pending sysfs writes
+        // land at the top of the next tick.
+        if self.sysfs.has_pending_writes()
+            || self.rt.runnable_count() != 0
+            || !self.rt.completions().is_empty()
+        {
+            return 0;
+        }
+        let now = self.now_us;
+        let tick = self.cfg.tick_us;
+        // A due governor sample forces a full step no matter what the
+        // other components declare — skip the whole wake refresh on that
+        // (most common) bound. Every second `quiet_run_len` call in an
+        // idle stretch lands here.
+        if self.next_sample_us <= now {
+            return 0;
+        }
+        self.refresh_wakes(ev);
+        let bound = match ev.queue.earliest_full_step() {
+            Some((t, _)) if t <= now => return 0,
+            Some((t, _)) => t.min(end_us),
+            None => end_us,
+        };
+        // Every tick *starting* strictly before the bound is quiet; the
+        // tick whose start reaches it is the full step (matching the
+        // cyclic loop's `now >= next_sample_us` trigger).
+        bound.saturating_sub(now).div_ceil(tick)
+    }
+
+    /// Executes up to `n` quiet ticks in one burst, byte-identically to
+    /// `n` cyclic [`Simulation::step`]s over a quiet simulation.
+    ///
+    /// Float state (bandwidth quota integral, energy attribution, meter,
+    /// thermal RC) advances through the *same per-tick operations in the
+    /// same order* as the cyclic loop — floating-point accumulation is
+    /// sequence-sensitive, so these are never algebraically batched.
+    /// Integer accounting (idle streaks, online time, `time_in_state`)
+    /// is batched after the burst, which is exact. Everything else a
+    /// cyclic step does is a provable state no-op on a quiet tick and is
+    /// skipped (the equivalence argument in docs/simulator.md walks
+    /// through the full step, line by line).
+    ///
+    /// A mid-burst thermal cap change ends the burst early after
+    /// completing the tick on which it landed (the cyclic loop applies a
+    /// new cap starting the *next* tick, so that tick itself still ran
+    /// on pre-change state).
+    fn quiet_burst(&mut self, n: u64) {
+        debug_assert!(n > 0);
+        let tick = self.cfg.tick_us;
+        // Hoist per-burst constants: online set, effective frequencies
+        // and OPPs, the activity vector, and the power breakdown. All
+        // are invariant across quiet ticks — nothing requests
+        // DVFS/hotplug/quota changes, and a thermal cap move breaks the
+        // burst. One fused pass builds what the cyclic step builds in
+        // separate loops (`online_ids_into`, the khz/opp fills,
+        // `activities_into`), each value by the same expression. The
+        // power model reads each core's idle streak *after* the current
+        // tick's increment, so the first tick's increment lands here;
+        // the remaining k-1 are batched below. Busy time is zero on a
+        // quiet tick, so the utilization term is exactly `0.0` — what
+        // the scheduler's zeroed outcome divides out to.
+        self.scratch.online.clear();
+        self.scratch.khz.clear();
+        self.scratch.opps.clear();
+        self.scratch.acts.clear();
+        let ladder = self.cfg.profile.idle_ladder();
+        for i in 0..self.cpus.len() {
+            let opp = self.cpus.effective_opp(i);
+            self.scratch
+                .khz
+                .push(self.cpus.effective_khz(&self.cfg.profile, i));
+            self.scratch.opps.push(opp);
+            let c = self.cpus.core_mut(i);
+            c.idle_streak_us += tick;
+            if c.online {
+                let frac = ladder.power_frac_after(c.idle_streak_us);
+                self.scratch.online.push(i);
+                self.scratch
+                    .acts
+                    .push(CoreActivity::online_with_idle_state(opp, 0.0, frac));
+            } else {
+                self.scratch.acts.push(CoreActivity::OFFLINE);
+            }
+        }
+        // The scheduler zeroes its outcome on every (workless) cyclic
+        // tick; mirror that so trace samples see zero utilization.
+        self.scratch.outcome.busy_us.clear();
+        self.scratch.outcome.busy_us.resize(self.cpus.len(), 0);
+        // The per-tick energy increments are constant products — the
+        // cyclic loop recomputes the identical product each tick, so
+        // hoisting them is bitwise equal. Consecutive quiet bursts in a
+        // long idle stretch usually share the exact activity vector, so
+        // the power-model evaluation is memoized on it.
+        let (base_add, cluster_add, core_add, power) = match self.scratch.quiet_power {
+            Some(memo) if self.scratch.acts == self.scratch.quiet_acts => memo,
+            _ => {
+                self.cfg
+                    .profile
+                    .power_into(
+                        &self.scratch.acts,
+                        &mut self.scratch.power_cache,
+                        &mut self.scratch.breakdown,
+                    )
+                    .expect("activity vector sized to profile");
+                let memo = (
+                    self.scratch.breakdown.base_mw * tick as f64,
+                    self.scratch.breakdown.cluster_mw * tick as f64,
+                    self.scratch.breakdown.core_mw.iter().sum::<f64>() * tick as f64,
+                    self.scratch.breakdown.total_mw(),
+                );
+                self.scratch.quiet_acts.clear();
+                self.scratch
+                    .quiet_acts
+                    .extend_from_slice(&self.scratch.acts);
+                self.scratch.quiet_power = Some(memo);
+                memo
+            }
+        };
+
+        // Component-major execution: within a quiet tick the components
+        // read only burst-hoisted constants, never each other's fresh
+        // state, so letting each advance k ticks in its own tight
+        // `quiet_run` loop is bitwise equal to the cyclic tick-major
+        // interleaving (docs/simulator.md). The burst is cut into
+        // segments at trace boundaries — a trace sample needs its tick's
+        // post-RC temperature, which is on hand exactly when the thermal
+        // run stops on that tick. Thermal goes first in each segment: it
+        // alone decides an early stop (a cap change), and every other
+        // component then advances exactly as far.
+        let mut done = 0u64;
+        let mut last_pre_tick_temp = self.thermal.temp_c();
+        let mut cap_changed = false;
+        let full_trace = self.cfg.trace == TraceLevel::Full;
+        while done < n && !cap_changed {
+            let now0 = self.now_us;
+            let remaining = n - done;
+            // Under `TraceLevel::Summary` no trace sample is ever
+            // materialized and `next_trace_us` drives nothing observable
+            // for the rest of the run, so the burst runs as one segment
+            // and leaves that dead clock stale. Under `Full`, segments
+            // end on the tick the trace fires on (the cyclic trigger is
+            // `now0 + j·tick >= next_trace_us`).
+            let (has_trace, seg) = if full_trace {
+                let fire_j = if self.next_trace_us <= now0 {
+                    0
+                } else {
+                    (self.next_trace_us - now0).div_ceil(tick)
+                };
+                let has = fire_j < remaining;
+                (has, if has { fire_j + 1 } else { remaining })
+            } else {
+                (false, remaining)
+            };
+            let (k, pre_temp) = self.thermal.quiet_run(now0, tick, power, seg);
+            // The cyclic loop gauges temperature *before* each tick's RC
+            // step; keep the last one for the batched gauge below.
+            last_pre_tick_temp = pre_temp;
+            let cap = self.thermal.cap_opp();
+            if cap != self.last_thermal_cap {
+                // Emitted on the tick the poll landed, with that tick's
+                // post-step temperature — exactly the cyclic emission.
+                let temp_c = self.thermal.temp_c();
+                self.telemetry.emit(
+                    now0 + (k - 1) * tick,
+                    if cap < self.last_thermal_cap {
+                        EventData::ThermalThrottle {
+                            cap_opp: cap,
+                            temp_c,
+                        }
+                    } else {
+                        EventData::ThermalClear {
+                            cap_opp: cap,
+                            temp_c,
+                        }
+                    },
+                );
+                self.last_thermal_cap = cap;
+                // Re-enter through `quiet_run_len`: the next tick's
+                // hoisted frequencies/OPPs must see the new cap.
+                cap_changed = true;
+            }
+            self.bw.quiet_run(now0, tick, k);
+            self.meter.quiet_run(now0, tick, power, k);
+            for _ in 0..k {
+                self.base_energy += base_add;
+                self.cluster_energy += cluster_add;
+                self.core_energy += core_add;
+            }
+            self.now_us = now0 + k * tick;
+            if has_trace && k == seg {
+                // The segment reached its trace tick (a cap change on
+                // that same tick still traces, as in the cyclic loop).
+                let t_us = now0 + (seg - 1) * tick;
+                if self.cfg.trace == TraceLevel::Full {
+                    self.trace.push(TraceSample {
+                        t_us,
+                        power_mw: power,
+                        temp_c: self.thermal.temp_c(),
+                        quota: self.bw.quota().as_fraction(),
+                        khz: self.scratch.khz.iter().map(|f| f.0).collect(),
+                        util_pct: self
+                            .scratch
+                            .outcome
+                            .busy_us
+                            .iter()
+                            .map(|&b| (b as f32 / tick as f32) * 100.0)
+                            .collect(),
+                    });
+                }
+                self.next_trace_us = t_us + self.cfg.trace_period_us;
+            }
+            done += k;
+        }
+        // The cyclic loop reasserts the cap on the core array every
+        // tick; the value only moves when the burst ends, so once is
+        // enough (and identical).
+        self.cpus.thermal_cap_opp = self.thermal.cap_opp();
+
+        // Batched integer accounting for the ticks that actually ran —
+        // exact, order-insensitive arithmetic. The first tick's streak
+        // increment was applied before the power hoist.
+        let span = done * tick;
+        for i in 0..self.cpus.len() {
+            self.cpus.core_mut(i).idle_streak_us += span - tick;
+        }
+        for idx in 0..self.scratch.online.len() {
+            let i = self.scratch.online[idx];
+            let khz = self.scratch.khz[i];
+            let opp = self.scratch.opps[i];
+            let c = self.cpus.core_mut(i);
+            c.total_online_us += span;
+            c.khz_us_integral += u128::from(khz.0) * u128::from(span);
+            if let Some(slot) = c.time_in_state_us.get_mut(opp) {
+                *slot += span;
+            }
+        }
+        self.bw_denied_last_tick = false;
+        if self.telemetry.is_enabled() {
+            // The warm variants skip the per-call key allocation once
+            // the metric exists — the burst loop must stay
+            // allocation-free when warm (docs/simulator.md).
+            self.telemetry.count_warm("sim.ticks", done);
+            self.telemetry.record_repeat_warm("power_mw", power, done);
+            self.telemetry.gauge_warm("temp_c", last_pre_tick_temp);
+        }
+        self.sysfs_stale = true;
     }
 
     /// Builds the report for whatever has run so far.

@@ -93,6 +93,12 @@ impl SysFs {
         }
     }
 
+    /// Whether any writes are queued but not yet applied (the event
+    /// engine refuses to fast-forward past a pending write).
+    pub fn has_pending_writes(&self) -> bool {
+        !self.pending_writes.is_empty()
+    }
+
     /// Drains queued writes in order, committing each value.
     pub fn take_writes(&mut self) -> Vec<(String, String)> {
         let mut out = Vec::new();

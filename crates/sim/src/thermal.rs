@@ -64,6 +64,14 @@ impl ThermalModel {
         self.cap_opp < self.max_opp
     }
 
+    /// When the control loop next polls, µs — the thermal model's
+    /// declared wake time. The RC integration itself runs every tick in
+    /// both engines (it is float-sequence-sensitive), so this wake is
+    /// [`Inline`](crate::engine::WakeClass::Inline).
+    pub fn next_poll_us(&self) -> u64 {
+        self.next_poll_us
+    }
+
     /// Time-weighted average temperature over the run, °C.
     pub fn avg_temp_c(&self) -> f64 {
         if self.integral_us == 0 {
@@ -103,6 +111,70 @@ impl ThermalModel {
             }
         }
         self.cap_opp
+    }
+
+    /// Runs up to `max_ticks` ticks at constant `power_mw` in one tight
+    /// loop, bit-identically to that many [`ThermalModel::tick`] calls,
+    /// stopping early *after* the tick on which the control loop changes
+    /// the cap (the event engine's quiet fast path must end its burst
+    /// there — docs/simulator.md).
+    ///
+    /// Returns `(ticks_run, pre_tick_temp_c)` where the temperature is
+    /// the one read *before* the last executed tick's RC step — what the
+    /// cyclic loop gauges on that tick. The float sequence (RC step, max,
+    /// integral) is per-tick in cyclic order; only the integer elapsed /
+    /// throttled-time accounting is batched, which is exact because the
+    /// cap — and with it [`ThermalModel::throttling`] — cannot change
+    /// before the tick this method stops on.
+    pub fn quiet_run(
+        &mut self,
+        start_us: u64,
+        tick_us: u64,
+        power_mw: f64,
+        max_ticks: u64,
+    ) -> (u64, f64) {
+        // `steady` and `alpha` are pure in `power_mw`/`tick_us`, both
+        // constant here: hoisting them out of the loop is bitwise equal
+        // to `tick` recomputing them.
+        let steady = self.params.steady_state_c(power_mw);
+        let alpha = match self.alpha_cache {
+            Some((cached_tick, a)) if cached_tick == tick_us => a,
+            _ => {
+                let dt_s = tick_us as f64 / 1_000_000.0;
+                let a = 1.0 - (-dt_s / self.params.tau_s).exp();
+                self.alpha_cache = Some((tick_us, a));
+                a
+            }
+        };
+        let dt_f = tick_us as f64;
+        let cap_at_entry = self.cap_opp;
+        let mut now = start_us;
+        let mut pre_tick_temp = self.temp_c;
+        let mut k = 0u64;
+        while k < max_ticks {
+            pre_tick_temp = self.temp_c;
+            self.temp_c += (steady - self.temp_c) * alpha;
+            self.max_temp_c = self.max_temp_c.max(self.temp_c);
+            self.temp_integral += self.temp_c * dt_f;
+            k += 1;
+            if now >= self.next_poll_us {
+                self.next_poll_us = now + self.poll_period_us;
+                if self.temp_c > self.params.trip_c {
+                    self.cap_opp = self.cap_opp.saturating_sub(1);
+                } else if self.temp_c < self.params.clear_c && self.cap_opp < self.max_opp {
+                    self.cap_opp += 1;
+                }
+                if self.cap_opp != cap_at_entry {
+                    break;
+                }
+            }
+            now += tick_us;
+        }
+        self.integral_us += k * tick_us;
+        if cap_at_entry < self.max_opp {
+            self.throttled_time_us += k * tick_us;
+        }
+        (k, pre_tick_temp)
     }
 }
 
@@ -179,6 +251,40 @@ mod tests {
             now += 1_000;
         }
         assert_eq!(t.cap_opp(), 3);
+    }
+
+    #[test]
+    fn quiet_run_is_bit_identical_to_tick_loop() {
+        // Heat at 3 W through a cap change (steady 46 °C > 42 °C trip),
+        // then cool: the quiet run must stop exactly at each cap change
+        // and, resumed across those stops, leave every field — float
+        // bits included — equal to the plain tick loop's.
+        let mut a = ThermalModel::new(params(), 13, 100_000);
+        let mut b = a.clone();
+        for (power, ticks) in [(3_000.0, 40_000u64), (0.0, 60_000u64)] {
+            let mut now_a = a.integral_us;
+            for _ in 0..ticks {
+                a.tick(now_a, 1_000, power);
+                now_a += 1_000;
+            }
+            let mut left = ticks;
+            let mut now_b = b.integral_us;
+            while left > 0 {
+                let (k, pre) = b.quiet_run(now_b, 1_000, power, left);
+                assert!(k >= 1 && k <= left);
+                assert!(pre.is_finite());
+                now_b += k * 1_000;
+                left -= k;
+            }
+        }
+        assert_eq!(a.temp_c.to_bits(), b.temp_c.to_bits());
+        assert_eq!(a.max_temp_c.to_bits(), b.max_temp_c.to_bits());
+        assert_eq!(a.temp_integral.to_bits(), b.temp_integral.to_bits());
+        assert_eq!(a.integral_us, b.integral_us);
+        assert_eq!(a.throttled_time_us, b.throttled_time_us);
+        assert_eq!(a.cap_opp, b.cap_opp);
+        assert_eq!(a.next_poll_us, b.next_poll_us);
+        assert!(a.throttled_time_us > 0, "the hot phase must have capped");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Concrete workloads (busy-loop kernel app, GeekBench-like suite, games)
 //! live in `mobicore-workloads`.
 
+use crate::engine::Wake;
 use std::collections::VecDeque;
 
 /// Identifier of a simulated thread.
@@ -182,6 +183,21 @@ pub trait Workload {
     /// completions and queue more work.
     fn on_tick(&mut self, now_us: u64, tick_us: u64, rt: &mut WorkloadRt);
 
+    /// The workload's declared wake time for the event-driven engine —
+    /// when it next needs a *full* simulation step.
+    ///
+    /// The contract: returning [`Wake::At`]`(t)` or [`Wake::Never`]
+    /// promises that every [`Workload::on_tick`] call strictly before
+    /// `t` (forever, for `Never`) with an empty completion list is an
+    /// observable no-op — no work queued, no internal state the workload
+    /// later reads. The engine may then skip those calls entirely. When
+    /// in doubt return the default [`Wake::EveryTick`], which is always
+    /// correct (the cyclic engine ignores this method).
+    fn next_tick_us(&self, now_us: u64) -> Wake {
+        let _ = now_us;
+        Wake::EveryTick
+    }
+
     /// Called once after the last tick; produce the final report.
     fn report(&self, now_us: u64, rt: &WorkloadRt) -> WorkloadReport;
 }
@@ -195,6 +211,11 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
     }
     fn on_tick(&mut self, now_us: u64, tick_us: u64, rt: &mut WorkloadRt) {
         (**self).on_tick(now_us, tick_us, rt)
+    }
+    // Forwarded explicitly: the default body would hide the inner
+    // workload's declared wake and pin every boxed workload to EveryTick.
+    fn next_tick_us(&self, now_us: u64) -> Wake {
+        (**self).next_tick_us(now_us)
     }
     fn report(&self, now_us: u64, rt: &WorkloadRt) -> WorkloadReport {
         (**self).report(now_us, rt)

@@ -11,7 +11,7 @@ use std::cell::Cell;
 
 use mobicore_model::{profiles, Khz};
 use mobicore_sim::builtin::PinnedPolicy;
-use mobicore_sim::{SimConfig, Simulation};
+use mobicore_sim::{SimConfig, SimEngine, Simulation};
 use mobicore_workloads::BusyLoop;
 
 /// Counts every allocation and reallocation made by the *current thread*
@@ -87,6 +87,36 @@ fn tick_loop_is_allocation_free_after_warmup() {
         delta, 0,
         "expected zero heap allocations across 1 simulated second of \
          warm tick loop, observed {delta}"
+    );
+}
+
+#[test]
+fn event_engine_quiet_loop_is_allocation_free_after_warmup() {
+    let f_max = Khz(2_265_600);
+    let profile = profiles::nexus5();
+    let cfg = SimConfig::new(profile)
+        .with_duration_secs(3)
+        .with_seed(42)
+        .without_mpdecision()
+        .with_telemetry(false)
+        .with_engine(SimEngine::EventDriven);
+    let mut sim =
+        Simulation::new(cfg, Box::new(PinnedPolicy::new(4, f_max))).expect("valid config");
+
+    // No workload: after warmup the run is one long quiet stretch, so
+    // the loop alternates governor-sample full steps with quiet bursts
+    // — the event engine's warm fast path. The first simulated second
+    // grows the wake queue, the activity/power memo, and every scratch
+    // buffer to steady state.
+    sim.run_until(1_000_000);
+
+    let before = allocs();
+    sim.run_until(2_000_000);
+    let delta = allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "expected zero heap allocations across 1 simulated second of \
+         warm quiet bursts, observed {delta}"
     );
 }
 

@@ -104,6 +104,38 @@ impl EventKind {
     pub fn from_name(name: &str) -> Option<EventKind> {
         EventKind::ALL.into_iter().find(|k| k.name() == name)
     }
+
+    /// One-line human description of the kind — the text the
+    /// docs/observability.md taxonomy tables carry (a test asserts the
+    /// doc and this method stay in sync, descriptions included).
+    pub fn description(self) -> &'static str {
+        match self {
+            EventKind::FreqChange => "A core's DVFS target actually changed.",
+            EventKind::CoreOnline => "A core came online (hotplug-in accepted).",
+            EventKind::CoreOffline => "A core went offline (hotplug-out accepted).",
+            EventKind::HotplugVetoed => {
+                "An offline request was vetoed (core 0 or `mpdecision` running)."
+            }
+            EventKind::HotplugDecision => {
+                "A hotplug policy decided to change the online-core count."
+            }
+            EventKind::QuotaShrink => "The bandwidth quota shrank.",
+            EventKind::QuotaRestore => "The bandwidth quota grew back.",
+            EventKind::ThermalThrottle => "The thermal engine stepped the OPP cap down.",
+            EventKind::ThermalClear => "The thermal engine stepped the OPP cap back up.",
+            EventKind::BwThrottle => "The CFS bandwidth pool started denying runtime.",
+            EventKind::PolicyDecision => {
+                "One MobiCore Figure-8 sampling decision (quota + cores + freq)."
+            }
+            EventKind::DvfsDecision => "One stock-governor DVFS decision.",
+            EventKind::ConnAccepted => "The serve daemon accepted a client connection.",
+            EventKind::ConnClosed => "A client connection closed (gracefully or not).",
+            EventKind::SessionStart => "A serve session completed its handshake.",
+            EventKind::SessionEnd => "A serve session ended (ByeAck sent, or forced close).",
+            EventKind::Backpressure => "A session crossed its queue budget (rising edge only).",
+            EventKind::ServeShutdown => "The serve daemon began graceful shutdown (drain started).",
+        }
+    }
 }
 
 impl std::fmt::Display for EventKind {
@@ -692,6 +724,24 @@ mod tests {
             assert_eq!(EventKind::from_name(k.name()), Some(k));
         }
         assert_eq!(EventKind::from_name("warp-drive"), None);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty_unique_sentences() {
+        // docs/observability.md embeds these verbatim (and the doc-sync
+        // test compares character for character), so a sloppy one ships
+        // straight into the docs.
+        let mut seen = std::collections::BTreeSet::new();
+        for k in EventKind::ALL {
+            let d = k.description();
+            assert!(!d.is_empty(), "{} has no description", k.name());
+            assert!(
+                d.ends_with('.'),
+                "{} description is not a sentence: {d:?}",
+                k.name()
+            );
+            assert!(seen.insert(d), "duplicate description {d:?}");
+        }
     }
 
     #[test]

@@ -84,6 +84,24 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records the same value `n` times, bit-identically to `n`
+    /// consecutive [`Histogram::record`] calls (the sum is accumulated
+    /// by repeated addition, not `v * n`, so a batch produces the exact
+    /// float the per-call path would) — how the event engine folds a
+    /// quiet burst of constant-power ticks into one call.
+    pub fn record_repeat(&mut self, v: f64, n: u64) {
+        if n == 0 || !v.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(v)] += n;
+        self.count += n;
+        for _ in 0..n {
+            self.sum += v;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -191,9 +209,32 @@ impl MetricSet {
         *self.counters.entry(name.to_string()).or_insert(0) += by;
     }
 
+    /// Adds `by` to counter `name` without allocating when the counter
+    /// already exists. The `entry` API needs an owned key up front, so
+    /// [`MetricSet::inc`] pays a `String` per call; hot paths that hit
+    /// the same few names millions of times (the simulator's quiet-burst
+    /// loop, docs/simulator.md) use this get-first variant instead.
+    pub fn inc_warm(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.inc(name, by);
+        }
+    }
+
     /// Sets gauge `name` to `value`.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
         self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Sets gauge `name` without allocating when it already exists (see
+    /// [`MetricSet::inc_warm`]).
+    pub fn set_gauge_warm(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.set_gauge(name, value);
+        }
     }
 
     /// Records `value` into histogram `name` (creating it empty).
@@ -202,6 +243,35 @@ impl MetricSet {
             .entry(name.to_string())
             .or_default()
             .record(value);
+    }
+
+    /// Records `value` into histogram `name` `n` times (see
+    /// [`Histogram::record_repeat`]).
+    pub fn record_repeat(&mut self, name: &str, value: f64, n: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_repeat(value, n);
+    }
+
+    /// Records into histogram `name` without allocating when the
+    /// histogram already exists (see [`MetricSet::inc_warm`]).
+    pub fn record_warm(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            self.record(name, value);
+        }
+    }
+
+    /// Records into histogram `name` `n` times without allocating when
+    /// the histogram already exists (see [`MetricSet::inc_warm`]).
+    pub fn record_repeat_warm(&mut self, name: &str, value: f64, n: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record_repeat(value, n);
+        } else {
+            self.record_repeat(name, value, n);
+        }
     }
 
     /// Counter value, if the counter exists.
@@ -324,6 +394,23 @@ mod tests {
     }
 
     #[test]
+    fn record_repeat_is_bit_identical_to_repeated_record() {
+        let mut one_by_one = Histogram::new();
+        let mut batched = Histogram::new();
+        // A value whose repeated addition accumulates rounding error, so
+        // a `v * n` shortcut would diverge bit-wise.
+        let v = 731.0483757;
+        for _ in 0..1_000 {
+            one_by_one.record(v);
+        }
+        batched.record_repeat(v, 1_000);
+        assert_eq!(one_by_one, batched);
+        batched.record_repeat(f64::NAN, 5); // ignored
+        batched.record_repeat(1.0, 0); // no-op
+        assert_eq!(one_by_one, batched);
+    }
+
+    #[test]
     fn metric_set_rollups() {
         let mut m = MetricSet::new();
         m.inc("sim.ticks", 100);
@@ -340,5 +427,33 @@ mod tests {
         assert_eq!(roll.get("power_mw.max"), Some(&700.0));
         assert!((roll.get("power_mw.mean").unwrap() - 600.0).abs() < 1e-12);
         assert!(roll.contains_key("power_mw.p50") && roll.contains_key("power_mw.p99"));
+    }
+
+    #[test]
+    fn warm_variants_match_cold_ones() {
+        let mut cold = MetricSet::new();
+        let mut warm = MetricSet::new();
+        for m in [&mut cold, &mut warm] {
+            m.inc("sim.ticks", 1);
+            m.set_gauge("temp_c", 30.0);
+            m.record_repeat("power_mw", 41.5, 3);
+        }
+        // Warm calls on existing names, plus one on a fresh name each
+        // (the fall-back creation path).
+        cold.inc("sim.ticks", 7);
+        warm.inc_warm("sim.ticks", 7);
+        cold.set_gauge("temp_c", 32.5);
+        warm.set_gauge_warm("temp_c", 32.5);
+        cold.record_repeat("power_mw", 41.5, 19);
+        warm.record_repeat_warm("power_mw", 41.5, 19);
+        cold.record("power_mw", 7.25);
+        warm.record_warm("power_mw", 7.25);
+        cold.inc("sim.samples", 2);
+        warm.inc_warm("sim.samples", 2);
+        cold.set_gauge("quota", 1.0);
+        warm.set_gauge_warm("quota", 1.0);
+        cold.record_repeat("util", 9.0, 2);
+        warm.record_repeat_warm("util", 9.0, 2);
+        assert_eq!(cold, warm);
     }
 }

@@ -6,7 +6,7 @@
 //! spends its day on.
 
 use mobicore_model::Khz;
-use mobicore_sim::{ThreadId, Workload, WorkloadReport, WorkloadRt};
+use mobicore_sim::{ThreadId, Wake, Workload, WorkloadReport, WorkloadRt};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -157,6 +157,17 @@ impl Workload for AppLaunch {
         }
     }
 
+    fn next_tick_us(&self, _now_us: u64) -> Wake {
+        match self.state {
+            // Ticks before the gap expires match the Idle arm's
+            // `now_us < until_us` branch: nothing happens.
+            LaunchState::Idle { until_us } => Wake::At(until_us),
+            // Launching watches completions; Settling tops work up as
+            // soon as the main thread drains — both need every tick.
+            LaunchState::Launching { .. } | LaunchState::Settling { .. } => Wake::EveryTick,
+        }
+    }
+
     fn report(&self, _now_us: u64, _rt: &WorkloadRt) -> WorkloadReport {
         WorkloadReport::named(self.name())
             .with_metric("launches", self.launches as f64)
@@ -239,6 +250,19 @@ impl Workload for VideoPlayback {
             self.next_tag += 1;
             self.inflight_deadline = Some(next_at + self.period_us);
             self.next_frame_at = Some(next_at + self.period_us);
+        }
+    }
+
+    fn next_tick_us(&self, _now_us: u64) -> Wake {
+        // A frame in flight means a completion may land any tick, and
+        // before the first tick the playback clock is not anchored yet.
+        if self.inflight_deadline.is_some() {
+            return Wake::EveryTick;
+        }
+        match self.next_frame_at {
+            // Between frames nothing happens until the next frame is due.
+            Some(t) => Wake::At(t),
+            None => Wake::EveryTick,
         }
     }
 

@@ -11,7 +11,7 @@ use crate::apps::{AppLaunch, VideoPlayback};
 use crate::busyloop::BusyLoop;
 use crate::games::{GameApp, GameProfile};
 use mobicore_model::DeviceProfile;
-use mobicore_sim::{Workload, WorkloadReport, WorkloadRt};
+use mobicore_sim::{Wake, Workload, WorkloadReport, WorkloadRt};
 
 struct Phase {
     start_us: u64,
@@ -79,12 +79,13 @@ impl Scenario {
 
 /// Names of the standard scenarios [`by_name`] builds — the shared
 /// vocabulary of the serve load generator, the experiments, and docs.
-pub const CATALOG: [&str; 5] = [
+pub const CATALOG: [&str; 6] = [
     "steady-video",
     "bursty-launches",
     "gaming",
     "mixed-day",
     "mixed-day-mini",
+    "idle-day",
 ];
 
 /// Builds a named standard scenario for `profile`, deterministic given
@@ -95,7 +96,12 @@ pub const CATALOG: [&str; 5] = [
 /// * `gaming` — 60 s of Real Racing 3, the heaviest §6 game;
 /// * `mixed-day` — video → busy loop → game → launch storm, 15 s each;
 /// * `mixed-day-mini` — the same arc compressed into 6 s, cheap enough
-///   for unit tests and loopback smoke runs.
+///   for unit tests and loopback smoke runs;
+/// * `idle-day` — a 0.3 s video blip, ~59 s of silence, then one app
+///   launch in the final 0.3 s: the screen-mostly-off pattern a phone
+///   spends most of its day on (>99 % idle), and the scenario where the
+///   event-driven engine's fast-forward pays most (the bench-05 idle
+///   throughput metric runs it).
 pub fn by_name(name: &str, profile: &DeviceProfile, seed: u64) -> Option<Scenario> {
     let f_ref = profile.opps().max_khz();
     let s = match name {
@@ -131,6 +137,13 @@ pub fn by_name(name: &str, profile: &DeviceProfile, seed: u64) -> Option<Scenari
                 Box::new(BusyLoop::with_target_util(2, 0.6, f_ref, seed)),
             )
             .phase_secs(4, 6, Box::new(AppLaunch::new(500_000, seed))),
+        "idle-day" => Scenario::new()
+            .phase(0, 300_000, Box::new(VideoPlayback::new(12_000_000)))
+            .phase(
+                59_700_000,
+                60_000_000,
+                Box::new(AppLaunch::new(250_000, seed)),
+            ),
         _ => return None,
     };
     Some(s)
@@ -158,6 +171,30 @@ impl Workload for Scenario {
                 p.inner.on_tick(now_us, tick_us, rt);
             }
         }
+    }
+
+    fn next_tick_us(&self, now_us: u64) -> Wake {
+        // Fold the phases' wakes: a phase not yet started wakes at its
+        // window opening; an active phase defers to its inner workload,
+        // except that an inner wake at-or-after the window close means
+        // the phase never acts again (ticks inside the window before the
+        // inner wake are no-ops by the inner's own contract, and outside
+        // the window the phase does not tick it at all).
+        let mut wake = Wake::Never;
+        for p in &self.phases {
+            let contribution = if now_us < p.start_us {
+                Wake::At(p.start_us)
+            } else if now_us < p.end_us {
+                match p.inner.next_tick_us(now_us) {
+                    Wake::At(t) if t >= p.end_us => Wake::Never,
+                    w => w,
+                }
+            } else {
+                Wake::Never
+            };
+            wake = wake.earliest_of(contribution);
+        }
+        wake
     }
 
     fn report(&self, now_us: u64, rt: &WorkloadRt) -> WorkloadReport {

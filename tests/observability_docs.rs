@@ -40,6 +40,26 @@ fn every_event_kind_is_documented() {
 }
 
 #[test]
+fn every_event_kind_description_matches_the_doc_verbatim() {
+    // Names alone let the prose rot (the doc once described retired
+    // serve kinds next to the right names); the taxonomy tables carry a
+    // description column that must be `EventKind::description()`
+    // character for character.
+    let doc = doc();
+    let section = event_section(&doc);
+    for kind in EventKind::ALL {
+        let row = format!("| `{}` | {} |", kind.name(), kind.description());
+        assert!(
+            section.contains(&row),
+            "docs/observability.md row for `{}` does not carry its \
+             code description verbatim; expected a table row starting \
+             with: {row}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
 fn every_documented_kind_exists_in_code() {
     let doc = doc();
     // Table rows in the taxonomy section lead with | `kind-name` |.
