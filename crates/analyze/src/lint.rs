@@ -303,7 +303,7 @@ struct RegistrySpec {
     what: &'static str,
 }
 
-const REGISTRIES: [RegistrySpec; 5] = [
+const REGISTRIES: [RegistrySpec; 6] = [
     RegistrySpec {
         source: "crates/sim/src/config.rs",
         extract: Extract::ArrayStrings("ENGINE_NAMES"),
@@ -333,6 +333,12 @@ const REGISTRIES: [RegistrySpec; 5] = [
         extract: Extract::ArrayStrings("PROFILE_NAMES"),
         doc: "docs/serving.md",
         what: "device profile",
+    },
+    RegistrySpec {
+        source: "crates/serve/src/router.rs",
+        extract: Extract::ArrayStrings("ROUTER_FRAMES"),
+        doc: "docs/serving.md",
+        what: "router frame type",
     },
 ];
 

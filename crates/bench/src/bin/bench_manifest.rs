@@ -8,7 +8,7 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_05.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_06.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
@@ -146,7 +146,8 @@ fn sweep_jobs_per_s(n_jobs: usize, secs: u64, rounds: usize) -> f64 {
 /// Loopback serve throughput: a `mobicore-serve` daemon plus a
 /// `mobicore-load` run in the same process, reporting decisions per
 /// wall-second and RTT quantiles (µs) exactly as the `mobicore-load`
-/// CLI would.
+/// CLI would. Snapshots ride the windowed batching path (corked
+/// writes, coalesced flushes).
 fn serve_loopback(sessions: usize) -> mobicore_serve::LoadReport {
     let server = mobicore_serve::Server::bind(
         "127.0.0.1:0",
@@ -173,10 +174,62 @@ fn serve_loopback(sessions: usize) -> mobicore_serve::LoadReport {
     report
 }
 
+/// Fleet throughput: a `mobicore-router` in front of two in-process
+/// serve shards, driven by the fleet orchestrator — `sessions` device
+/// sessions multiplexed over hot router connections, each session a
+/// Route+Hello round trip, one windowed snapshot batch, and a Bye.
+fn fleet_loopback(sessions: usize) -> mobicore_serve::FleetReport {
+    let shard_cfg = || {
+        mobicore_serve::ServeConfig::default()
+            .with_workers(2)
+            .with_drain_deadline(std::time::Duration::from_secs(3))
+    };
+    let s0 = mobicore_serve::Server::bind("127.0.0.1:0", shard_cfg()).expect("bind s0");
+    let s1 = mobicore_serve::Server::bind("127.0.0.1:0", shard_cfg()).expect("bind s1");
+    let shards = vec![
+        mobicore_serve::Shard {
+            name: "s0".to_string(),
+            addr: s0.local_addr().to_string(),
+        },
+        mobicore_serve::Shard {
+            name: "s1".to_string(),
+            addr: s1.local_addr().to_string(),
+        },
+    ];
+    let router = mobicore_serve::Router::bind(
+        "127.0.0.1:0",
+        shards,
+        mobicore_serve::RouterConfig::default()
+            .with_workers(2)
+            .with_drain_deadline(std::time::Duration::from_secs(3)),
+    )
+    .expect("bind router");
+    let cfg = mobicore_serve::FleetConfig {
+        sessions,
+        per_conn: 250,
+        drivers: 4,
+        window: 8,
+        record_secs: 1,
+        snapshots_per_session: 2,
+        seed: 20_170_315,
+        ..mobicore_serve::FleetConfig::default()
+    };
+    let report = mobicore_serve::run_fleet(&router.local_addr().to_string(), &cfg)
+        .expect("fleet loopback runs");
+    assert!(
+        report.clean(),
+        "bench fleet run must be loss-free and byte-identical: {report:?}"
+    );
+    router.shutdown();
+    s0.shutdown();
+    s1.shutdown();
+    report
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_05.json".into());
+        .unwrap_or_else(|| "BENCH_06.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -235,7 +288,17 @@ fn main() {
         serve.rtt_us.quantile(0.999),
     );
 
-    let mut m = sim.manifest("bench-05");
+    eprintln!("measuring fleet throughput (router + 2 shards, 100k sessions)...");
+    let fleet = fleet_loopback(100_000);
+    eprintln!(
+        "fleet: {} sessions over {} shard(s), {:.0} decisions/s, rtt p99 {:.0} us",
+        fleet.sessions,
+        fleet.shard_sessions.len(),
+        fleet.decisions_per_s,
+        fleet.rtt_us.quantile(0.99),
+    );
+
+    let mut m = sim.manifest("bench-06");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -262,6 +325,14 @@ fn main() {
     m.metrics
         .insert("bench.sweep_speedup_j4_over_j1".into(), speedup);
     m.metrics.insert("bench.host_cpus".into(), host_cpus as f64);
+    if host_cpus == 1 {
+        // A single-CPU host cannot show parallel speedup; the ratio is
+        // still recorded for the trend line, but this tag tells readers
+        // (and the bench gate) that it is not a meaningful signal here.
+        m.tags
+            .insert("sweep_speedup".into(), "skipped-single-cpu".into());
+        eprintln!("sweep speedup tagged skipped-single-cpu (host has 1 cpu)");
+    }
     m.metrics
         .insert("serve.decisions_per_s".into(), serve.decisions_per_s);
     m.metrics
@@ -273,6 +344,22 @@ fn main() {
     #[allow(clippy::cast_precision_loss)]
     m.metrics
         .insert("serve.sessions".into(), serve.sessions as f64);
+    #[allow(clippy::cast_precision_loss)]
+    m.metrics
+        .insert("fleet.sessions".into(), fleet.sessions as f64);
+    m.metrics
+        .insert("fleet.decisions_per_s".into(), fleet.decisions_per_s);
+    m.metrics
+        .insert("fleet.rtt_p99_us".into(), fleet.rtt_us.quantile(0.99));
+    for (name, hist) in &fleet.shard_rtt_us {
+        m.metrics
+            .insert(format!("fleet.rtt_p99_us.{name}"), hist.quantile(0.99));
+    }
+    #[allow(clippy::cast_precision_loss)]
+    for (name, sessions) in &fleet.shard_sessions {
+        m.metrics
+            .insert(format!("fleet.sessions.{name}"), *sessions as f64);
+    }
 
     match std::fs::write(&out, m.to_json_text()) {
         Ok(()) => {

@@ -72,10 +72,8 @@ fn fresh_serve_decisions_per_s() -> f64 {
     report.decisions_per_s
 }
 
-/// The newest committed `BENCH_NN.json` at the repo root carrying
-/// `metric`, if any (older baselines predate some metrics — a gate
-/// whose metric is absent simply has no baseline yet).
-fn latest_committed_baseline(root: &Path, metric: &str) -> Option<(PathBuf, f64)> {
+/// The newest committed `BENCH_NN.json` manifest at the repo root.
+fn latest_committed_manifest(root: &Path) -> Option<(PathBuf, RunManifest)> {
     let mut candidates: Vec<PathBuf> = std::fs::read_dir(root)
         .ok()?
         .filter_map(Result::ok)
@@ -91,6 +89,14 @@ fn latest_committed_baseline(root: &Path, metric: &str) -> Option<(PathBuf, f64)
     let newest = candidates.pop()?;
     let text = std::fs::read_to_string(&newest).ok()?;
     let m = RunManifest::from_json_text(&text).ok()?;
+    Some((newest, m))
+}
+
+/// The newest committed baseline value for `metric`, if any (older
+/// baselines predate some metrics — a gate whose metric is absent
+/// simply has no baseline yet).
+fn latest_committed_baseline(root: &Path, metric: &str) -> Option<(PathBuf, f64)> {
+    let (newest, m) = latest_committed_manifest(root)?;
     let v = m.metrics.get(metric).copied()?;
     Some((newest, v))
 }
@@ -129,6 +135,99 @@ fn bench_gate_sim_throughput_within_25_pct_of_committed() {
          (baseline {baseline:.1} from {})",
         MAX_REGRESSION * 100.0,
         baseline_path.display()
+    );
+}
+
+#[test]
+fn bench_gate_sweep_speedup_meaningful_only_on_multi_cpu_hosts() {
+    if std::env::var("MOBICORE_BENCH_GATE").as_deref() != Ok("1") {
+        eprintln!("sweep gate skipped (set MOBICORE_BENCH_GATE=1 to enable)");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "sweep gate skipped: needs an optimized build \
+             (run with `cargo test --release`)"
+        );
+        return;
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if host_cpus == 1 {
+        // A single-CPU host cannot exhibit parallel speedup; bench-manifest
+        // still records the ratio but tags it skipped, and this gate
+        // follows suit rather than failing on a meaningless number.
+        eprintln!("sweep gate skipped: host has 1 cpu, j4-over-j1 speedup is not meaningful");
+        return;
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Some((baseline_path, baseline_manifest)) = latest_committed_manifest(&root) else {
+        eprintln!("sweep gate skipped: no committed BENCH_*.json found");
+        return;
+    };
+    if baseline_manifest
+        .tags
+        .get("sweep_speedup")
+        .is_some_and(|t| t.starts_with("skipped"))
+        || baseline_manifest.metrics.get("bench.host_cpus").copied() == Some(1.0)
+    {
+        eprintln!(
+            "sweep gate skipped: baseline {} was recorded on a single-cpu host",
+            baseline_path.display()
+        );
+        return;
+    }
+    let Some(baseline) = baseline_manifest
+        .metrics
+        .get("bench.sweep_speedup_j4_over_j1")
+        .copied()
+    else {
+        eprintln!("sweep gate skipped: no committed baseline carries the sweep speedup");
+        return;
+    };
+    // On a multi-core host the floor is the stricter of "within 25 % of
+    // the committed speedup" and "actually faster than serial at all".
+    let floor = (baseline * (1.0 - MAX_REGRESSION)).max(1.0);
+    let _serial = GATE_LOCK.lock().expect("gate lock");
+    let fresh = {
+        use mobicore_experiments::runner::{run_pinned, ManifestSink};
+        use mobicore_sweep::Executor;
+        let profile = profiles::nexus5();
+        let sink = ManifestSink::disabled();
+        let measure = |n_jobs: usize| {
+            let exec = Executor::new(n_jobs);
+            let mut jobs = Vec::new();
+            for &opp in &[0usize, 4, 9, 13] {
+                for cores in 1..=4usize {
+                    jobs.push((cores, opp));
+                }
+            }
+            let n = jobs.len();
+            let t = Instant::now();
+            let reports = exec.run_ordered(jobs, |_, (cores, opp)| {
+                let khz = profile.opps().get_clamped(opp).khz;
+                run_pinned(
+                    &profile,
+                    cores,
+                    khz,
+                    vec![Box::new(BusyLoop::with_target_util(cores, 0.8, khz, 2))],
+                    3,
+                    20_170_315,
+                    &sink,
+                )
+            });
+            std::hint::black_box(reports);
+            n as f64 / t.elapsed().as_secs_f64()
+        };
+        measure(4) / measure(1)
+    };
+    eprintln!(
+        "sweep gate: fresh speedup x{fresh:.2} vs baseline x{baseline:.2}, floor x{floor:.2}"
+    );
+    assert!(
+        fresh >= floor,
+        "sweep speedup regressed: fresh x{fresh:.2} < floor x{floor:.2} (baseline x{baseline:.2})"
     );
 }
 

@@ -29,6 +29,15 @@ fn run_sim(policy: Box<dyn CpuPolicy>, scenario_name: &str, secs: u64) -> (Strin
 }
 
 fn assert_remote_equals_local(policy_name: &str, scenario_name: &str, secs: u64) {
+    assert_remote_equals_local_with_window(policy_name, scenario_name, secs, 1);
+}
+
+fn assert_remote_equals_local_with_window(
+    policy_name: &str,
+    scenario_name: &str,
+    secs: u64,
+    window: usize,
+) {
     let profile = mobicore_model::profiles::nexus5();
     let server = Server::bind(
         "127.0.0.1:0",
@@ -43,7 +52,9 @@ fn assert_remote_equals_local(policy_name: &str, scenario_name: &str, secs: u64)
         .expect("policy exists locally");
     let (local_report, local_events, local_manifest) = run_sim(local, scenario_name, secs);
 
-    let remote = RemotePolicy::connect(&addr, policy_name, "nexus5", 7).expect("connect");
+    let remote = RemotePolicy::connect(&addr, policy_name, "nexus5", 7)
+        .expect("connect")
+        .with_window(window);
     assert_eq!(
         remote.name(),
         policy_name,
@@ -83,4 +94,11 @@ fn stock_governor_over_loopback_matches_in_process() {
     // A different policy family: the stock Android stack attaches its
     // own telemetry notes, which must survive the wire round-trip too.
     assert_remote_equals_local("android-default", "mixed-day-mini", 2);
+}
+
+#[test]
+fn pipelined_window_over_loopback_matches_in_process() {
+    // A pipelining window > 1 changes frame batching (corked writes,
+    // coalesced flushes) but must not change a single decision byte.
+    assert_remote_equals_local_with_window("mobicore", "mixed-day-mini", 2, 4);
 }

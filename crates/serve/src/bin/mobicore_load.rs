@@ -1,27 +1,41 @@
 //! The `mobicore-load` generator binary.
 //!
 //! ```text
-//! mobicore-load ADDR [--sessions N] [--drivers N] [--policy NAME]
-//!               [--profile NAME] [--scenario NAME] [--seed N]
-//!               [--snapshots N] [--no-verify] [--manifest PATH]
+//! mobicore-load ADDR [--sessions N] [--drivers N] [--window W]
+//!               [--policy NAME] [--profile NAME] [--scenario NAME]
+//!               [--seed N] [--snapshots N] [--no-verify]
+//!               [--manifest PATH]
+//! mobicore-load ADDR --fleet N [--per-conn N] [--drivers N]
+//!               [--window W] [--policy NAME] [--profile NAME]
+//!               [--scenario NAME] [--seed N] [--snapshots N]
+//!               [--no-verify] [--manifest PATH] [--det-manifest PATH]
 //! ```
 //!
-//! Opens `--sessions` concurrent sessions against the daemon at
-//! `ADDR`, replays the recorded scenario stream through each, and
-//! prints decisions/s plus RTT p50/p99/p999. Exits nonzero when any
-//! decision was dropped, reordered, or differed from the in-process
-//! reference.
+//! Without `--fleet`: opens `--sessions` concurrent sessions against
+//! the daemon at `ADDR`, replays the recorded scenario stream through
+//! each in windowed batches, and prints decisions/s plus RTT
+//! p50/p99/p999.
+//!
+//! With `--fleet N`: drives N device sessions through the
+//! `mobicore-router` at `ADDR`, multiplexed `--per-conn` to a
+//! connection, and prints overall and per-shard tallies;
+//! `--det-manifest` writes the deterministic aggregate manifest
+//! (byte-identical run to run at a fixed seed).
+//!
+//! Either mode exits nonzero when any decision was dropped, reordered,
+//! or differed from the in-process reference.
 
 #![forbid(unsafe_code)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 
-use mobicore_serve::{run_load, LoadConfig};
+use mobicore_serve::{run_fleet, run_load, FleetConfig, LoadConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mobicore-load ADDR [--sessions N] [--drivers N] [--policy NAME] \
-         [--profile NAME] [--scenario NAME] [--seed N] [--snapshots N] \
-         [--no-verify] [--manifest PATH]"
+        "usage: mobicore-load ADDR [--fleet N] [--sessions N] [--per-conn N] \
+         [--drivers N] [--window W] [--policy NAME] [--profile NAME] \
+         [--scenario NAME] [--seed N] [--snapshots N] [--no-verify] \
+         [--manifest PATH] [--det-manifest PATH]"
     );
     std::process::exit(2)
 }
@@ -42,12 +56,18 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
     let mut cfg = LoadConfig::default();
+    let mut fleet_sessions: Option<usize> = None;
+    let mut per_conn: usize = 128;
     let mut manifest_path: Option<String> = None;
+    let mut det_manifest_path: Option<String> = None;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--fleet" => fleet_sessions = Some(parse(&mut args, "--fleet")),
+            "--per-conn" => per_conn = parse(&mut args, "--per-conn"),
             "--sessions" => cfg.sessions = parse(&mut args, "--sessions"),
             "--drivers" => cfg.drivers = parse(&mut args, "--drivers"),
+            "--window" => cfg.window = parse(&mut args, "--window"),
             "--policy" => cfg.policy = parse(&mut args, "--policy"),
             "--profile" => cfg.profile = parse(&mut args, "--profile"),
             "--scenario" => cfg.scenario = parse(&mut args, "--scenario"),
@@ -55,6 +75,7 @@ fn main() {
             "--snapshots" => cfg.snapshots_per_session = parse(&mut args, "--snapshots"),
             "--no-verify" => cfg.verify = false,
             "--manifest" => manifest_path = Some(parse(&mut args, "--manifest")),
+            "--det-manifest" => det_manifest_path = Some(parse(&mut args, "--det-manifest")),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && addr.is_none() => addr = Some(other.to_string()),
             other => {
@@ -64,6 +85,18 @@ fn main() {
         }
     }
     let Some(addr) = addr else { usage() };
+
+    if let Some(sessions) = fleet_sessions {
+        run_fleet_mode(
+            &addr,
+            &cfg,
+            sessions,
+            per_conn,
+            manifest_path,
+            det_manifest_path,
+        );
+        return;
+    }
 
     let report = match run_load(&addr, &cfg) {
         Ok(r) => r,
@@ -94,6 +127,82 @@ fn main() {
     );
     if let Some(path) = &manifest_path {
         let manifest = report.manifest("mobicore-load", &cfg);
+        if let Err(e) = std::fs::write(path, manifest.to_json_text()) {
+            eprintln!("mobicore-load: cannot write {path}: {e}");
+        }
+    }
+    if !report.clean() {
+        eprintln!("mobicore-load: FAILED integrity checks");
+        std::process::exit(1);
+    }
+}
+
+fn run_fleet_mode(
+    addr: &str,
+    base: &LoadConfig,
+    sessions: usize,
+    per_conn: usize,
+    manifest_path: Option<String>,
+    det_manifest_path: Option<String>,
+) {
+    let cfg = FleetConfig {
+        sessions,
+        per_conn,
+        drivers: base.drivers,
+        window: base.window,
+        policy: base.policy.clone(),
+        profile: base.profile.clone(),
+        scenario: base.scenario.clone(),
+        seed: base.seed,
+        record_secs: base.record_secs,
+        snapshots_per_session: base.snapshots_per_session,
+        verify: base.verify,
+    };
+    let report = match run_fleet(addr, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mobicore-load: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fleet sessions={} decisions={} ({} server-side) stream_len={} wall_s={:.3}",
+        report.sessions,
+        report.decisions,
+        report.server_decisions,
+        report.stream_len,
+        report.wall_s,
+    );
+    println!(
+        "decisions/s={:.0} rtt p50={:.0}us p99={:.0}us backpressure={}",
+        report.decisions_per_s,
+        report.rtt_us.quantile(0.50),
+        report.rtt_us.quantile(0.99),
+        report.backpressure_seen,
+    );
+    for (name, n) in &report.shard_sessions {
+        println!(
+            "shard {name}: sessions={} decisions={} rtt p99={:.0}us",
+            n,
+            report.shard_decisions.get(name).copied().unwrap_or(0),
+            report
+                .shard_rtt_us
+                .get(name)
+                .map_or(0.0, |h| h.quantile(0.99)),
+        );
+    }
+    println!(
+        "errors={} reordered={} mismatches={}",
+        report.errors, report.reordered, report.mismatches,
+    );
+    if let Some(path) = &manifest_path {
+        let manifest = report.manifest("mobicore-fleet", &cfg);
+        if let Err(e) = std::fs::write(path, manifest.to_json_text()) {
+            eprintln!("mobicore-load: cannot write {path}: {e}");
+        }
+    }
+    if let Some(path) = &det_manifest_path {
+        let manifest = report.deterministic_manifest("mobicore-fleet", &cfg);
         if let Err(e) = std::fs::write(path, manifest.to_json_text()) {
             eprintln!("mobicore-load: cannot write {path}: {e}");
         }

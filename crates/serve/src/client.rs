@@ -3,10 +3,22 @@
 //! sampling window over the wire and replays the daemon's decision
 //! locally, so a `Simulation` driven by a remote policy is
 //! byte-identical to one running the same policy in process.
+//!
+//! Frame I/O is *corked*: every outgoing frame is appended to a write
+//! buffer and nothing touches the socket until an explicit flush point
+//! ([`ClientSession::flush`], or implicitly the first blocking read) —
+//! so a batch of pipelined snapshots costs one `write` syscall, not
+//! one per frame. Pipelining is windowed: up to
+//! [`ClientSession::window`] snapshots may be in flight
+//! ([`ClientSession::submit`]) before decisions must be collected
+//! ([`ClientSession::collect`]); the lockstep
+//! [`ClientSession::request`] is submit + flush + collect with a
+//! window of one frame in flight.
 
-use crate::protocol::{decode_frame, frame_bytes, Frame, WireError, PROTOCOL_VERSION};
+use crate::protocol::{decode_frame, encode_frame, Frame, WireError, PROTOCOL_VERSION};
 use mobicore_sim::{Command, CpuControl, CpuPolicy, PolicySnapshot};
 use mobicore_telemetry::{EventData, Histogram};
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
@@ -32,6 +44,11 @@ pub enum ClientError {
     UnexpectedFrame(&'static str),
     /// The peer closed the connection mid-exchange.
     Disconnected,
+    /// `submit` was called with the pipelining window already full;
+    /// collect a decision first.
+    WindowFull,
+    /// `collect` was called with nothing in flight.
+    NothingInFlight,
 }
 
 impl std::fmt::Display for ClientError {
@@ -45,6 +62,8 @@ impl std::fmt::Display for ClientError {
             ClientError::GoingAway(reason) => write!(f, "server going away: {reason}"),
             ClientError::UnexpectedFrame(what) => write!(f, "unexpected frame: {what}"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::WindowFull => write!(f, "pipelining window is full"),
+            ClientError::NothingInFlight => write!(f, "no request in flight to collect"),
         }
     }
 }
@@ -74,17 +93,28 @@ pub struct RemoteDecision {
     pub notes: Vec<EventData>,
 }
 
-/// A blocking protocol session: connect, handshake, lockstep
+/// A blocking protocol session: connect, handshake, windowed
 /// snapshot→decision exchanges, clean Bye/ByeAck teardown.
+///
+/// One connection can carry many sessions back to back
+/// ([`ClientSession::end_session`] then [`ClientSession::hello`]
+/// again) — through a `mobicore-router`, each is preceded by
+/// [`ClientSession::route`] so consecutive sessions may land on
+/// different shards over the same hot client connection.
 #[derive(Debug)]
 pub struct ClientSession {
     stream: TcpStream,
     rbuf: Vec<u8>,
     rpos: usize,
+    wbuf: Vec<u8>,
     seq: u64,
+    inflight: VecDeque<u64>,
+    window: usize,
+    server_window: u32,
     session_id: u64,
     policy_name: String,
     sampling_us: u64,
+    shard: Option<(u32, String)>,
     backpressure_seen: u64,
     going_away: bool,
 }
@@ -117,48 +147,79 @@ impl ClientSession {
         seed: u64,
         timeout: Duration,
     ) -> Result<ClientSession, ClientError> {
+        let mut sess = Self::connect_raw_with_timeout(addr, timeout)?;
+        sess.hello(policy, profile, seed)?;
+        Ok(sess)
+    }
+
+    /// Opens the TCP connection without starting a session. Follow
+    /// with [`ClientSession::route`] (against a router) and/or
+    /// [`ClientSession::hello`].
+    ///
+    /// # Errors
+    ///
+    /// Socket errors only; nothing is sent yet.
+    pub fn connect_raw<A: ToSocketAddrs>(addr: A) -> Result<ClientSession, ClientError> {
+        Self::connect_raw_with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// [`ClientSession::connect_raw`] with explicit read/write
+    /// timeouts.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientSession::connect_raw`].
+    pub fn connect_raw_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<ClientSession, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        let mut sess = ClientSession {
+        Ok(ClientSession {
             stream,
             rbuf: Vec::new(),
             rpos: 0,
+            wbuf: Vec::new(),
             seq: 0,
+            inflight: VecDeque::new(),
+            window: 1,
+            server_window: 0,
             session_id: 0,
             policy_name: String::new(),
             sampling_us: 0,
+            shard: None,
             backpressure_seen: 0,
             going_away: false,
-        };
-        sess.send(&Frame::Hello {
-            version: PROTOCOL_VERSION,
-            policy: policy.to_string(),
-            profile: profile.to_string(),
-            seed,
-        })?;
-        match sess.recv()? {
-            Frame::HelloAck {
-                version,
-                session,
-                policy,
-                sampling_us,
-            } => {
-                if version != PROTOCOL_VERSION {
-                    return Err(ClientError::UnexpectedFrame("HelloAck version"));
-                }
-                sess.session_id = session;
-                sess.policy_name = policy;
-                sess.sampling_us = sampling_us;
-                Ok(sess)
-            }
-            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
-            _ => Err(ClientError::UnexpectedFrame("expected HelloAck")),
+        })
+    }
+
+    /// Sets the requested pipelining window (clamped to ≥ 1); the
+    /// effective window is additionally capped by what the server
+    /// advertises in its HelloAck.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.set_window(window);
+        self
+    }
+
+    /// See [`ClientSession::with_window`].
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// The effective pipelining window: the configured request capped
+    /// by the server's advertisement (once a HelloAck has arrived).
+    pub fn window(&self) -> usize {
+        if self.server_window == 0 {
+            self.window
+        } else {
+            self.window.min(self.server_window as usize).max(1)
         }
     }
 
-    /// The server-assigned session id.
+    /// The server-assigned session id (0 between sessions).
     pub fn session_id(&self) -> u64 {
         self.session_id
     }
@@ -178,16 +239,38 @@ impl ClientSession {
         self.backpressure_seen
     }
 
-    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
-        let bytes = frame_bytes(frame);
-        self.stream.write_all(&bytes)?;
+    /// The `(index, name)` of the shard the last [`ClientSession::route`]
+    /// bound, when talking through a router.
+    pub fn shard(&self) -> Option<(u32, &str)> {
+        self.shard.as_ref().map(|(i, n)| (*i, n.as_str()))
+    }
+
+    /// Queues `frame` into the corked write buffer; no syscall happens
+    /// until [`ClientSession::flush`].
+    fn queue(&mut self, frame: &Frame) {
+        encode_frame(frame, &mut self.wbuf);
+    }
+
+    /// Writes every queued frame to the socket in one `write_all`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; the buffer is kept so a retry resends cleanly.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.wbuf)?;
+        self.wbuf.clear();
         Ok(())
     }
 
     /// Receives the next frame, absorbing advisory
     /// [`Frame::Backpressure`] notices (counted, not surfaced) and
-    /// remembering [`Frame::GoingAway`].
+    /// remembering [`Frame::GoingAway`]. Flushes queued output first —
+    /// blocking on a read with requests still corked would deadlock.
     fn recv(&mut self) -> Result<Frame, ClientError> {
+        self.flush()?;
         loop {
             if let Some((frame, used)) = decode_frame(&self.rbuf[self.rpos..])? {
                 self.rpos += used;
@@ -222,30 +305,173 @@ impl ClientSession {
         self.going_away
     }
 
-    /// Sends one snapshot and blocks for the matching decision.
+    /// Against a `mobicore-router`: asks for the shard owning `key`
+    /// and binds this connection's next session to it. Must precede
+    /// [`ClientSession::hello`]; between sessions it may be repeated
+    /// with a different key.
     ///
     /// # Errors
     ///
-    /// [`ClientError::Remote`] on a typed server error; wire/socket
-    /// failures otherwise.
-    pub fn request(&mut self, snap: &PolicySnapshot) -> Result<RemoteDecision, ClientError> {
+    /// [`ClientError::Remote`] when the router has no reachable shard;
+    /// wire/socket failures otherwise.
+    pub fn route(&mut self, key: u64) -> Result<(u32, String), ClientError> {
+        self.queue(&Frame::Route { key });
+        match self.recv()? {
+            Frame::Routed { shard, name } => {
+                self.shard = Some((shard, name.clone()));
+                Ok((shard, name))
+            }
+            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("expected Routed")),
+        }
+    }
+
+    /// Starts a session: Hello, wait for HelloAck. Legal on a fresh
+    /// connection and again after [`ClientSession::end_session`].
+    ///
+    /// When routing, the Route and Hello frames share one corked flush
+    /// — use [`ClientSession::route_hello`] for that single-round-trip
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server rejects the version,
+    /// policy, or profile; I/O and wire errors otherwise.
+    pub fn hello(&mut self, policy: &str, profile: &str, seed: u64) -> Result<(), ClientError> {
+        self.queue(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            policy: policy.to_string(),
+            profile: profile.to_string(),
+            seed,
+        });
+        match self.recv()? {
+            Frame::HelloAck {
+                version,
+                session,
+                policy,
+                sampling_us,
+                window,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::UnexpectedFrame("HelloAck version"));
+                }
+                self.session_id = session;
+                self.policy_name = policy;
+                self.sampling_us = sampling_us;
+                self.server_window = window;
+                self.seq = 0;
+                self.inflight.clear();
+                Ok(())
+            }
+            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("expected HelloAck")),
+        }
+    }
+
+    /// Route + Hello corked into one flush (one round trip through the
+    /// router instead of two): queues both frames, then reads Routed
+    /// and HelloAck.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientSession::route`] and [`ClientSession::hello`].
+    pub fn route_hello(
+        &mut self,
+        key: u64,
+        policy: &str,
+        profile: &str,
+        seed: u64,
+    ) -> Result<(u32, String), ClientError> {
+        self.queue(&Frame::Route { key });
+        self.queue(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            policy: policy.to_string(),
+            profile: profile.to_string(),
+            seed,
+        });
+        let routed = match self.recv()? {
+            Frame::Routed { shard, name } => {
+                self.shard = Some((shard, name.clone()));
+                (shard, name)
+            }
+            Frame::Error { code, message } => return Err(ClientError::Remote { code, message }),
+            _ => return Err(ClientError::UnexpectedFrame("expected Routed")),
+        };
+        match self.recv()? {
+            Frame::HelloAck {
+                version,
+                session,
+                policy,
+                sampling_us,
+                window,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::UnexpectedFrame("HelloAck version"));
+                }
+                self.session_id = session;
+                self.policy_name = policy;
+                self.sampling_us = sampling_us;
+                self.server_window = window;
+                self.seq = 0;
+                self.inflight.clear();
+                Ok(routed)
+            }
+            Frame::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedFrame("expected HelloAck")),
+        }
+    }
+
+    /// Snapshots submitted but not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Queues one snapshot into the corked buffer and returns its
+    /// sequence number. Nothing is written until
+    /// [`ClientSession::flush`] (or the flush implicit in
+    /// [`ClientSession::collect`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::WindowFull`] when [`ClientSession::window`]
+    /// snapshots are already in flight.
+    pub fn submit(&mut self, snap: &PolicySnapshot) -> Result<u64, ClientError> {
+        if self.inflight.len() >= self.window() {
+            return Err(ClientError::WindowFull);
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.send(&Frame::Snapshot {
+        self.queue(&Frame::Snapshot {
             seq,
             snap: snap.clone(),
-        })?;
+        });
+        self.inflight.push_back(seq);
+        Ok(seq)
+    }
+
+    /// Blocks for the oldest in-flight decision (flushing queued
+    /// output first) and checks its sequence echo.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NothingInFlight`] without a prior `submit`;
+    /// [`ClientError::Remote`] on a typed server error; wire/socket
+    /// failures otherwise.
+    pub fn collect(&mut self) -> Result<RemoteDecision, ClientError> {
+        let Some(expected) = self.inflight.pop_front() else {
+            return Err(ClientError::NothingInFlight);
+        };
         match self.recv()? {
             Frame::Decision {
-                seq: echoed,
+                seq,
                 commands,
                 notes,
             } => {
-                if echoed != seq {
+                if seq != expected {
                     return Err(ClientError::UnexpectedFrame("decision out of order"));
                 }
                 Ok(RemoteDecision {
-                    seq: echoed,
+                    seq,
                     commands,
                     notes,
                 })
@@ -255,18 +481,39 @@ impl ClientSession {
         }
     }
 
-    /// Clean teardown: Bye, wait for ByeAck, return the decision count
-    /// the server accounted to this session.
+    /// Sends one snapshot and blocks for the matching decision — the
+    /// lockstep path: submit, flush, collect.
     ///
     /// # Errors
     ///
-    /// Propagates socket and wire failures; the session is consumed
-    /// either way.
-    pub fn finish(mut self) -> Result<u64, ClientError> {
-        self.send(&Frame::Bye)?;
+    /// [`ClientError::Remote`] on a typed server error; wire/socket
+    /// failures otherwise.
+    pub fn request(&mut self, snap: &PolicySnapshot) -> Result<RemoteDecision, ClientError> {
+        if self.inflight.len() >= self.window() {
+            return Err(ClientError::WindowFull);
+        }
+        self.submit(snap)?;
+        self.collect()
+    }
+
+    /// Ends the current session (Bye → ByeAck) but keeps the
+    /// connection open for another [`ClientSession::route`] /
+    /// [`ClientSession::hello`]. Late pipelined decisions are drained
+    /// and discarded; returns the server-side decision count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and wire failures.
+    pub fn end_session(&mut self) -> Result<u64, ClientError> {
+        self.queue(&Frame::Bye);
         loop {
             match self.recv()? {
-                Frame::ByeAck { decisions } => return Ok(decisions),
+                Frame::ByeAck { decisions } => {
+                    self.session_id = 0;
+                    self.seq = 0;
+                    self.inflight.clear();
+                    return Ok(decisions);
+                }
                 Frame::Decision { .. } => continue, // late pipelined answers
                 Frame::Error { code, message } => {
                     return Err(ClientError::Remote { code, message })
@@ -274,6 +521,17 @@ impl ClientSession {
                 _ => return Err(ClientError::UnexpectedFrame("expected ByeAck")),
             }
         }
+    }
+
+    /// Clean teardown: Bye, wait for ByeAck, drop the connection.
+    /// Returns the decision count the server accounted to this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and wire failures; the session is consumed
+    /// either way.
+    pub fn finish(mut self) -> Result<u64, ClientError> {
+        self.end_session()
     }
 }
 
@@ -314,6 +572,18 @@ impl RemotePolicy {
     #[must_use]
     pub fn with_rtt_sink(mut self, sink: Arc<Mutex<Histogram>>) -> Self {
         self.rtt_sink = Some(sink);
+        self
+    }
+
+    /// Sets the session's pipelining window. `on_sample` is inherently
+    /// lockstep (the simulator needs each decision before the next
+    /// window), so at most one request is ever in flight — but every
+    /// frame still rides the corked submit/flush/collect machinery, and
+    /// decisions are byte-identical whatever the window (a tier-1 test
+    /// in `tests/smoke.rs` holds window > 1 to window = 1).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.sess.set_window(window);
         self
     }
 

@@ -17,8 +17,15 @@
 //! a recorded scenario stream through each, and verifies ordering and
 //! byte-identity while measuring decisions/s and RTT quantiles.
 //!
+//! For fleet scale, the shard router ([`router`]) binds sessions to a
+//! pool of serve shards by rendezvous hashing over stable shard names
+//! and relays frames with hot shard-connection reuse; the fleet
+//! orchestrator ([`load::run_fleet`]) drives 100k+ device sessions
+//! through it with batched, corked frame I/O and emits a
+//! deterministic, byte-identical aggregate manifest at a fixed seed.
+//!
 //! See `docs/serving.md` for the protocol specification, session
-//! lifecycle, and the BENCH_04 reproduction recipe.
+//! lifecycle, and the benchmark reproduction recipes.
 //!
 //! [`PolicySnapshot`]: mobicore_sim::PolicySnapshot
 
@@ -32,9 +39,13 @@ pub mod client;
 pub mod load;
 pub mod protocol;
 pub mod registry;
+pub mod router;
 pub mod server;
 
 pub use client::{ClientError, ClientSession, RemoteDecision, RemotePolicy};
-pub use load::{record_snapshots, run_load, LoadConfig, LoadReport};
+pub use load::{
+    record_snapshots, run_fleet, run_load, FleetConfig, FleetReport, LoadConfig, LoadReport,
+};
 pub use protocol::{Frame, WireError, PROTOCOL_VERSION};
+pub use router::{rendezvous_shard, Router, RouterConfig, RouterStats, Shard};
 pub use server::{ServeConfig, ServeStats, Server, ServerHandle};

@@ -20,8 +20,9 @@ use mobicore_sim::{Command, CoreSnapshot, PolicySnapshot};
 use mobicore_telemetry::{Event, EventData};
 
 /// Protocol version carried in Hello/HelloAck; bumped on any wire
-/// change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// change. Version 2 added the HelloAck pipelining window and the
+/// router frames ([`Frame::Route`] / [`Frame::Routed`]).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on `len` (type byte + payload). Large enough for a
 /// 1024-core snapshot, small enough that a hostile length prefix
@@ -60,6 +61,9 @@ pub mod codes {
     pub const SERVER_FULL: u16 = 8;
     /// The peer stopped reading and its write queue overflowed.
     pub const SLOW_CONSUMER: u16 = 9;
+    /// The router could not reach (or lost) the shard a session was
+    /// bound to.
+    pub const SHARD_UNAVAILABLE: u16 = 10;
 }
 
 /// Typed decode failure. Every malformed input maps to one of these;
@@ -144,6 +148,10 @@ pub enum Frame {
         /// `RemotePolicy` mirrors it so a remote run samples exactly
         /// like an in-process one.
         sampling_us: u64,
+        /// The server's advertised pipelining window: the most
+        /// snapshots a client should keep in flight before collecting
+        /// decisions. Clients clamp their configured window to it.
+        window: u32,
     },
     /// Client → server: one sampling window's observation.
     Snapshot {
@@ -190,8 +198,28 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Client → router: bind this connection's *next* session to the
+    /// shard that owns `key` (rendezvous-hashed over the router's
+    /// stable shard names). Sent once before each session's Hello; the
+    /// shard daemons themselves reject it as a state error.
+    Route {
+        /// The session key (device id) to place.
+        key: u64,
+    },
+    /// Router → client: the routing answer for the preceding
+    /// [`Frame::Route`]; every later frame until ByeAck relays to (and
+    /// from) this shard.
+    Routed {
+        /// Index of the shard in the router's configured shard list.
+        shard: u32,
+        /// The shard's stable name (the rendezvous hash input, so the
+        /// same key maps to the same name whatever the list order).
+        name: String,
+    },
 }
 
+// The Route tag is pub(crate): the router peeks it to find session
+// boundaries in a relayed byte stream without decoding payloads.
 const TY_HELLO: u8 = 0x01;
 const TY_HELLO_ACK: u8 = 0x02;
 const TY_SNAPSHOT: u8 = 0x03;
@@ -201,6 +229,18 @@ const TY_BYE: u8 = 0x06;
 const TY_BYE_ACK: u8 = 0x07;
 const TY_GOING_AWAY: u8 = 0x08;
 const TY_ERROR: u8 = 0x09;
+pub(crate) const TY_ROUTE: u8 = 0x0A;
+const TY_ROUTED: u8 = 0x0B;
+
+/// The type byte of the complete frame at the front of `buf`, when
+/// one is there (framing check only; the payload is not validated).
+pub(crate) fn peek_frame_type(buf: &[u8]) -> Option<u8> {
+    if has_complete_frame(buf) {
+        Some(buf[4])
+    } else {
+        None
+    }
+}
 
 // ---------------------------------------------------------------- encode
 
@@ -308,12 +348,14 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             session,
             policy,
             sampling_us,
+            window,
         } => {
             out.push(TY_HELLO_ACK);
             put_u16(out, *version);
             put_u64(out, *session);
             put_str(out, policy);
             put_u64(out, *sampling_us);
+            put_u32(out, *window);
         }
         Frame::Snapshot { seq, snap } => {
             out.push(TY_SNAPSHOT);
@@ -367,6 +409,15 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             out.push(TY_ERROR);
             put_u16(out, *code);
             put_str(out, message);
+        }
+        Frame::Route { key } => {
+            out.push(TY_ROUTE);
+            put_u64(out, *key);
+        }
+        Frame::Routed { shard, name } => {
+            out.push(TY_ROUTED);
+            put_u32(out, *shard);
+            put_str(out, name);
         }
     }
     let len = out.len() - len_at - 4;
@@ -555,6 +606,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
             session: r.u64("helloack.session")?,
             policy: r.str("helloack.policy")?,
             sampling_us: r.u64("helloack.sampling_us")?,
+            window: r.u32("helloack.window")?,
         },
         TY_SNAPSHOT => Frame::Snapshot {
             seq: r.u64("snapshot.seq")?,
@@ -607,6 +659,13 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
             code: r.u16("error.code")?,
             message: r.str("error.message")?,
         },
+        TY_ROUTE => Frame::Route {
+            key: r.u64("route.key")?,
+        },
+        TY_ROUTED => Frame::Routed {
+            shard: r.u32("routed.shard")?,
+            name: r.str("routed.name")?,
+        },
         other => return Err(WireError::UnknownFrameType(other)),
     };
     if r.remaining() != 0 {
@@ -654,6 +713,7 @@ mod tests {
             session: 7,
             policy: "mobicore".into(),
             sampling_us: 20_000,
+            window: 32,
         });
         round_trip(Frame::Snapshot {
             seq: 3,
@@ -694,6 +754,11 @@ mod tests {
         round_trip(Frame::Error {
             code: codes::BAD_SEQ,
             message: "seq went backwards".into(),
+        });
+        round_trip(Frame::Route { key: 123_456_789 });
+        round_trip(Frame::Routed {
+            shard: 3,
+            name: "s3".into(),
         });
     }
 

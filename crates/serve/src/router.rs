@@ -1,0 +1,1152 @@
+//! The `mobicore-router` tier: a shard router that binds device
+//! sessions to `mobicore-serve` shards by rendezvous hashing and
+//! relays frames between them.
+//!
+//! A client opens one connection to the router and sends
+//! [`Frame::Route`] with its session key; the router picks the shard
+//! by highest-random-weight (rendezvous) hashing over the *stable
+//! shard names* — not their addresses, so ephemeral ports do not
+//! perturb placement — answers [`Frame::Routed`], and from then on
+//! relays bytes both ways without decoding payloads. Only the frame
+//! *boundaries* are parsed: the router watches the client leg for the
+//! next `Route` (a session boundary — held back, never forwarded) and
+//! the shard leg for `ByeAck` (the session is over — the shard
+//! connection detaches into a per-shard pool and is reused hot for
+//! the next session, which the serve tier supports by returning to
+//! `AwaitHello` after `ByeAck`).
+//!
+//! Backpressure propagates by construction: both relay directions run
+//! through bounded buffers, and a full buffer stops reads from the
+//! opposite socket so TCP flow control pushes back on the true
+//! producer. A shard leg that dies mid-session surfaces as a
+//! [`codes::SHARD_UNAVAILABLE`] error frame to the client rather than
+//! a silent hangup.
+//!
+//! The threading model is the serve daemon's: one acceptor feeds an
+//! injector; N workers each own a deque of relays and steal the back
+//! half of a victim's deque when idle.
+
+use crate::protocol::{
+    codes, decode_frame, encode_frame, has_complete_frame, peek_frame_type, Frame, MAX_FRAME_LEN,
+    TY_ROUTE,
+};
+use mobicore_analyze::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use mobicore_analyze::sync::{lock_unpoisoned, Arc, Mutex};
+use mobicore_telemetry::{EventData, RunManifest, Telemetry};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+
+/// How long an idle worker or the acceptor sleeps between polls.
+const POLL_SLEEP: Duration = Duration::from_micros(300);
+
+/// The frame types owned by the router tier (checked against
+/// `docs/serving.md` by the `registry-doc-sync` lint).
+pub const ROUTER_FRAMES: [&str; 2] = ["Route", "Routed"];
+
+/// One serve shard the router can bind sessions to.
+///
+/// The `name` is the identity: rendezvous hashing runs over names, so
+/// session placement is a pure function of `(key, shard names)` and
+/// survives address changes (and OS-assigned ports) unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Stable shard identity, e.g. `"s0"`.
+    pub name: String,
+    /// Dial address, e.g. `"127.0.0.1:7401"`.
+    pub addr: String,
+}
+
+impl Shard {
+    /// Parses the CLI form `NAME=ADDR`.
+    pub fn parse(spec: &str) -> Option<Shard> {
+        let (name, addr) = spec.split_once('=')?;
+        if name.is_empty() || addr.is_empty() {
+            return None;
+        }
+        Some(Shard {
+            name: name.to_string(),
+            addr: addr.to_string(),
+        })
+    }
+}
+
+/// `splitmix64` finalizer: a cheap, well-mixed bijection on `u64`.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a shard name, used as the per-shard half of the
+/// rendezvous weight.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Picks the shard for `key` by rendezvous (highest-random-weight)
+/// hashing: every `(key, name)` pair gets a weight and the highest
+/// wins. Returns the index into `names`, or `None` when empty.
+///
+/// Properties the proptests hold:
+/// - deterministic: the same `(key, names-as-a-set)` always picks the
+///   same *name*, in any order the list is given;
+/// - minimal remap: removing one shard only moves the keys that were
+///   on it;
+/// - ties (distinct names hashing to equal weights) break by name, so
+///   the winner is still order-independent.
+pub fn rendezvous_shard<S: AsRef<str>>(key: u64, names: &[S]) -> Option<usize> {
+    let mixed = mix64(key);
+    names
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            let (a, b) = (a.as_ref(), b.as_ref());
+            let wa = mix64(fnv1a(a.as_bytes()) ^ mixed);
+            let wb = mix64(fnv1a(b.as_bytes()) ^ mixed);
+            wa.cmp(&wb).then_with(|| a.cmp(b).reverse())
+        })
+        .map(|(i, _)| i)
+}
+
+/// Tuning knobs of one router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Relay-servicing worker threads.
+    pub workers: usize,
+    /// Accept cap: connections past this are refused with
+    /// `SERVER_FULL`.
+    pub max_conns: usize,
+    /// Bound on buffered bytes per relay direction; once full, the
+    /// router stops reading the producing socket and TCP flow control
+    /// pushes back.
+    pub relay_buf_cap: usize,
+    /// Close a relay when no client frame arrives for this long.
+    pub idle_timeout: Duration,
+    /// Close a relay when its pending output makes no progress for
+    /// this long.
+    pub write_timeout: Duration,
+    /// How long graceful shutdown waits for in-flight relays.
+    pub drain_deadline: Duration,
+    /// Drop a pooled shard leg unused for longer than this instead of
+    /// reusing it.
+    pub pool_idle: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: mobicore_sweep::default_jobs(),
+            max_conns: 4096,
+            relay_buf_cap: 256 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            pool_idle: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Overrides the worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Overrides the drain deadline.
+    #[must_use]
+    pub fn with_drain_deadline(mut self, d: Duration) -> Self {
+        self.drain_deadline = d;
+        self
+    }
+
+    /// Overrides the idle timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+}
+
+/// Aggregate accounting returned by [`Router::stats`] and
+/// [`Router::shutdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub conns: u64,
+    /// Sessions bound to a shard (Route frames answered).
+    pub routed_sessions: u64,
+    /// Fresh TCP connections dialed to shards.
+    pub legs_opened: u64,
+    /// Sessions served over a pooled (reused) shard leg.
+    pub legs_reused: u64,
+    /// Relays that ended abnormally (shard loss, protocol error,
+    /// timeout).
+    pub relay_errors: u64,
+    /// Client connections still open.
+    pub active_conns: u64,
+}
+
+/// A detached, idle shard connection waiting for its next session.
+struct PooledLeg {
+    stream: TcpStream,
+    since: Instant,
+}
+
+struct Shared {
+    cfg: RouterConfig,
+    shards: Vec<Shard>,
+    names: Vec<String>,
+    state: AtomicU8,
+    start: Instant,
+    telemetry: Mutex<Telemetry>,
+    injector: Mutex<VecDeque<Relay>>,
+    pools: Vec<Mutex<Vec<PooledLeg>>>,
+    live_conns: AtomicUsize,
+    active_conns: AtomicUsize,
+    next_conn: AtomicU64,
+    conns: AtomicU64,
+    routed: AtomicU64,
+    legs_opened: AtomicU64,
+    legs_reused: AtomicU64,
+    relay_errors: AtomicU64,
+    drain_deadline_at: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_DRAINING
+    }
+
+    fn t_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(&self, data: EventData) {
+        let t = self.t_us();
+        if let Ok(mut tel) = self.telemetry.lock() {
+            tel.emit(t, data);
+        }
+    }
+
+    fn count(&self, name: &str, by: u64) {
+        if let Ok(mut tel) = self.telemetry.lock() {
+            tel.count(name, by);
+        }
+    }
+
+    fn stats(&self) -> RouterStats {
+        // Advisory snapshot, same contract as ServeStats: exact after
+        // shutdown joins the workers, cross-counter skew tolerated
+        // while relays are in flight.
+        RouterStats {
+            conns: self.conns.load(Ordering::Relaxed), // relaxed: advisory snapshot (see above)
+            routed_sessions: self.routed.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            legs_opened: self.legs_opened.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            legs_reused: self.legs_reused.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            relay_errors: self.relay_errors.load(Ordering::Relaxed), // relaxed: advisory snapshot
+            active_conns: self.active_conns.load(Ordering::Relaxed) as u64, // relaxed: advisory snapshot
+        }
+    }
+
+    /// A warm leg from the shard's pool, or a fresh blocking dial.
+    fn acquire_leg(&self, shard: usize) -> std::io::Result<TcpStream> {
+        loop {
+            let pooled = lock_unpoisoned(self.pools[shard].lock()).pop();
+            match pooled {
+                Some(leg) if leg.since.elapsed() <= self.cfg.pool_idle => {
+                    // relaxed: monotonic counter; published by the
+                    // Release decrement of live_conns at relay close.
+                    self.legs_reused.fetch_add(1, Ordering::Relaxed);
+                    self.count("router.legs_reused", 1);
+                    return Ok(leg.stream);
+                }
+                Some(_stale) => continue, // dropped; dial or try next
+                None => break,
+            }
+        }
+        let stream = TcpStream::connect(&self.shards[shard].addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true)?;
+        // relaxed: monotonic counter; published by the Release
+        // decrement of live_conns at relay close.
+        self.legs_opened.fetch_add(1, Ordering::Relaxed);
+        self.count("router.legs_opened", 1);
+        Ok(stream)
+    }
+
+    /// Returns a healthy leg to its shard's pool for the next session.
+    fn release_leg(&self, shard: usize, stream: TcpStream) {
+        if self.draining() {
+            return; // dropping it closes the shard conn promptly
+        }
+        lock_unpoisoned(self.pools[shard].lock()).push(PooledLeg {
+            stream,
+            since: Instant::now(),
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelayState {
+    /// Waiting for the client's next `Route`.
+    AwaitRoute,
+    /// Bound to a shard; frames relay both ways.
+    Active(usize),
+    /// Flush client output, then close.
+    Closing,
+}
+
+struct Relay {
+    client: TcpStream,
+    conn_id: u64,
+    state: RelayState,
+    /// Shard leg for the active session (`None` between sessions).
+    leg: Option<TcpStream>,
+    /// client → router staging, frame-parsed for `Route` boundaries.
+    cbuf: Vec<u8>,
+    cpos: usize,
+    /// router → shard pending output.
+    sout: Vec<u8>,
+    sout_pos: usize,
+    /// shard → router staging, frame-parsed for `ByeAck`.
+    sbuf: Vec<u8>,
+    spos: usize,
+    /// router → client pending output.
+    cout: Vec<u8>,
+    cout_pos: usize,
+    frames_in: u64,
+    frames_out: u64,
+    clean: bool,
+    client_eof: bool,
+    drain_notified: bool,
+    last_read: Instant,
+    last_write_progress: Instant,
+}
+
+impl Relay {
+    fn new(client: TcpStream, conn_id: u64) -> Self {
+        let now = Instant::now();
+        Relay {
+            client,
+            conn_id,
+            state: RelayState::AwaitRoute,
+            leg: None,
+            cbuf: Vec::new(),
+            cpos: 0,
+            sout: Vec::new(),
+            sout_pos: 0,
+            sbuf: Vec::new(),
+            spos: 0,
+            cout: Vec::new(),
+            cout_pos: 0,
+            frames_in: 0,
+            frames_out: 0,
+            clean: true,
+            client_eof: false,
+            drain_notified: false,
+            last_read: now,
+            last_write_progress: now,
+        }
+    }
+
+    fn send_client(&mut self, frame: &Frame) {
+        encode_frame(frame, &mut self.cout);
+        self.frames_out += 1;
+    }
+
+    fn fail(&mut self, code: u16, message: &str) {
+        self.send_client(&Frame::Error {
+            code,
+            message: message.to_string(),
+        });
+        self.clean = false;
+        self.state = RelayState::Closing;
+    }
+
+    /// Drops the shard leg (if any) without pooling it.
+    fn drop_leg(&mut self) {
+        if let Some(leg) = self.leg.take() {
+            let _ = leg.shutdown(std::net::Shutdown::Both);
+        }
+        self.sout.clear();
+        self.sout_pos = 0;
+        self.sbuf.clear();
+        self.spos = 0;
+    }
+}
+
+enum Service {
+    Keep { progress: bool },
+    Close,
+}
+
+/// Drains `buf[*pos..]` into `stream` as far as the socket accepts.
+/// Returns `None` when the connection is dead, otherwise whether any
+/// bytes moved.
+fn pump_out(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    pos: &mut usize,
+    mark: &mut Instant,
+    now: Instant,
+) -> Option<bool> {
+    let mut progress = false;
+    while *pos < buf.len() {
+        match stream.write(&buf[*pos..]) {
+            Ok(0) => return None,
+            Ok(n) => {
+                *pos += n;
+                *mark = now;
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    if *pos == buf.len() && *pos > 0 {
+        buf.clear();
+        *pos = 0;
+    }
+    Some(progress)
+}
+
+/// Pulls from `stream` into `buf` until `cap` buffered bytes or the
+/// socket runs dry. Returns `None` on a dead connection, otherwise
+/// `(progress, eof)`.
+fn pump_in(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    pos: usize,
+    cap: usize,
+    now: Instant,
+    mark: &mut Instant,
+) -> Option<(bool, bool)> {
+    let mut scratch = [0u8; 16 * 1024];
+    let mut progress = false;
+    while buf.len() - pos < cap {
+        match stream.read(&mut scratch) {
+            Ok(0) => return Some((progress, true)),
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                *mark = now;
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some((progress, false))
+}
+
+/// Compacts a staging buffer once consumed (or once the dead prefix
+/// grows past 64 KiB).
+fn compact(buf: &mut Vec<u8>, pos: &mut usize) {
+    if *pos == buf.len() {
+        buf.clear();
+        *pos = 0;
+    } else if *pos > 64 * 1024 {
+        buf.drain(..*pos);
+        *pos = 0;
+    }
+}
+
+/// The shard leg died mid-session: tell the client, account the
+/// error, close.
+fn shard_lost(relay: &mut Relay, shared: &Shared) {
+    relay.drop_leg();
+    // relaxed: monotonic counter; published by the Release decrement
+    // of live_conns at relay close.
+    shared.relay_errors.fetch_add(1, Ordering::Relaxed);
+    shared.count("router.errors", 1);
+    relay.fail(
+        codes::SHARD_UNAVAILABLE,
+        "shard connection lost mid-session",
+    );
+}
+
+/// Moves complete client frames toward the shard. In `AwaitRoute` the
+/// only legal frame is `Route`, which binds a shard (dialing or
+/// reusing a leg) and answers `Routed`. In `Active`, whole frames
+/// forward verbatim — except the *next* `Route`, which marks a session
+/// boundary and stays staged until `ByeAck` detaches the current leg.
+fn relay_client_frames(relay: &mut Relay, shared: &Shared) -> bool {
+    let mut progress = false;
+    loop {
+        match relay.state {
+            RelayState::AwaitRoute => {
+                let frame = match decode_frame(&relay.cbuf[relay.cpos..]) {
+                    Ok(None) => break,
+                    Ok(Some((frame, used))) => {
+                        relay.cpos += used;
+                        relay.frames_in += 1;
+                        frame
+                    }
+                    Err(err) => {
+                        relay.fail(codes::MALFORMED, &err.to_string());
+                        break;
+                    }
+                };
+                let Frame::Route { key } = frame else {
+                    relay.fail(codes::BAD_STATE, "expected Route before session frames");
+                    break;
+                };
+                let Some(idx) = rendezvous_shard(key, &shared.names) else {
+                    relay.fail(codes::SHARD_UNAVAILABLE, "router has no shards");
+                    break;
+                };
+                match shared.acquire_leg(idx) {
+                    Ok(leg) => relay.leg = Some(leg),
+                    Err(e) => {
+                        // relaxed: monotonic counter; published by the
+                        // Release decrement of live_conns at close.
+                        shared.relay_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.count("router.errors", 1);
+                        relay.fail(
+                            codes::SHARD_UNAVAILABLE,
+                            &format!("shard `{}` unreachable: {e}", shared.names[idx]),
+                        );
+                        break;
+                    }
+                }
+                relay.state = RelayState::Active(idx);
+                // relaxed: monotonic counter; published by the Release
+                // decrement of live_conns at relay close.
+                shared.routed.fetch_add(1, Ordering::Relaxed);
+                shared.count("router.routed", 1);
+                shared.emit(EventData::ShardRouted {
+                    conn: relay.conn_id,
+                    key,
+                    shard: shared.names[idx].clone(),
+                });
+                let name = shared.names[idx].clone();
+                relay.send_client(&Frame::Routed {
+                    shard: u32::try_from(idx).unwrap_or(u32::MAX),
+                    name,
+                });
+                progress = true;
+            }
+            RelayState::Active(_) => {
+                // Forward whole frames without decoding payloads; stop
+                // at a session boundary (the next Route) or when the
+                // shard-bound buffer is full (backpressure).
+                if relay.sout.len() - relay.sout_pos >= shared.cfg.relay_buf_cap {
+                    break;
+                }
+                let pending = &relay.cbuf[relay.cpos..];
+                if pending.len() >= 4 {
+                    let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+                    if len == 0 || len > MAX_FRAME_LEN {
+                        relay.fail(codes::MALFORMED, "frame length out of bounds");
+                        break;
+                    }
+                }
+                match peek_frame_type(pending) {
+                    None => break,
+                    Some(TY_ROUTE) => break, // next session; wait for ByeAck
+                    Some(_) => {
+                        let len =
+                            u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]])
+                                as usize;
+                        let total = 4 + len;
+                        relay
+                            .sout
+                            .extend_from_slice(&relay.cbuf[relay.cpos..relay.cpos + total]);
+                        relay.cpos += total;
+                        relay.frames_in += 1;
+                        progress = true;
+                    }
+                }
+            }
+            RelayState::Closing => break,
+        }
+    }
+    compact(&mut relay.cbuf, &mut relay.cpos);
+    progress
+}
+
+/// Moves complete shard frames toward the client, watching for
+/// `ByeAck`: that ends the session, so the leg detaches back to the
+/// shard's pool (when nothing is left in flight on it) and the relay
+/// returns to `AwaitRoute` — unblocking any staged next `Route`.
+fn relay_shard_frames(relay: &mut Relay, shared: &Shared) -> bool {
+    let mut progress = false;
+    while let RelayState::Active(idx) = relay.state {
+        if relay.cout.len() - relay.cout_pos >= shared.cfg.relay_buf_cap {
+            break; // client isn't keeping up; stop pulling decisions
+        }
+        let pending = &relay.sbuf[relay.spos..];
+        let (is_byeack, total) = match decode_frame(pending) {
+            Ok(None) => break,
+            Ok(Some((frame, used))) => (matches!(frame, Frame::ByeAck { .. }), used),
+            Err(_) => {
+                // The shard broke framing — treat the leg as lost.
+                shard_lost(relay, shared);
+                return true;
+            }
+        };
+        relay
+            .cout
+            .extend_from_slice(&relay.sbuf[relay.spos..relay.spos + total]);
+        relay.spos += total;
+        relay.frames_out += 1;
+        progress = true;
+        if is_byeack {
+            // Session over. Pool the leg only when it is fully quiet:
+            // nothing pending toward the shard and nothing buffered
+            // after the ByeAck.
+            let quiet = relay.sout.len() == relay.sout_pos && relay.spos == relay.sbuf.len();
+            if quiet {
+                if let Some(leg) = relay.leg.take() {
+                    shared.release_leg(idx, leg);
+                }
+                relay.sout.clear();
+                relay.sout_pos = 0;
+                relay.sbuf.clear();
+                relay.spos = 0;
+            } else {
+                relay.drop_leg();
+            }
+            relay.state = RelayState::AwaitRoute;
+        }
+    }
+    compact(&mut relay.sbuf, &mut relay.spos);
+    progress
+}
+
+/// One service pass over a relay. Returns whether to keep it.
+fn service(relay: &mut Relay, shared: &Shared) -> Service {
+    let mut progress = false;
+    let now = Instant::now();
+
+    // 1. Flush both pending outputs from the previous pass.
+    match pump_out(
+        &mut relay.client,
+        &mut relay.cout,
+        &mut relay.cout_pos,
+        &mut relay.last_write_progress,
+        now,
+    ) {
+        None => return Service::Close,
+        Some(p) => progress |= p,
+    }
+    if let Some(leg) = relay.leg.as_mut() {
+        match pump_out(
+            leg,
+            &mut relay.sout,
+            &mut relay.sout_pos,
+            &mut relay.last_write_progress,
+            now,
+        ) {
+            None => {
+                shard_lost(relay, shared);
+                progress = true;
+            }
+            Some(p) => progress |= p,
+        }
+    }
+
+    // 2. A closing relay lives only until its client output flushes.
+    if relay.state == RelayState::Closing {
+        if relay.cout.is_empty() {
+            return Service::Close;
+        }
+        if now.duration_since(relay.last_write_progress) > shared.cfg.write_timeout {
+            return Service::Close;
+        }
+        return Service::Keep { progress };
+    }
+
+    // 3. Drain notice (once) when shutdown begins.
+    if shared.draining() {
+        if !relay.drain_notified {
+            relay.drain_notified = true;
+            relay.send_client(&Frame::GoingAway {
+                reason: "router is shutting down".to_string(),
+            });
+            progress = true;
+        }
+        let deadline = shared.drain_deadline_at.lock().ok().and_then(|d| *d);
+        if deadline.is_some_and(|d| now >= d) {
+            relay.clean = false;
+            return Service::Close;
+        }
+    }
+
+    // 4. Pull client bytes, bounded by the staging cap *and* the
+    // shard-bound backlog so a stalled shard stops client reads too.
+    if !relay.client_eof && relay.sout.len() - relay.sout_pos < shared.cfg.relay_buf_cap {
+        match pump_in(
+            &mut relay.client,
+            &mut relay.cbuf,
+            relay.cpos,
+            shared.cfg.relay_buf_cap,
+            now,
+            &mut relay.last_read,
+        ) {
+            None => return Service::Close,
+            Some((p, eof)) => {
+                progress |= p;
+                relay.client_eof |= eof;
+            }
+        }
+    }
+
+    // 5. Pull shard bytes, bounded by the client-bound backlog.
+    if relay.cout.len() - relay.cout_pos < shared.cfg.relay_buf_cap {
+        let pulled = relay.leg.as_mut().map(|leg| {
+            pump_in(
+                leg,
+                &mut relay.sbuf,
+                relay.spos,
+                shared.cfg.relay_buf_cap,
+                now,
+                &mut relay.last_read,
+            )
+        });
+        match pulled {
+            Some(None | Some((_, true))) => {
+                shard_lost(relay, shared);
+                progress = true;
+            }
+            Some(Some((p, false))) => progress |= p,
+            None => {}
+        }
+    }
+
+    // 6. Relay frames both directions until neither makes progress —
+    // a ByeAck from the shard can unblock a staged Route from the
+    // client within the same pass (corked cross-session streaming).
+    loop {
+        let moved = relay_client_frames(relay, shared) | relay_shard_frames(relay, shared);
+        progress |= moved;
+        if !moved {
+            break;
+        }
+    }
+
+    // 7. Flush what this pass produced — same coalesced-write contract
+    // as the serve tier's end-of-pass flush.
+    match pump_out(
+        &mut relay.client,
+        &mut relay.cout,
+        &mut relay.cout_pos,
+        &mut relay.last_write_progress,
+        now,
+    ) {
+        None => return Service::Close,
+        Some(p) => progress |= p,
+    }
+    if let Some(leg) = relay.leg.as_mut() {
+        match pump_out(
+            leg,
+            &mut relay.sout,
+            &mut relay.sout_pos,
+            &mut relay.last_write_progress,
+            now,
+        ) {
+            None => {
+                shard_lost(relay, shared);
+                progress = true;
+            }
+            Some(p) => progress |= p,
+        }
+    }
+
+    // 8. Client EOF: once everything staged has been relayed and the
+    // shard owes nothing more (we are between sessions), close.
+    if relay.client_eof
+        && !has_complete_frame(&relay.cbuf[relay.cpos..])
+        && relay.state == RelayState::AwaitRoute
+        && relay.cout.is_empty()
+    {
+        return Service::Close;
+    }
+
+    // 9. Idle timeout.
+    if relay.state != RelayState::Closing
+        && now.duration_since(relay.last_read) > shared.cfg.idle_timeout
+    {
+        relay.fail(codes::IDLE_TIMEOUT, "no frames within the idle timeout");
+    }
+
+    Service::Keep { progress }
+}
+
+fn finalize(relay: &mut Relay, shared: &Shared) {
+    relay.drop_leg();
+    if !relay.clean {
+        // relaxed: monotonic counter; published by the Release
+        // decrement of live_conns below.
+        shared.relay_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.emit(EventData::ConnClosed {
+        conn: relay.conn_id,
+        frames_in: relay.frames_in,
+        frames_out: relay.frames_out,
+    });
+    // relaxed: admission gate only; an off-by-one race at the cap is
+    // benign (one connection briefly over/under the limit).
+    shared.active_conns.fetch_sub(1, Ordering::Relaxed);
+    // Release pairs with the Acquire load in worker_loop's drain exit,
+    // same contract as the serve tier.
+    shared.live_conns.fetch_sub(1, Ordering::Release);
+    let _ = relay.client.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Relay>>>], me: usize) {
+    let own = &deques[me];
+    loop {
+        {
+            let mut injector = lock_unpoisoned(shared.injector.lock());
+            if !injector.is_empty() {
+                let mut q = lock_unpoisoned(own.lock());
+                q.append(&mut injector);
+            }
+        }
+        if lock_unpoisoned(own.lock()).is_empty() {
+            let victim = deques
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != me)
+                .max_by_key(|(_, d)| d.lock().map(|q| q.len()).unwrap_or(0));
+            if let Some((_, victim)) = victim {
+                let stolen = {
+                    let mut q = lock_unpoisoned(victim.lock());
+                    let keep = q.len() / 2;
+                    q.split_off(keep)
+                };
+                if !stolen.is_empty() {
+                    lock_unpoisoned(own.lock()).extend(stolen);
+                }
+            }
+        }
+        let batch = lock_unpoisoned(own.lock()).len();
+        if batch == 0 {
+            if shared.draining() && shared.live_conns.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::thread::sleep(POLL_SLEEP);
+            continue;
+        }
+        let mut any_progress = false;
+        for _ in 0..batch {
+            let Some(mut relay) = lock_unpoisoned(own.lock()).pop_front() else {
+                break; // a thief got there first
+            };
+            match service(&mut relay, shared) {
+                Service::Keep { progress } => {
+                    any_progress |= progress;
+                    lock_unpoisoned(own.lock()).push_back(relay);
+                }
+                Service::Close => {
+                    finalize(&mut relay, shared);
+                    any_progress = true;
+                }
+            }
+        }
+        if !any_progress {
+            std::thread::sleep(POLL_SLEEP);
+        }
+    }
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // relaxed: id allocation only needs atomicity, not ordering.
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+                // relaxed: monotonic counter; published by the Release
+                // decrement of live_conns when the relay retires.
+                shared.conns.fetch_add(1, Ordering::Relaxed);
+                shared.emit(EventData::ConnAccepted { conn: conn_id });
+                shared.count("router.conns", 1);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let mut relay = Relay::new(stream, conn_id);
+                // relaxed: admission gate only; a stale read briefly
+                // over- or under-admits by one connection (benign).
+                if shared.active_conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                    relay.fail(codes::SERVER_FULL, "connection cap reached");
+                    let _ = relay.client.set_nonblocking(false);
+                    let _ = relay
+                        .client
+                        .set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = relay.client.write_all(&relay.cout);
+                    shared.emit(EventData::ConnClosed {
+                        conn: conn_id,
+                        frames_in: 0,
+                        frames_out: 1,
+                    });
+                    continue;
+                }
+                // relaxed: admission gate only; see the cap check above.
+                shared.active_conns.fetch_add(1, Ordering::Relaxed);
+                shared.live_conns.fetch_add(1, Ordering::AcqRel);
+                lock_unpoisoned(shared.injector.lock()).push_back(relay);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_SLEEP),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(POLL_SLEEP),
+        }
+    }
+}
+
+/// A bound, running router. Dropping the handle shuts it down
+/// gracefully (same as [`Router::shutdown`]).
+pub struct Router {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts routing to
+    /// `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; rejects an empty shard list or
+    /// duplicate shard names with `InvalidInput`.
+    pub fn bind(addr: &str, shards: Vec<Shard>, cfg: RouterConfig) -> std::io::Result<Router> {
+        if shards.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "router needs at least one shard",
+            ));
+        }
+        let mut seen = shards.iter().map(|s| s.name.clone()).collect::<Vec<_>>();
+        seen.sort();
+        seen.dedup();
+        if seen.len() != shards.len() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "duplicate shard names",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let names = shards.iter().map(|s| s.name.clone()).collect();
+        let pools = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            shards,
+            names,
+            state: AtomicU8::new(STATE_RUNNING),
+            start: Instant::now(),
+            telemetry: Mutex::new(Telemetry::enabled()),
+            injector: Mutex::new(VecDeque::new()),
+            pools,
+            live_conns: AtomicUsize::new(0),
+            active_conns: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            legs_opened: AtomicU64::new(0),
+            legs_reused: AtomicU64::new(0),
+            relay_errors: AtomicU64::new(0),
+            drain_deadline_at: Mutex::new(None),
+        });
+        let deques: Vec<Arc<Mutex<VecDeque<Relay>>>> = (0..workers)
+            .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("router-accept".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener))?
+        };
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let deques = deques.clone();
+                std::thread::Builder::new()
+                    .name(format!("router-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &deques, i))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Router {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard names in configuration order.
+    pub fn shard_names(&self) -> &[String] {
+        &self.shared.names
+    }
+
+    /// A point-in-time accounting snapshot.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// Builds the router's run manifest (`kind: "router"`).
+    pub fn manifest(&self, name: &str) -> RunManifest {
+        let shared = &self.shared;
+        let (metrics, event_counts) = match shared.telemetry.lock() {
+            Ok(tel) => (tel.metrics().rollups(), tel.event_counts()),
+            Err(_) => (BTreeMap::new(), BTreeMap::new()),
+        };
+        let mut tags = BTreeMap::new();
+        tags.insert("workers".to_string(), shared.cfg.workers.to_string());
+        tags.insert("shards".to_string(), shared.names.join(","));
+        RunManifest {
+            kind: "router".to_string(),
+            name: name.to_string(),
+            policy: "relay".to_string(),
+            profile: "multi".to_string(),
+            seed: 0,
+            duration_us: shared.t_us(),
+            git: None,
+            created_unix_ms: None,
+            wall_ms: None,
+            tags,
+            metrics,
+            event_counts,
+        }
+    }
+
+    /// The router's telemetry event stream as JSONL.
+    pub fn events_jsonl(&self) -> String {
+        self.shared
+            .telemetry
+            .lock()
+            .map(|tel| tel.events_jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Graceful shutdown: stop accepting, tell every relay
+    /// [`Frame::GoingAway`], keep relaying until each client finishes
+    /// or the drain deadline passes, then join all threads, close
+    /// pooled shard legs, and return the final stats.
+    pub fn shutdown(mut self) -> RouterStats {
+        self.begin_drain_and_join();
+        self.shared.stats()
+    }
+
+    fn begin_drain_and_join(&mut self) {
+        if self.shared.state.swap(STATE_DRAINING, Ordering::AcqRel) == STATE_RUNNING {
+            if let Ok(mut d) = self.shared.drain_deadline_at.lock() {
+                *d = Some(Instant::now() + self.shared.cfg.drain_deadline);
+            }
+            let active = self.shared.live_conns.load(Ordering::Acquire);
+            self.shared.emit(EventData::ServeShutdown {
+                active_sessions: active as u64,
+            });
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Dropping pooled legs closes the idle shard connections so
+        // the shards themselves can drain promptly.
+        for pool in &self.shared.pools {
+            lock_unpoisoned(pool.lock()).clear();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.begin_drain_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parse_accepts_name_addr() {
+        let s = Shard::parse("s0=127.0.0.1:7401").expect("valid spec");
+        assert_eq!(s.name, "s0");
+        assert_eq!(s.addr, "127.0.0.1:7401");
+        assert!(Shard::parse("no-equals").is_none());
+        assert!(Shard::parse("=addr").is_none());
+        assert!(Shard::parse("name=").is_none());
+    }
+
+    #[test]
+    fn rendezvous_empty_is_none() {
+        let names: [&str; 0] = [];
+        assert_eq!(rendezvous_shard(7, &names), None);
+    }
+
+    #[test]
+    fn rendezvous_single_always_wins() {
+        for key in 0..64 {
+            assert_eq!(rendezvous_shard(key, &["only"]), Some(0));
+        }
+    }
+
+    #[test]
+    fn rendezvous_is_permutation_invariant() {
+        let a = ["s0", "s1", "s2", "s3"];
+        let b = ["s3", "s1", "s0", "s2"];
+        for key in 0..512u64 {
+            let wa = rendezvous_shard(key, &a).map(|i| a[i]);
+            let wb = rendezvous_shard(key, &b).map(|i| b[i]);
+            assert_eq!(wa, wb, "key {key} moved between orderings");
+        }
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys() {
+        let names = ["s0", "s1", "s2", "s3"];
+        let mut counts = [0usize; 4];
+        for key in 0..4096u64 {
+            counts[rendezvous_shard(key, &names).expect("non-empty")] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Perfectly uniform would be 1024 each; allow wide slack.
+            assert!(c > 512, "shard {i} starved: {c}/4096");
+        }
+    }
+
+    #[test]
+    fn rendezvous_remap_is_minimal() {
+        let full = ["s0", "s1", "s2", "s3"];
+        let less = ["s0", "s1", "s3"];
+        for key in 0..2048u64 {
+            let before = full[rendezvous_shard(key, &full).expect("non-empty")];
+            let after = less[rendezvous_shard(key, &less).expect("non-empty")];
+            if before != "s2" {
+                assert_eq!(before, after, "key {key} moved though its shard survived");
+            }
+        }
+    }
+}

@@ -68,6 +68,11 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// How long graceful shutdown waits for in-flight sessions.
     pub drain_deadline: Duration,
+    /// Pipelining window advertised in HelloAck: the most snapshots a
+    /// client should keep in flight before collecting decisions.
+    /// Advisory — the server's own pacing is `queue_budget` per
+    /// service pass either way.
+    pub pipeline_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +86,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(5),
+            pipeline_window: 32,
         }
     }
 }
@@ -111,6 +117,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_queue_budget(mut self, n: usize) -> Self {
         self.queue_budget = n.max(1);
+        self
+    }
+
+    /// Overrides the advertised pipelining window (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_pipeline_window(mut self, n: usize) -> Self {
+        self.pipeline_window = n.max(1);
         self
     }
 }
@@ -144,6 +157,7 @@ struct Shared {
     live_sessions: AtomicUsize,
     active_conns: AtomicUsize,
     next_conn: AtomicU64,
+    next_session: AtomicU64,
     sessions: AtomicU64,
     decisions: AtomicU64,
     drained: AtomicU64,
@@ -226,7 +240,6 @@ struct Session {
     last_seq: Option<u64>,
     backpressured: bool,
     eof: bool,
-    closed_clean: bool,
     drain_notified: bool,
     last_read: Instant,
     last_write_progress: Instant,
@@ -252,7 +265,6 @@ impl Session {
             last_seq: None,
             backpressured: false,
             eof: false,
-            closed_clean: false,
             drain_notified: false,
             last_read: now,
             last_write_progress: now,
@@ -282,15 +294,14 @@ enum Service {
     Close,
 }
 
-/// One service pass over a session. Returns whether to keep it.
-fn service(sess: &mut Session, shared: &Shared) -> Service {
+/// Writes as much pending output as the socket accepts in one
+/// coalesced burst. Returns `None` when the connection is dead,
+/// otherwise whether any bytes moved.
+fn flush_output(sess: &mut Session, now: Instant) -> Option<bool> {
     let mut progress = false;
-    let now = Instant::now();
-
-    // 1. Flush pending output.
     while sess.wpos < sess.wbuf.len() {
         match sess.stream.write(&sess.wbuf[sess.wpos..]) {
-            Ok(0) => return Service::Close,
+            Ok(0) => return None,
             Ok(n) => {
                 sess.wpos += n;
                 sess.last_write_progress = now;
@@ -298,12 +309,25 @@ fn service(sess: &mut Session, shared: &Shared) -> Service {
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Service::Close,
+            Err(_) => return None,
         }
     }
     if sess.wpos == sess.wbuf.len() && sess.wpos > 0 {
         sess.wbuf.clear();
         sess.wpos = 0;
+    }
+    Some(progress)
+}
+
+/// One service pass over a session. Returns whether to keep it.
+fn service(sess: &mut Session, shared: &Shared) -> Service {
+    let mut progress = false;
+    let now = Instant::now();
+
+    // 1. Flush output left over from the previous pass.
+    match flush_output(sess, now) {
+        None => return Service::Close,
+        Some(p) => progress |= p,
     }
     if sess.wbuf.len() - sess.wpos > shared.cfg.write_buf_cap {
         // Peer has stopped reading; don't balloon the buffer.
@@ -410,7 +434,19 @@ fn service(sess: &mut Session, shared: &Shared) -> Service {
         }
     }
 
-    // 7. EOF once everything buffered has been served and flushed.
+    // 7. Flush what this pass produced: every decision served in step
+    // 5 leaves in one coalesced write *now*, not at the top of the
+    // next pass (which may be a poll-sleep away). This flush point
+    // plus the client's corked submit batches is what amortizes
+    // syscalls across pipelined frames.
+    if sess.wpos < sess.wbuf.len() {
+        match flush_output(sess, now) {
+            None => return Service::Close,
+            Some(p) => progress |= p,
+        }
+    }
+
+    // 8. EOF once everything buffered has been served and flushed.
     if sess.eof && !has_complete_frame(sess.pending_input()) {
         if sess.wbuf.is_empty() {
             return Service::Close;
@@ -419,7 +455,7 @@ fn service(sess: &mut Session, shared: &Shared) -> Service {
         return Service::Keep { progress };
     }
 
-    // 8. Idle timeout.
+    // 9. Idle timeout.
     if sess.state != SessState::Closing
         && now.duration_since(sess.last_read) > shared.cfg.idle_timeout
     {
@@ -468,7 +504,10 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
                 sess.fail(codes::UNKNOWN_POLICY, &format!("unknown policy `{policy}`"));
                 return;
             };
-            sess.session_id = sess.conn_id;
+            // relaxed: id allocation only needs atomicity, not ordering.
+            // Distinct from conn_id: one hot connection can carry many
+            // sessions back to back (ByeAck returns to AwaitHello).
+            sess.session_id = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
             let name = resolved.name().to_string();
             let sampling_us = resolved.sampling_period_us();
             sess.policy = Some(resolved);
@@ -486,6 +525,7 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
                 session: sess.session_id,
                 policy: name,
                 sampling_us,
+                window: u32::try_from(shared.cfg.pipeline_window).unwrap_or(u32::MAX),
             });
         }
         (SessState::Streaming, Frame::Snapshot { seq, snap }) => {
@@ -521,11 +561,20 @@ fn handle_frame(sess: &mut Session, shared: &Shared, frame: Frame) {
             });
         }
         (_, Frame::Bye) => {
-            sess.closed_clean = true;
             sess.send(&Frame::ByeAck {
                 decisions: sess.decisions,
             });
-            sess.state = SessState::Closing;
+            end_session(sess, shared, true);
+            // Hot connection reuse: unless draining, the connection
+            // returns to AwaitHello so a router (or fleet client) can
+            // start the next device session without a fresh TCP
+            // handshake — and without exhausting ephemeral ports at
+            // 100k+ sessions.
+            sess.state = if shared.draining() {
+                SessState::Closing
+            } else {
+                SessState::AwaitHello
+            };
         }
         (_, Frame::Error { .. }) => {
             // The peer has given up; nothing left to say.
@@ -551,26 +600,41 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::ByeAck { .. } => "ByeAck",
         Frame::GoingAway { .. } => "GoingAway",
         Frame::Error { .. } => "Error",
+        Frame::Route { .. } => "Route",
+        Frame::Routed { .. } => "Routed",
     }
 }
 
-fn finalize(sess: &Session, shared: &Shared) {
-    if sess.session_id != 0 {
-        if sess.closed_clean {
-            // relaxed: monotonic counter; the Release fence below
-            // (live_sessions decrement) publishes it.
-            shared.drained.fetch_add(1, Ordering::Relaxed);
-        } else {
-            // relaxed: monotonic counter; the Release fence below
-            // (live_sessions decrement) publishes it.
-            shared.aborted.fetch_add(1, Ordering::Relaxed);
-        }
-        shared.emit(EventData::SessionEnd {
-            session: sess.session_id,
-            decisions: sess.decisions,
-            drained: sess.closed_clean,
-        });
+/// Accounts the end of one session (clean Bye/ByeAck or not) and
+/// resets the per-session state so the connection can host another.
+fn end_session(sess: &mut Session, shared: &Shared, clean: bool) {
+    if sess.session_id == 0 {
+        return;
     }
+    if clean {
+        // relaxed: monotonic counter; published by the Release
+        // decrement of live_sessions when the connection retires.
+        shared.drained.fetch_add(1, Ordering::Relaxed);
+    } else {
+        // relaxed: monotonic counter; published by the Release
+        // decrement of live_sessions when the connection retires.
+        shared.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.emit(EventData::SessionEnd {
+        session: sess.session_id,
+        decisions: sess.decisions,
+        drained: clean,
+    });
+    sess.session_id = 0;
+    sess.policy = None;
+    sess.decisions = 0;
+    sess.last_seq = None;
+    sess.backpressured = false;
+}
+
+fn finalize(sess: &mut Session, shared: &Shared) {
+    // A session still open at connection close did not Bye cleanly.
+    end_session(sess, shared, false);
     shared.emit(EventData::ConnClosed {
         conn: sess.conn_id,
         frames_in: sess.frames_in,
@@ -635,7 +699,7 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
                     lock_unpoisoned(own.lock()).push_back(sess);
                 }
                 Service::Close => {
-                    finalize(&sess, shared);
+                    finalize(&mut sess, shared);
                     any_progress = true;
                 }
             }
@@ -726,6 +790,7 @@ impl Server {
             live_sessions: AtomicUsize::new(0),
             active_conns: AtomicUsize::new(0),
             next_conn: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
             decisions: AtomicU64::new(0),
             drained: AtomicU64::new(0),
@@ -788,6 +853,10 @@ impl Server {
         tags.insert(
             "queue_budget".to_string(),
             shared.cfg.queue_budget.to_string(),
+        );
+        tags.insert(
+            "pipeline_window".to_string(),
+            shared.cfg.pipeline_window.to_string(),
         );
         RunManifest {
             kind: "serve".to_string(),

@@ -29,6 +29,7 @@ fn thousand_concurrent_sessions_zero_loss_byte_identical() {
     let cfg = LoadConfig {
         sessions: SESSIONS,
         drivers: 8,
+        window: 4,
         policy: "mobicore".to_string(),
         profile: "nexus5".to_string(),
         scenario: "mixed-day-mini".to_string(),

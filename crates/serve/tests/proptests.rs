@@ -1,10 +1,13 @@
-//! Property-based tests for the wire codec: totality (no input ever
-//! panics the decoder), typed rejection, and round-trip identity.
+//! Property-based tests for the wire codec — totality (no input ever
+//! panics the decoder), typed rejection, round-trip identity — and
+//! for the router's rendezvous hashing (stable, balanced, minimal
+//! partition of the key space).
 
 use mobicore_model::{Khz, Quota, Utilization};
 use mobicore_serve::protocol::{
     decode_frame, frame_bytes, has_complete_frame, Frame, MAX_FRAME_LEN,
 };
+use mobicore_serve::rendezvous_shard;
 use mobicore_sim::{Command, CoreSnapshot, PolicySnapshot};
 use mobicore_telemetry::EventData;
 use proptest::prelude::*;
@@ -219,5 +222,77 @@ proptest! {
         }
         prop_assert_eq!(pos, stream.len());
         prop_assert!(decode_frame(&stream[pos..]).expect("empty tail is fine").is_none());
+    }
+}
+
+/// Distinct shard names: `s<index>-<salt>`, so every generated list
+/// is duplicate-free by construction and permutations can be compared
+/// by name.
+fn shard_names(min: usize) -> impl Strategy<Value = Vec<String>> {
+    (min..8usize, 0u64..1_000_000)
+        .prop_map(|(count, salt)| (0..count).map(|i| format!("s{i}-{salt}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The same key always lands on the same shard *name*, no matter
+    /// how the shard list is ordered — placement is a function of the
+    /// set, not the sequence.
+    #[test]
+    fn rendezvous_is_stable_under_permutation(
+        names in shard_names(1),
+        rotate in 0usize..8,
+        keys in proptest::collection::vec(0u64..u64::MAX, 1..32),
+    ) {
+        let mut rotated = names.clone();
+        rotated.rotate_left(rotate % names.len().max(1));
+        for &key in &keys {
+            let a = rendezvous_shard(key, &names).map(|i| names[i].clone());
+            let b = rendezvous_shard(key, &rotated).map(|i| rotated[i].clone());
+            prop_assert_eq!(a, b, "key {} moved under permutation", key);
+        }
+    }
+
+    /// Removing one shard only remaps the keys that lived on it; every
+    /// other key keeps its shard (minimal disruption).
+    #[test]
+    fn rendezvous_remap_is_minimal(
+        names in shard_names(2),
+        victim in 0usize..8,
+        keys in proptest::collection::vec(0u64..u64::MAX, 1..64),
+    ) {
+        let victim = victim % names.len();
+        let mut reduced = names.clone();
+        let gone = reduced.remove(victim);
+        for &key in &keys {
+            let before = names[rendezvous_shard(key, &names).expect("non-empty")].clone();
+            let after = reduced[rendezvous_shard(key, &reduced).expect("non-empty")].clone();
+            if before != gone {
+                prop_assert_eq!(before, after, "key {} moved though its shard survived", key);
+            }
+        }
+    }
+
+    /// A consecutive key range (device ids) spreads over every shard:
+    /// no shard is starved once there are a few keys per shard.
+    #[test]
+    fn rendezvous_balances_consecutive_keys(
+        names in shard_names(1),
+        start in 0u64..1_000_000,
+    ) {
+        let per_shard = 256usize;
+        let total = names.len() * per_shard;
+        let mut counts = vec![0usize; names.len()];
+        for key in start..start + total as u64 {
+            counts[rendezvous_shard(key, &names).expect("non-empty")] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                c >= per_shard / 4,
+                "shard {} ({}) starved: {}/{} keys",
+                i, names[i], c, total
+            );
+        }
     }
 }

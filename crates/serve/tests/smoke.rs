@@ -134,7 +134,7 @@ fn non_monotonic_seq_is_rejected() {
     raw.set_read_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");
     raw.write_all(&frame_bytes(&Frame::Hello {
-        version: 1,
+        version: mobicore_serve::PROTOCOL_VERSION,
         policy: "noop".to_string(),
         profile: "nexus5".to_string(),
         seed: 0,
@@ -198,6 +198,90 @@ fn loopback_load_small_is_clean() {
     let stats = server.shutdown();
     assert_eq!(stats.decisions, 4 * 20);
     assert_eq!(stats.drained_sessions, 4);
+}
+
+#[test]
+fn one_connection_carries_sessions_back_to_back() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let mut sess = ClientSession::connect_raw(&addr).expect("connect");
+    let snap = PolicySnapshot::synthetic(4, 4, Khz(960_000), Utilization::new(0.4), 20_000);
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        sess.hello("noop", "nexus5", 0).expect("hello");
+        ids.push(sess.session_id());
+        let d = sess.request(&snap).expect("decision");
+        assert_eq!(d.seq, 0, "seq restarts per session");
+        assert_eq!(sess.end_session().expect("bye"), 1);
+    }
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "each Hello must get a fresh session id");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions, 3, "three sessions over one connection");
+    assert_eq!(stats.drained_sessions, 3);
+    assert_eq!(stats.aborted_sessions, 0);
+}
+
+#[test]
+fn pipelined_window_is_byte_identical_to_lockstep() {
+    let server = Server::bind("127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let snaps: Vec<PolicySnapshot> = (0..24)
+        .map(|i| {
+            PolicySnapshot::synthetic(
+                4,
+                4,
+                Khz(960_000),
+                Utilization::new(0.2 + f64::from(i) * 0.03),
+                20_000,
+            )
+        })
+        .collect();
+
+    // Window 1: strict lockstep, one frame per write.
+    let mut lockstep = ClientSession::connect(&addr, "mobicore", "nexus5", 7).expect("connect");
+    let reference: Vec<Vec<u8>> = snaps
+        .iter()
+        .map(|snap| {
+            let d = lockstep.request(snap).expect("decision");
+            frame_bytes(&Frame::Decision {
+                seq: d.seq,
+                commands: d.commands,
+                notes: d.notes,
+            })
+        })
+        .collect();
+    lockstep.finish().expect("bye");
+
+    // Window 6: corked batches of pipelined snapshots, one flush each.
+    let mut piped = ClientSession::connect(&addr, "mobicore", "nexus5", 7)
+        .expect("connect")
+        .with_window(6);
+    let mut got = Vec::new();
+    for batch in snaps.chunks(piped.window()) {
+        for snap in batch {
+            piped.submit(snap).expect("submit within window");
+        }
+        piped.flush().expect("one write per batch");
+        for _ in batch {
+            let d = piped.collect().expect("decision");
+            got.push(frame_bytes(&Frame::Decision {
+                seq: d.seq,
+                commands: d.commands,
+                notes: d.notes,
+            }));
+        }
+    }
+    piped.finish().expect("bye");
+
+    assert_eq!(
+        got, reference,
+        "pipelined decisions must be byte-identical to lockstep"
+    );
+    server.shutdown();
 }
 
 #[test]

@@ -49,11 +49,15 @@ pub enum EventKind {
     Backpressure,
     /// The serve daemon began graceful shutdown (drain started).
     ServeShutdown,
+    /// The router bound a session key to a shard.
+    ShardRouted,
+    /// Per-shard rollup of one fleet orchestrator run.
+    FleetShardSummary,
 }
 
 impl EventKind {
     /// Every kind, in a stable order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::FreqChange,
         EventKind::CoreOnline,
         EventKind::CoreOffline,
@@ -72,6 +76,8 @@ impl EventKind {
         EventKind::SessionEnd,
         EventKind::Backpressure,
         EventKind::ServeShutdown,
+        EventKind::ShardRouted,
+        EventKind::FleetShardSummary,
     ];
 
     /// The stable wire name (`kind` member of a JSONL line, the argument
@@ -96,6 +102,8 @@ impl EventKind {
             EventKind::SessionEnd => "session-end",
             EventKind::Backpressure => "backpressure",
             EventKind::ServeShutdown => "serve-shutdown",
+            EventKind::ShardRouted => "shard-routed",
+            EventKind::FleetShardSummary => "fleet-shard-summary",
         }
     }
 
@@ -134,6 +142,8 @@ impl EventKind {
             EventKind::SessionEnd => "A serve session ended (ByeAck sent, or forced close).",
             EventKind::Backpressure => "A session crossed its queue budget (rising edge only).",
             EventKind::ServeShutdown => "The serve daemon began graceful shutdown (drain started).",
+            EventKind::ShardRouted => "The router bound a session key to a shard.",
+            EventKind::FleetShardSummary => "Per-shard rollup of one fleet orchestrator run.",
         }
     }
 }
@@ -291,6 +301,25 @@ pub enum EventData {
         /// Sessions still in flight when the drain began.
         active_sessions: u64,
     },
+    /// The router bound a session key to a shard (one event per
+    /// routed session, i.e. per accepted Route frame).
+    ShardRouted {
+        /// The router-side connection id carrying the session.
+        conn: u64,
+        /// The session key the client asked to place.
+        key: u64,
+        /// The winning shard's stable name.
+        shard: String,
+    },
+    /// Per-shard rollup of one fleet orchestrator run.
+    FleetShardSummary {
+        /// The shard's stable name.
+        shard: String,
+        /// Device sessions the fleet run placed on this shard.
+        sessions: u64,
+        /// Decisions those sessions received.
+        decisions: u64,
+    },
 }
 
 impl EventData {
@@ -315,6 +344,8 @@ impl EventData {
             EventData::SessionEnd { .. } => EventKind::SessionEnd,
             EventData::Backpressure { .. } => EventKind::Backpressure,
             EventData::ServeShutdown { .. } => EventKind::ServeShutdown,
+            EventData::ShardRouted { .. } => EventKind::ShardRouted,
+            EventData::FleetShardSummary { .. } => EventKind::FleetShardSummary,
         }
     }
 }
@@ -427,6 +458,18 @@ impl Event {
             EventData::ServeShutdown { active_sessions } => {
                 base.with("active_sessions", num_u64(*active_sessions))
             }
+            EventData::ShardRouted { conn, key, shard } => base
+                .with("conn", num_u64(*conn))
+                .with("key", num_u64(*key))
+                .with("shard", Json::Str(shard.clone())),
+            EventData::FleetShardSummary {
+                shard,
+                sessions,
+                decisions,
+            } => base
+                .with("shard", Json::Str(shard.clone()))
+                .with("sessions", num_u64(*sessions))
+                .with("decisions", num_u64(*decisions)),
         }
     }
 
@@ -551,6 +594,16 @@ impl Event {
             },
             EventKind::ServeShutdown => EventData::ServeShutdown {
                 active_sessions: u("active_sessions")?,
+            },
+            EventKind::ShardRouted => EventData::ShardRouted {
+                conn: u("conn")?,
+                key: u("key")?,
+                shard: s("shard")?,
+            },
+            EventKind::FleetShardSummary => EventData::FleetShardSummary {
+                shard: s("shard")?,
+                sessions: u("sessions")?,
+                decisions: u("decisions")?,
             },
         };
         Ok(Event { t_us, data })
@@ -695,6 +748,22 @@ mod tests {
             Event {
                 t_us: 260_000,
                 data: EventData::ServeShutdown { active_sessions: 3 },
+            },
+            Event {
+                t_us: 270_000,
+                data: EventData::ShardRouted {
+                    conn: 17,
+                    key: 9_001,
+                    shard: "s1".into(),
+                },
+            },
+            Event {
+                t_us: 280_000,
+                data: EventData::FleetShardSummary {
+                    shard: "s1".into(),
+                    sessions: 50_000,
+                    decisions: 100_000,
+                },
             },
         ]
     }

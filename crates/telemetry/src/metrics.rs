@@ -122,6 +122,17 @@ impl Histogram {
         }
     }
 
+    /// Merges any number of histograms into a fresh one — the
+    /// aggregation step a fleet run uses to fold per-shard RTT
+    /// histograms into the overall distribution.
+    pub fn merged<'a, I: IntoIterator<Item = &'a Histogram>>(parts: I) -> Histogram {
+        let mut out = Histogram::new();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
+
     /// Sum of recorded values.
     pub fn sum(&self) -> f64 {
         self.sum
