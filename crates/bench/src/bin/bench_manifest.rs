@@ -8,19 +8,21 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_06.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_07.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
+use mobicore_experiments::fleet;
 use mobicore_experiments::runner::{run_pinned, ManifestSink};
 use mobicore_model::{profiles, Khz, Quota, Utilization};
 use mobicore_sim::{
     CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot, SimConfig, SimEngine, Simulation,
 };
 use mobicore_sweep::Executor;
-use mobicore_telemetry::git_describe;
+use mobicore_telemetry::{git_describe, RunManifest};
 use mobicore_workloads::{scenario, BusyLoop};
 use std::hint::black_box;
+use std::path::Path;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 fn snapshot(utils: [f64; 4]) -> PolicySnapshot {
@@ -226,10 +228,33 @@ fn fleet_loopback(sessions: usize) -> mobicore_serve::FleetReport {
     report
 }
 
+/// `bench.host_cpus` from the newest committed `BENCH_*.json` at the
+/// repo root, so this run's manifest can be tagged when the host
+/// changed underneath the trend line (the BENCH_04→06 sim-throughput
+/// "regression" was really `bench.host_cpus` going 4→1).
+fn latest_committed_host_cpus(root: &Path) -> Option<f64> {
+    let mut candidates: Vec<std::path::PathBuf> = std::fs::read_dir(root)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    candidates.sort();
+    // Names are BENCH_NN.json, so lexicographic max == newest.
+    let newest = candidates.pop()?;
+    let text = std::fs::read_to_string(&newest).ok()?;
+    let m = RunManifest::from_json_text(&text).ok()?;
+    m.metrics.get("bench.host_cpus").copied()
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_06.json".into());
+        .unwrap_or_else(|| "BENCH_07.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -298,7 +323,23 @@ fn main() {
         fleet.rtt_us.quantile(0.99),
     );
 
-    let mut m = sim.manifest("bench-06");
+    eprintln!("measuring fleetsim multiplexed vs independent throughput (1000 devices)...");
+    let fleet_spec = |mode: fleet::Mode| fleet::FleetSpec {
+        devices: 1000,
+        secs: 10,
+        mode,
+        ..fleet::FleetSpec::default()
+    };
+    let multiplexed = fleet::run(&fleet_spec(fleet::Mode::Fleet));
+    let independent = fleet::run(&fleet_spec(fleet::Mode::Independent));
+    let fleetsim_speedup = multiplexed.device_s_per_wall_s / independent.device_s_per_wall_s;
+    eprintln!(
+        "fleetsim: {:.0} device-s/wall-s multiplexed vs {:.0} independent \
+         (×{fleetsim_speedup:.2}) over {} chunks",
+        multiplexed.device_s_per_wall_s, independent.device_s_per_wall_s, multiplexed.chunks,
+    );
+
+    let mut m = sim.manifest("bench-07");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -333,6 +374,25 @@ fn main() {
             .insert("sweep_speedup".into(), "skipped-single-cpu".into());
         eprintln!("sweep speedup tagged skipped-single-cpu (host has 1 cpu)");
     }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Some(prev) = latest_committed_host_cpus(&root) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let prev = prev.round() as usize;
+        if prev != host_cpus {
+            // The host changed under the trend line: absolute throughput
+            // against the previous baseline measures the hardware swap,
+            // not the code. The bench gate skips on this condition; the
+            // tag records it for readers of the committed manifest.
+            m.tags.insert(
+                "bench_gate".into(),
+                format!("skipped-host-mismatch-{prev}-to-{host_cpus}-cpus"),
+            );
+            eprintln!(
+                "host changed since the last committed baseline \
+                 ({prev} → {host_cpus} cpus); tagged bench_gate=skipped-host-mismatch"
+            );
+        }
+    }
     m.metrics
         .insert("serve.decisions_per_s".into(), serve.decisions_per_s);
     m.metrics
@@ -360,6 +420,19 @@ fn main() {
         m.metrics
             .insert(format!("fleet.sessions.{name}"), *sessions as f64);
     }
+    m.metrics.insert("bench.fleetsim_devices".into(), 1000.0);
+    m.metrics.insert(
+        "bench.fleetsim_device_s_per_wall_s".into(),
+        multiplexed.device_s_per_wall_s,
+    );
+    m.metrics.insert(
+        "bench.fleetsim_independent_device_s_per_wall_s".into(),
+        independent.device_s_per_wall_s,
+    );
+    m.metrics.insert(
+        "bench.fleetsim_speedup_over_independent".into(),
+        fleetsim_speedup,
+    );
 
     match std::fs::write(&out, m.to_json_text()) {
         Ok(()) => {

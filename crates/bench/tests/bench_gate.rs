@@ -92,11 +92,49 @@ fn latest_committed_manifest(root: &Path) -> Option<(PathBuf, RunManifest)> {
     Some((newest, m))
 }
 
+/// Current host's logical CPU count — the counterpart of the
+/// `bench.host_cpus` metric every committed manifest records.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// True (with an explanatory note) when `baseline` was recorded on a
+/// host with a different CPU count than this one. Absolute throughput
+/// is not comparable across hosts — the BENCH_04→06 sim-throughput
+/// "regression" (2910→2274 sim-s/wall-s) was really `bench.host_cpus`
+/// going 4→1 — so every gate skips on a host change instead of failing
+/// on a number that measures the hardware swap, not the code. Baselines
+/// that predate the metric can't be checked and compare as before.
+fn baseline_host_differs(path: &Path, baseline: &RunManifest) -> bool {
+    let Some(recorded) = baseline.metrics.get("bench.host_cpus").copied() else {
+        return false;
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let recorded = recorded.round() as usize;
+    let current = host_cpus();
+    if recorded == current {
+        return false;
+    }
+    eprintln!(
+        "bench gate skipped: baseline {} was recorded on a {recorded}-cpu host, \
+         this host has {current} — absolute throughput is not comparable",
+        path.display()
+    );
+    true
+}
+
 /// The newest committed baseline value for `metric`, if any (older
 /// baselines predate some metrics — a gate whose metric is absent
-/// simply has no baseline yet).
+/// simply has no baseline yet). `None` (after a printed explanation)
+/// also when the baseline host's CPU count differs from this host's,
+/// because that comparison would measure the hardware swap.
 fn latest_committed_baseline(root: &Path, metric: &str) -> Option<(PathBuf, f64)> {
     let (newest, m) = latest_committed_manifest(root)?;
+    if baseline_host_differs(&newest, &m) {
+        return None;
+    }
     let v = m.metrics.get(metric).copied()?;
     Some((newest, v))
 }
@@ -118,7 +156,7 @@ fn bench_gate_sim_throughput_within_25_pct_of_committed() {
     let Some((baseline_path, baseline)) =
         latest_committed_baseline(&root, "bench.sim_s_per_wall_s")
     else {
-        eprintln!("bench gate skipped: no committed BENCH_*.json found");
+        eprintln!("bench gate skipped: no comparable committed baseline");
         return;
     };
     let _serial = GATE_LOCK.lock().expect("gate lock");
@@ -151,10 +189,7 @@ fn bench_gate_sweep_speedup_meaningful_only_on_multi_cpu_hosts() {
         );
         return;
     }
-    let host_cpus = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    if host_cpus == 1 {
+    if host_cpus() == 1 {
         // A single-CPU host cannot exhibit parallel speedup; bench-manifest
         // still records the ratio but tags it skipped, and this gate
         // follows suit rather than failing on a meaningless number.
@@ -166,6 +201,12 @@ fn bench_gate_sweep_speedup_meaningful_only_on_multi_cpu_hosts() {
         eprintln!("sweep gate skipped: no committed BENCH_*.json found");
         return;
     };
+    if baseline_host_differs(&baseline_path, &baseline_manifest) {
+        // Even the speedup *ratio* shifts with core count (a 2-cpu host
+        // cannot reach a 4-cpu host's j4-over-j1), so a host change
+        // invalidates this baseline too.
+        return;
+    }
     if baseline_manifest
         .tags
         .get("sweep_speedup")
@@ -247,7 +288,7 @@ fn bench_gate_serve_throughput_within_25_pct_of_committed() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Some((baseline_path, baseline)) = latest_committed_baseline(&root, "serve.decisions_per_s")
     else {
-        eprintln!("serve gate skipped: no committed baseline carries serve.decisions_per_s");
+        eprintln!("serve gate skipped: no comparable baseline carries serve.decisions_per_s");
         return;
     };
     let _serial = GATE_LOCK.lock().expect("gate lock");

@@ -40,6 +40,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fleet;
 pub mod games_suite;
 pub mod phone;
 pub mod result;

@@ -65,13 +65,29 @@ impl ManifestSink {
     /// Stamps the non-deterministic manifest fields and writes `sim`'s
     /// manifest under the sink's directory. A no-op on disabled sinks.
     pub fn emit(&self, sim: &Simulation, wall_ms: f64) {
+        if self.dir.is_none() {
+            return;
+        }
+        self.emit_with_git(
+            sim,
+            wall_ms,
+            mobicore_telemetry::git_describe(std::path::Path::new(".")),
+        );
+    }
+
+    /// Like [`emit`](Self::emit) but with a pre-resolved `git` stamp.
+    /// `git describe` is a subprocess per call; the fleet driver
+    /// ([`crate::fleet`]) resolves it once per device chunk and reuses
+    /// the string across every device manifest in the chunk, instead of
+    /// forking once per device.
+    pub fn emit_with_git(&self, sim: &Simulation, wall_ms: f64, git: Option<String>) {
         let Some(dir) = &self.dir else { return };
         // relaxed: sequence allocation only needs atomicity; file names
         // must be unique, not ordered across threads.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut m = sim.manifest(&format!("{}-{seq:04}", self.label));
         m.kind = "experiment".to_string();
-        m.git = mobicore_telemetry::git_describe(std::path::Path::new("."));
+        m.git = git;
         m.created_unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .ok()

@@ -1,0 +1,104 @@
+//! FleetSim byte-identity at fleet scale (ISSUE 9 acceptance
+//! criterion): a multiplexed 1000-device run must produce per-device
+//! reports and manifests byte-identical to 1000 independent per-device
+//! runs, in submission order — the same bar the event engine meets
+//! against the cyclic loop and `--jobs N` meets against `--jobs 1`.
+
+use mobicore_experiments::fleet::{run, FleetSpec, Mode};
+use mobicore_telemetry::RunManifest;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn spec(mode: Mode, devices: usize, chunk: usize) -> FleetSpec {
+    FleetSpec {
+        devices,
+        chunk,
+        scenario: "idle-day".to_string(),
+        policy: "mobicore".to_string(),
+        secs: 1,
+        base_seed: 20_170_315,
+        mode,
+        manifest_dir: None,
+        capture_events: true,
+    }
+}
+
+#[test]
+fn multiplexed_1000_devices_match_independent_runs() {
+    let fleet = run(&spec(Mode::Fleet, 1000, 64));
+    let indep = run(&spec(Mode::Independent, 1000, 64));
+    assert_eq!(fleet.results.len(), 1000);
+    assert_eq!(indep.results.len(), 1000);
+    for (a, b) in fleet.results.iter().zip(&indep.results) {
+        assert_eq!(a.device, b.device, "submission order preserved");
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "device {} report differs between multiplexed and independent runs",
+            a.device
+        );
+        assert_eq!(
+            a.events_jsonl, b.events_jsonl,
+            "device {} event stream differs",
+            a.device
+        );
+    }
+    // Batched chunk telemetry attributes every device exactly once.
+    assert_eq!(fleet.telemetry.counter("fleet.devices"), Some(1000));
+    assert_eq!(fleet.telemetry.counter("fleet.chunks"), Some(16));
+}
+
+/// Reads every manifest under `dir`, strips the wall-clock stamps, and
+/// returns `file name → canonical JSON` for byte-level comparison.
+fn normalized_manifests(dir: &Path) -> BTreeMap<String, String> {
+    std::fs::read_dir(dir)
+        .expect("manifest dir exists")
+        .filter_map(Result::ok)
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(e.path()).expect("manifest readable");
+            let mut m = RunManifest::from_json_text(&text).expect("manifest parses");
+            assert!(m.wall_ms.is_some(), "{name}: wall clock stamped");
+            assert!(m.created_unix_ms.is_some(), "{name}: creation time stamped");
+            m.wall_ms = None;
+            m.created_unix_ms = None;
+            (name, m.to_json_text())
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_manifests_are_byte_identical_to_independent_ones() {
+    // Smaller fleet with sinks enabled: the independent baseline forks
+    // `git describe` per manifest, so 48 devices keeps the test quick
+    // while still spanning several chunks.
+    let base = std::env::temp_dir().join("mobicore-fleetsim-manifest-test");
+    let fleet_dir = base.join("fleet");
+    let indep_dir = base.join("independent");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&fleet_dir).expect("create fleet dir");
+    std::fs::create_dir_all(&indep_dir).expect("create independent dir");
+
+    let mut fleet_spec = spec(Mode::Fleet, 48, 16);
+    fleet_spec.manifest_dir = Some(fleet_dir.clone());
+    let mut indep_spec = spec(Mode::Independent, 48, 16);
+    indep_spec.manifest_dir = Some(indep_dir.clone());
+    run(&fleet_spec);
+    run(&indep_spec);
+
+    let fleet_m = normalized_manifests(&fleet_dir);
+    let indep_m = normalized_manifests(&indep_dir);
+    assert_eq!(fleet_m.len(), 48, "one manifest per device");
+    assert_eq!(
+        fleet_m.keys().collect::<Vec<_>>(),
+        indep_m.keys().collect::<Vec<_>>(),
+        "manifest file names independent of mode and chunking"
+    );
+    for (name, body) in &fleet_m {
+        assert_eq!(
+            body, &indep_m[name],
+            "manifest {name} differs between fleet and independent modes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

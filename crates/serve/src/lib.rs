@@ -37,6 +37,7 @@
 
 pub mod client;
 pub mod load;
+mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod router;

@@ -1,0 +1,162 @@
+//! Adaptive idle-poll backoff: spin → yield → capped exponential sleep.
+//!
+//! The serve and router tiers poll non-blocking sockets from worker and
+//! acceptor loops. The old fixed 300 µs idle sleep charged its full
+//! length to every wakeup — including the common case where the next
+//! frame lands microseconds after the last one was serviced, which is
+//! exactly where RTT tails are made. [`Backoff`] ramps instead: a fresh
+//! (or just-reset) poller burns a few busy spins (cheapest wakeup —
+//! work usually arrives right behind the last progress), then yields
+//! its time-slice a few times, then sleeps with exponentially growing
+//! naps **capped at the old fixed sleep**. The cap keeps every
+//! worst-case bound the fixed sleep gave — first frame after a long
+//! lull, EOF-notice latency on a parked hot connection, drain-exit
+//! re-check period — exactly where it was, while the ramp's early
+//! phases catch near-term work orders of magnitude sooner.
+//!
+//! Every wait site pairs with a [`Backoff::reset`] on progress, so a
+//! busy loop never sleeps and an idle one converges to one capped nap
+//! per cycle.
+
+use std::time::Duration;
+
+/// Escalation steps that busy-spin (each step spins a growing number of
+/// [`std::hint::spin_loop`] hints).
+const SPIN_STEPS: u32 = 4;
+/// Escalation steps that yield the time-slice after spinning stops.
+const YIELD_STEPS: u32 = 4;
+/// First nap length once yielding stops; doubles per step up to
+/// [`MAX_SLEEP_US`].
+const MIN_SLEEP_US: u64 = 75;
+/// Nap cap — the old fixed `POLL_SLEEP`, so an idle loop settles into
+/// exactly the pre-ramp cadence and no latency bound regresses (the
+/// load tests read drained stats within one stats round-trip of the
+/// last session close; naps past 300 µs lose that race).
+const MAX_SLEEP_US: u64 = 300;
+
+/// What one wait at a given escalation step does — pure, so the
+/// schedule is unit-testable without timing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Busy-spin this many `spin_loop` hints.
+    Spin(u32),
+    /// Yield the time-slice.
+    Yield,
+    /// Sleep this long.
+    Sleep(Duration),
+}
+
+/// Schedule for escalation step `step` (saturating at the cap).
+fn phase(step: u32) -> Phase {
+    if step < SPIN_STEPS {
+        Phase::Spin(8 << step)
+    } else if step < SPIN_STEPS + YIELD_STEPS {
+        Phase::Yield
+    } else {
+        let exp = (step - SPIN_STEPS - YIELD_STEPS).min(32);
+        let us = MIN_SLEEP_US
+            .saturating_mul(1u64 << exp.min(31))
+            .min(MAX_SLEEP_US);
+        Phase::Sleep(Duration::from_micros(us))
+    }
+}
+
+/// An idle-poll escalator. One instance per polling loop; call
+/// [`wait`](Backoff::wait) when a poll found nothing and
+/// [`reset`](Backoff::reset) when it made progress.
+#[derive(Debug, Default)]
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh escalator, starting at the spin phase.
+    pub(crate) const fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Forget accumulated idleness — the next [`wait`](Backoff::wait)
+    /// starts back at the spin phase.
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Wait once at the current escalation step, then escalate.
+    pub(crate) fn wait(&mut self) {
+        match phase(self.step) {
+            Phase::Spin(hints) => {
+                for _ in 0..hints {
+                    std::hint::spin_loop();
+                }
+            }
+            Phase::Yield => std::thread::yield_now(),
+            Phase::Sleep(nap) => std::thread::sleep(nap),
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_escalates_spin_then_yield_then_sleep() {
+        assert_eq!(phase(0), Phase::Spin(8));
+        assert_eq!(phase(SPIN_STEPS - 1), Phase::Spin(8 << (SPIN_STEPS - 1)));
+        for step in SPIN_STEPS..SPIN_STEPS + YIELD_STEPS {
+            assert_eq!(phase(step), Phase::Yield);
+        }
+        assert_eq!(
+            phase(SPIN_STEPS + YIELD_STEPS),
+            Phase::Sleep(Duration::from_micros(MIN_SLEEP_US))
+        );
+        assert_eq!(
+            phase(SPIN_STEPS + YIELD_STEPS + 1),
+            Phase::Sleep(Duration::from_micros(2 * MIN_SLEEP_US))
+        );
+    }
+
+    #[test]
+    fn sleeps_double_up_to_the_cap_and_stay_there() {
+        let mut prev = Duration::ZERO;
+        for step in SPIN_STEPS + YIELD_STEPS.. {
+            let Phase::Sleep(nap) = phase(step) else {
+                panic!("step {step} must sleep");
+            };
+            assert!(nap >= prev, "naps never shrink");
+            assert!(nap <= Duration::from_micros(MAX_SLEEP_US), "cap respected");
+            if nap == Duration::from_micros(MAX_SLEEP_US) && prev == nap {
+                break; // settled at the cap
+            }
+            prev = nap;
+        }
+        // Far past the ramp (and past any shift-overflow hazard) the nap
+        // is still exactly the cap.
+        assert_eq!(
+            phase(u32::MAX),
+            Phase::Sleep(Duration::from_micros(MAX_SLEEP_US))
+        );
+    }
+
+    #[test]
+    fn reset_restarts_the_ramp() {
+        let mut b = Backoff::new();
+        for _ in 0..3 {
+            b.wait();
+        }
+        assert_eq!(b.step, 3);
+        b.reset();
+        assert_eq!(b.step, 0);
+        b.wait();
+        assert_eq!(b.step, 1);
+    }
+
+    #[test]
+    fn step_saturates_instead_of_wrapping() {
+        let mut b = Backoff { step: u32::MAX };
+        // wait() would nap the 300 µs cap here; just check the arithmetic.
+        b.step = b.step.saturating_add(1);
+        assert_eq!(b.step, u32::MAX);
+    }
+}

@@ -26,6 +26,7 @@
 //! injector; N workers each own a deque of relays and steal the back
 //! half of a victim's deque when idle.
 
+use crate::poll::Backoff;
 use crate::protocol::{
     codes, decode_frame, encode_frame, has_complete_frame, peek_frame_type, Frame, MAX_FRAME_LEN,
     TY_ROUTE,
@@ -41,9 +42,6 @@ use std::time::{Duration, Instant};
 
 const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
-
-/// How long an idle worker or the acceptor sleeps between polls.
-const POLL_SLEEP: Duration = Duration::from_micros(300);
 
 /// The frame types owned by the router tier (checked against
 /// `docs/serving.md` by the `registry-doc-sync` lint).
@@ -811,6 +809,7 @@ fn finalize(relay: &mut Relay, shared: &Shared) {
 
 fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Relay>>>], me: usize) {
     let own = &deques[me];
+    let mut idle = Backoff::new();
     loop {
         {
             let mut injector = lock_unpoisoned(shared.injector.lock());
@@ -841,7 +840,7 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Relay>>>], me:
             if shared.draining() && shared.live_conns.load(Ordering::Acquire) == 0 {
                 return;
             }
-            std::thread::sleep(POLL_SLEEP);
+            idle.wait();
             continue;
         }
         let mut any_progress = false;
@@ -860,19 +859,23 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Relay>>>], me:
                 }
             }
         }
-        if !any_progress {
-            std::thread::sleep(POLL_SLEEP);
+        if any_progress {
+            idle.reset();
+        } else {
+            idle.wait();
         }
     }
 }
 
 fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut idle = Backoff::new();
     loop {
         if shared.draining() {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                idle.reset();
                 // relaxed: id allocation only needs atomicity, not ordering.
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
                 // relaxed: monotonic counter; published by the Release
@@ -906,9 +909,9 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 shared.live_conns.fetch_add(1, Ordering::AcqRel);
                 lock_unpoisoned(shared.injector.lock()).push_back(relay);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_SLEEP),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => idle.wait(),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(POLL_SLEEP),
+            Err(_) => idle.wait(),
         }
     }
 }

@@ -25,6 +25,7 @@
 //! the drain deadline is force-closed — so `shutdown()` returns within
 //! the configured deadline.
 
+use crate::poll::Backoff;
 use crate::protocol::{
     codes, decode_frame, encode_frame, has_complete_frame, Frame, PROTOCOL_VERSION,
 };
@@ -41,9 +42,6 @@ use std::time::{Duration, Instant};
 
 const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
-
-/// How long an idle worker or the acceptor sleeps between polls.
-const POLL_SLEEP: Duration = Duration::from_micros(300);
 
 /// Tuning knobs of one daemon instance.
 #[derive(Debug, Clone)]
@@ -653,6 +651,7 @@ fn finalize(sess: &mut Session, shared: &Shared) {
 
 fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], me: usize) {
     let own = &deques[me];
+    let mut idle = Backoff::new();
     loop {
         // Adopt newly accepted sessions.
         {
@@ -685,7 +684,7 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
             if shared.draining() && shared.live_sessions.load(Ordering::Acquire) == 0 {
                 return;
             }
-            std::thread::sleep(POLL_SLEEP);
+            idle.wait();
             continue;
         }
         let mut any_progress = false;
@@ -704,19 +703,23 @@ fn worker_loop(shared: &Arc<Shared>, deques: &[Arc<Mutex<VecDeque<Session>>>], m
                 }
             }
         }
-        if !any_progress {
-            std::thread::sleep(POLL_SLEEP);
+        if any_progress {
+            idle.reset();
+        } else {
+            idle.wait();
         }
     }
 }
 
 fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut idle = Backoff::new();
     loop {
         if shared.draining() {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                idle.reset();
                 // relaxed: id allocation only needs atomicity, not ordering.
                 let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
                 shared.emit(EventData::ConnAccepted { conn: conn_id });
@@ -748,9 +751,9 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 shared.live_sessions.fetch_add(1, Ordering::AcqRel);
                 lock_unpoisoned(shared.injector.lock()).push_back(sess);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_SLEEP),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => idle.wait(),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(POLL_SLEEP),
+            Err(_) => idle.wait(),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::error::SimError;
 use mobicore_model::DeviceProfile;
+use std::sync::Arc;
 
 /// Which loop drives simulated time forward (docs/simulator.md).
 ///
@@ -80,8 +81,11 @@ pub enum TraceLevel {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// The device being simulated.
-    pub profile: DeviceProfile,
+    /// The device being simulated. Shared, not owned: a fleet of
+    /// identical devices clones the `Arc`, so the OPP tables and power
+    /// model live once per profile however many simulations run
+    /// (docs/simulator.md, FleetSim).
+    pub profile: Arc<DeviceProfile>,
     /// Wall-clock length of the run, µs.
     pub duration_us: u64,
     /// Simulation tick, µs (default 1000 = 1 ms).
@@ -112,11 +116,15 @@ pub struct SimConfig {
 impl SimConfig {
     /// A 60-second, 1 ms-tick run on `profile` with seed 0.
     ///
+    /// Accepts a `DeviceProfile` by value or an already-shared
+    /// `Arc<DeviceProfile>`; multi-device fleets pass the same `Arc` to
+    /// every config so the profile is hoisted once.
+    ///
     /// The engine defaults to [`SimEngine::Cyclic`] unless [`ENGINE_ENV`]
     /// selects a valid engine name for the whole process.
-    pub fn new(profile: DeviceProfile) -> Self {
+    pub fn new(profile: impl Into<Arc<DeviceProfile>>) -> Self {
         SimConfig {
-            profile,
+            profile: profile.into(),
             duration_us: 60_000_000,
             tick_us: 1_000,
             seed: 0,

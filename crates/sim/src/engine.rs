@@ -196,6 +196,66 @@ impl WakeQueue {
     }
 }
 
+/// The cross-device dimension of the event engine: a min-heap of
+/// `(wake_time_us, device_id)` entries, one per live device.
+///
+/// Together with each device's own [`WakeQueue`] (which resolves the
+/// *component* dimension), this generalizes the single-device scheduler
+/// to a fleet keyed `(wake_time, device_id, component)`: the fleet loop
+/// pops the earliest device, lets its wake queue decide which component
+/// bounds the next burst, and re-pushes the device at its new time
+/// ([`crate::fleet::FleetSim`]).
+///
+/// Ordering is total and deterministic: ties on wake time resolve to the
+/// lowest device id (tuple order), so a multiplexed run interleaves
+/// devices identically on every execution.
+#[derive(Debug, Default)]
+pub struct FleetQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl FleetQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty queue with room for `n` devices pre-reserved, so warm
+    /// push/pop cycles never allocate (asserted by the fleet alloc-free
+    /// test).
+    pub fn with_capacity(n: usize) -> Self {
+        FleetQueue {
+            heap: std::collections::BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Schedules `device` to be advanced at `due_us`.
+    pub fn push(&mut self, due_us: u64, device: usize) {
+        self.heap.push(std::cmp::Reverse((due_us, device)));
+    }
+
+    /// Removes and returns the earliest `(due_us, device)`, lowest
+    /// device id first on ties.
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        self.heap.pop().map(|std::cmp::Reverse(e)| e)
+    }
+
+    /// The earliest `(due_us, device)` without removing it.
+    pub fn peek(&self) -> Option<(u64, usize)> {
+        self.heap.peek().map(|&std::cmp::Reverse(e)| e)
+    }
+
+    /// Number of scheduled devices.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no device is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +341,37 @@ mod tests {
         assert!(q.is_empty());
         let _ = q.register("x", WakeClass::FullStep);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn fleet_queue_orders_by_time_then_device() {
+        let mut q = FleetQueue::with_capacity(4);
+        assert!(q.is_empty());
+        q.push(300, 2);
+        q.push(100, 9);
+        q.push(100, 1);
+        q.push(200, 0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek(), Some((100, 1)), "lowest device id wins the tie");
+        assert_eq!(q.pop(), Some((100, 1)));
+        assert_eq!(q.pop(), Some((100, 9)));
+        assert_eq!(q.pop(), Some((200, 0)));
+        assert_eq!(q.pop(), Some((300, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fleet_queue_reschedule_cycle() {
+        // The fleet loop's shape: pop, advance, re-push at the new time.
+        let mut q = FleetQueue::with_capacity(2);
+        q.push(0, 0);
+        q.push(0, 1);
+        let (t, d) = q.pop().unwrap();
+        assert_eq!((t, d), (0, 0));
+        q.push(20_000, d); // device 0 burst to its next governor sample
+        assert_eq!(q.pop(), Some((0, 1)));
+        q.push(20_000, 1);
+        assert_eq!(q.pop(), Some((20_000, 0)));
+        assert_eq!(q.pop(), Some((20_000, 1)));
     }
 }

@@ -24,7 +24,10 @@
 //! * [`engine`] — the wake-time queue behind the event-driven engine
 //!   (`SimEngine::EventDriven`), which jumps over provably-quiet ticks
 //!   while staying byte-identical to the cyclic loop (see
-//!   docs/simulator.md).
+//!   docs/simulator.md),
+//! * [`fleet`] — [`FleetSim`], one event scheduler multiplexing many
+//!   device simulations through a shared `(wake_time, device_id,
+//!   component)` queue, byte-identical to independent per-device runs.
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod config;
 pub mod cores;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod meter;
 pub mod policy;
 pub mod report;
@@ -69,8 +73,9 @@ pub mod trace;
 pub mod workload;
 
 pub use config::{SimConfig, SimEngine, TraceLevel, ENGINE_ENV, ENGINE_NAMES};
-pub use engine::{Wake, WakeClass, WakeId, WakeQueue};
+pub use engine::{FleetQueue, Wake, WakeClass, WakeId, WakeQueue};
 pub use error::SimError;
+pub use fleet::FleetSim;
 pub use policy::{Command, CoreId, CoreSnapshot, CpuControl, CpuPolicy, PolicySnapshot};
 pub use report::SimReport;
 pub use sim::Simulation;

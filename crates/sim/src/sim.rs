@@ -18,6 +18,7 @@ use crate::trace::{Trace, TraceSample};
 use crate::workload::{Workload, WorkloadRt};
 use mobicore_model::{ClusterPowerCache, CoreActivity, Khz, PowerBreakdown, Quota, Utilization};
 use mobicore_telemetry::{EventData, RunManifest, Telemetry};
+use std::sync::Arc;
 
 /// Buffers the tick loop reuses across iterations so the steady state
 /// performs no heap allocation (docs/performance.md; asserted by
@@ -201,8 +202,10 @@ pub struct Simulation {
     /// Whether the bandwidth pool denied runtime in the previous tick,
     /// for the edge-triggered `bw-throttle` event.
     bw_denied_last_tick: bool,
-    /// Interned sysfs paths (built once; satellite of the tick fast path).
-    paths: PathTable,
+    /// Interned sysfs paths (built once; satellite of the tick fast
+    /// path). Shared: a fleet of same-topology devices holds one table
+    /// behind the `Arc` ([`Simulation::with_paths`]).
+    paths: Arc<PathTable>,
     /// Reused per-tick buffers.
     scratch: TickScratch,
     /// Reused policy-sample observation.
@@ -238,7 +241,38 @@ impl Simulation {
     /// Returns [`SimError::BadConfig`] when the configuration fails
     /// [`SimConfig::validate`].
     pub fn new(cfg: SimConfig, policy: Box<dyn CpuPolicy>) -> Result<Self, SimError> {
+        let paths = Arc::new(PathTable::new(cfg.profile.n_cores()));
+        Self::with_paths(cfg, policy, paths)
+    }
+
+    /// Like [`Simulation::new`], but sharing a pre-interned path table.
+    ///
+    /// [`crate::fleet::FleetSim`] builds thousands of same-topology
+    /// devices; interning the ~10·n_cores sysfs path strings once per
+    /// topology instead of once per device is part of what makes a
+    /// multiplexed fleet cheaper than independent runs
+    /// (docs/performance.md).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadConfig`] when the config fails
+    /// [`SimConfig::validate`] or `paths` was interned for a different
+    /// core count than `cfg.profile` has.
+    pub fn with_paths(
+        cfg: SimConfig,
+        policy: Box<dyn CpuPolicy>,
+        path_table: Arc<PathTable>,
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
+        if path_table.len() != cfg.profile.n_cores() {
+            return Err(SimError::BadConfig {
+                reason: format!(
+                    "path table interned for {} cores, profile has {}",
+                    path_table.len(),
+                    cfg.profile.n_cores()
+                ),
+            });
+        }
         let profile = &cfg.profile;
         let cpus = CpuSet::new(profile);
         let bw = BandwidthController::new(cfg.bandwidth_period_us, profile.n_cores());
@@ -250,7 +284,6 @@ impl Simulation {
         let mut meter = PowerMeter::new(cfg.trace_period_us);
         meter.reserve_for_duration(cfg.duration_us);
         let mut sysfs = SysFs::new();
-        let path_table = PathTable::new(profile.n_cores());
         let freq_list: Vec<String> = profile.opps().iter().map(|o| o.khz.0.to_string()).collect();
         for i in 0..profile.n_cores() {
             let core_paths = path_table.core(i);
@@ -375,6 +408,11 @@ impl Simulation {
     /// The device being simulated.
     pub fn profile(&self) -> &mobicore_model::DeviceProfile {
         &self.cfg.profile
+    }
+
+    /// The configuration the run was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
     }
 
     /// Number of online cores right now.
@@ -895,6 +933,25 @@ impl Simulation {
     /// whenever any full-step component is due, and a cycle-exact quiet
     /// burst across the gap to the next full-step wake otherwise.
     fn run_event_until(&mut self, end_us: u64) {
+        while self.now_us < end_us {
+            self.advance_event(end_us);
+        }
+    }
+
+    /// Advances by **one** event-engine iteration — one full
+    /// [`Simulation::step`] or one quiet burst — never past `end_us`,
+    /// and returns the new simulation time.
+    ///
+    /// Running this to `end_us` is exactly [`Simulation::run_until`]
+    /// under [`SimEngine::EventDriven`]; it exists as a public
+    /// single-iteration primitive so [`crate::fleet::FleetSim`] can
+    /// multiplex many devices through one cross-device scheduler, each
+    /// advancing in the bursts its own wake declarations allow. A no-op
+    /// when the simulation already reached `end_us`.
+    pub fn advance_event(&mut self, end_us: u64) -> u64 {
+        if self.now_us >= end_us {
+            return self.now_us;
+        }
         self.start_if_needed();
         let mut ev = match self.event.take() {
             Some(ev) => ev,
@@ -902,21 +959,18 @@ impl Simulation {
         };
         // The first iteration is always a full step: wake declarations
         // describe a simulation that has already ticked at least once.
-        let mut first = self.now_us == 0;
-        while self.now_us < end_us {
-            let n = if first {
-                first = false;
-                0
-            } else {
-                self.quiet_run_len(&mut ev, end_us)
-            };
-            if n == 0 {
-                self.step();
-            } else {
-                self.quiet_burst(n);
-            }
+        let n = if self.now_us == 0 {
+            0
+        } else {
+            self.quiet_run_len(&mut ev, end_us)
+        };
+        if n == 0 {
+            self.step();
+        } else {
+            self.quiet_burst(n);
         }
         self.event = Some(ev);
+        self.now_us
     }
 
     /// Re-declares every component's wake in the queue. Stale

@@ -11,8 +11,9 @@ use std::cell::Cell;
 
 use mobicore_model::{profiles, Khz};
 use mobicore_sim::builtin::PinnedPolicy;
-use mobicore_sim::{SimConfig, SimEngine, Simulation};
+use mobicore_sim::{FleetSim, SimConfig, SimEngine, Simulation};
 use mobicore_workloads::BusyLoop;
+use std::sync::Arc;
 
 /// Counts every allocation and reallocation made by the *current thread*
 /// (frees don't matter for the "no churn in the hot loop" claim; a free
@@ -117,6 +118,44 @@ fn event_engine_quiet_loop_is_allocation_free_after_warmup() {
         delta, 0,
         "expected zero heap allocations across 1 simulated second of \
          warm quiet bursts, observed {delta}"
+    );
+}
+
+#[test]
+fn fleet_multiplexed_loop_is_allocation_free_after_warmup() {
+    // Eight mostly-idle devices multiplexed through one FleetSim loop:
+    // once every device's scratch state and the fleet heap are warm,
+    // advancing the whole fleet a further simulated second must not
+    // allocate (the multiplexed warm-burst claim of docs/simulator.md).
+    let profile = Arc::new(profiles::nexus5());
+    let mut fleet = FleetSim::with_capacity(8);
+    for seed in 0..8 {
+        let cfg = SimConfig::new(Arc::clone(&profile))
+            .with_duration_secs(3)
+            .with_seed(seed)
+            .without_mpdecision()
+            .with_telemetry(false)
+            .with_engine(SimEngine::EventDriven);
+        let sim = Simulation::new(cfg, Box::new(PinnedPolicy::new(4, Khz(2_265_600))))
+            .expect("valid config");
+        fleet.add_device(sim);
+    }
+
+    // Warmup: the first simulated second grows each device's wake
+    // queue, power memo and scratch buffers to steady state.
+    while fleet.devices().iter().any(|d| d.now_us() < 1_000_000) {
+        fleet.advance_next();
+    }
+
+    let before = allocs();
+    while fleet.devices().iter().any(|d| d.now_us() < 2_000_000) {
+        fleet.advance_next();
+    }
+    let delta = allocs() - before;
+    assert_eq!(
+        delta, 0,
+        "expected zero heap allocations across 1 simulated second of \
+         warm multiplexed fleet loop, observed {delta}"
     );
 }
 

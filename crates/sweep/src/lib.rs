@@ -166,6 +166,62 @@ impl Executor {
         results
     }
 
+    /// Runs `f` over `items` in contiguous chunks of up to `chunk_size`
+    /// items, one chunk per sweep job, and flattens the per-chunk result
+    /// vectors back into submission order.
+    ///
+    /// This is the fleet integration point (`--fleet-chunk N`,
+    /// docs/simulator.md): a chunk of devices becomes one job whose
+    /// closure multiplexes them through a single `FleetSim` loop, and
+    /// because chunks are contiguous and results are flattened in chunk
+    /// order, `run_chunked(v, c, f)` is observably equivalent to mapping
+    /// the items one-by-one — whatever the chunk size or worker count —
+    /// as long as `f` maps each chunk item-wise.
+    ///
+    /// `f` receives `(first_index, chunk)` where `first_index` is the
+    /// submission index of the chunk's first item, and must return one
+    /// result per item, in item order. `chunk_size` is clamped to at
+    /// least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a different number of results than the
+    /// chunk has items, and propagates panics from `f` like
+    /// [`Executor::run_ordered`].
+    pub fn run_chunked<T, R, F>(&self, items: Vec<T>, chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, Vec<T>) -> Vec<R> + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::new();
+        let mut items = items.into_iter();
+        let mut first = 0;
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let len = chunk.len();
+            chunks.push((first, chunk));
+            first += len;
+        }
+        self.run_ordered(chunks, |_, (first_index, chunk)| {
+            let n = chunk.len();
+            let out = f(first_index, chunk);
+            assert_eq!(
+                out.len(),
+                n,
+                "run_chunked closure must return one result per item"
+            );
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Like [`Executor::run_ordered`], but a panicking job becomes an
     /// `Err(JobPanic)` in its submission slot instead of taking the
     /// sweep down: the worker that caught it keeps draining its deque,
@@ -372,6 +428,43 @@ mod tests {
             None
         );
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn run_chunked_flattens_in_submission_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for jobs in [1, 4] {
+            for chunk in [1, 7, 50, 103, 500] {
+                let exec = Executor::new(jobs);
+                let out = exec.run_chunked(items.clone(), chunk, |first, chunk| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| {
+                            assert_eq!((first + i) as u64, x, "chunks are contiguous");
+                            x * 3
+                        })
+                        .collect()
+                });
+                assert_eq!(out, expected, "jobs={jobs} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunked_zero_chunk_clamps_and_empty_is_empty() {
+        let exec = Executor::new(2);
+        let out = exec.run_chunked((0..5u32).collect(), 0, |_, c| c);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        let empty: Vec<u32> = exec.run_chunked(Vec::new(), 8, |_, c| c);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per item")]
+    fn run_chunked_rejects_miscounted_results() {
+        Executor::new(1).run_chunked(vec![1, 2, 3], 2, |_, _| vec![0]);
     }
 
     #[test]
