@@ -303,7 +303,7 @@ struct RegistrySpec {
     what: &'static str,
 }
 
-const REGISTRIES: [RegistrySpec; 6] = [
+const REGISTRIES: [RegistrySpec; 7] = [
     RegistrySpec {
         source: "crates/sim/src/config.rs",
         extract: Extract::ArrayStrings("ENGINE_NAMES"),
@@ -326,6 +326,15 @@ const REGISTRIES: [RegistrySpec; 6] = [
         source: "crates/governors/src/registry.rs",
         extract: Extract::ArrayStrings("NAMES"),
         doc: "docs/serving.md",
+        what: "governor name",
+    },
+    RegistrySpec {
+        // The tournament races every registered governor, so its doc
+        // page must list them all too — a new governor that shows up in
+        // docs/serving.md but not on the leaderboard page is drift.
+        source: "crates/governors/src/registry.rs",
+        extract: Extract::ArrayStrings("NAMES"),
+        doc: "docs/tournament.md",
         what: "governor name",
     },
     RegistrySpec {

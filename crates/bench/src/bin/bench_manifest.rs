@@ -8,7 +8,7 @@
 //! statistically careful comparisons).
 //!
 //! ```text
-//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_07.json
+//! cargo run --release -p mobicore-bench --bin bench-manifest -- BENCH_08.json
 //! ```
 
 use mobicore::{BandwidthAnalyzer, DcsPass, MobiCore, MobiCoreConfig};
@@ -228,6 +228,31 @@ fn fleet_loopback(sessions: usize) -> mobicore_serve::FleetReport {
     report
 }
 
+/// A bench-sized governor tournament: the thesis policy, the stock
+/// Android baseline, and the online learner over three catalog
+/// scenarios × three seeds. Small enough to run in about a second,
+/// big enough that `runs_per_s` exercises the real cell fan-out (and
+/// the energy ratios are byte-deterministic, so the learned-vs-baseline
+/// gap doubles as a quality trend line, not just a speed one).
+fn tournament_bench() -> mobicore_tournament::TournamentOutput {
+    let spec = mobicore_tournament::TournamentSpec {
+        name: "bench".to_string(),
+        policies: vec![
+            "mobicore".to_string(),
+            "android-default".to_string(),
+            "learned".to_string(),
+        ],
+        scenarios: vec![
+            "steady-video".to_string(),
+            "mixed-day-mini".to_string(),
+            "idle-day".to_string(),
+        ],
+        seeds: (20_170_315..20_170_318).collect(),
+        secs: 20,
+    };
+    mobicore_tournament::run(&spec)
+}
+
 /// `bench.host_cpus` from the newest committed `BENCH_*.json` at the
 /// repo root, so this run's manifest can be tagged when the host
 /// changed underneath the trend line (the BENCH_04→06 sim-throughput
@@ -254,7 +279,7 @@ fn latest_committed_host_cpus(root: &Path) -> Option<f64> {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_07.json".into());
+        .unwrap_or_else(|| "BENCH_08.json".into());
     let profile = profiles::nexus5();
     let snap = snapshot([0.9, 0.4, 0.2, 0.05]);
     const ROUNDS: usize = 7;
@@ -339,7 +364,26 @@ fn main() {
         multiplexed.device_s_per_wall_s, independent.device_s_per_wall_s, multiplexed.chunks,
     );
 
-    let mut m = sim.manifest("bench-07");
+    eprintln!("measuring tournament throughput (3 policies x 3 scenarios x 3 seeds)...");
+    let tournament = tournament_bench();
+    let energy = |p: &str| {
+        tournament
+            .leaderboard
+            .entries
+            .iter()
+            .find(|e| e.policy == p)
+            .map(|e| e.overall.energy_mj)
+            .expect("policy raced in the bench tournament")
+    };
+    let learned_over_mobicore = energy("learned") / energy("mobicore");
+    let learned_over_default = energy("learned") / energy("android-default");
+    eprintln!(
+        "tournament: {} runs at {:.1} runs/s; learned energy x{learned_over_mobicore:.3} \
+         of mobicore, x{learned_over_default:.3} of android-default",
+        tournament.runs, tournament.runs_per_s,
+    );
+
+    let mut m = sim.manifest("bench-08");
     m.kind = "bench".to_string();
     m.git = git_describe(std::path::Path::new("."));
     m.created_unix_ms = SystemTime::now()
@@ -432,6 +476,22 @@ fn main() {
     m.metrics.insert(
         "bench.fleetsim_speedup_over_independent".into(),
         fleetsim_speedup,
+    );
+    m.metrics
+        .insert("bench.tournament_runs_per_s".into(), tournament.runs_per_s);
+    #[allow(clippy::cast_precision_loss)]
+    m.metrics
+        .insert("bench.tournament_runs".into(), tournament.runs as f64);
+    // Energy ratios are deterministic given (spec, seed): they move only
+    // when a policy's decisions change, making them a quality trend line
+    // that is immune to host swaps (unlike the throughput metrics).
+    m.metrics.insert(
+        "bench.tournament_learned_over_mobicore_energy".into(),
+        learned_over_mobicore,
+    );
+    m.metrics.insert(
+        "bench.tournament_learned_over_default_energy".into(),
+        learned_over_default,
     );
 
     match std::fs::write(&out, m.to_json_text()) {

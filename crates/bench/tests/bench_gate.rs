@@ -72,6 +72,28 @@ fn fresh_serve_decisions_per_s() -> f64 {
     report.decisions_per_s
 }
 
+/// A fresh tournament measurement shaped exactly like the one
+/// `bench-manifest` records (3 policies × 3 scenarios × 3 seeds ×
+/// 20 s), so `runs_per_s` is comparable with the committed baseline.
+fn fresh_tournament() -> mobicore_tournament::TournamentOutput {
+    let spec = mobicore_tournament::TournamentSpec {
+        name: "bench".to_string(),
+        policies: vec![
+            "mobicore".to_string(),
+            "android-default".to_string(),
+            "learned".to_string(),
+        ],
+        scenarios: vec![
+            "steady-video".to_string(),
+            "mixed-day-mini".to_string(),
+            "idle-day".to_string(),
+        ],
+        seeds: (20_170_315..20_170_318).collect(),
+        secs: 20,
+    };
+    mobicore_tournament::run(&spec)
+}
+
 /// The newest committed `BENCH_NN.json` manifest at the repo root.
 fn latest_committed_manifest(root: &Path) -> Option<(PathBuf, RunManifest)> {
     let mut candidates: Vec<PathBuf> = std::fs::read_dir(root)
@@ -269,6 +291,63 @@ fn bench_gate_sweep_speedup_meaningful_only_on_multi_cpu_hosts() {
     assert!(
         fresh >= floor,
         "sweep speedup regressed: fresh x{fresh:.2} < floor x{floor:.2} (baseline x{baseline:.2})"
+    );
+}
+
+#[test]
+fn bench_gate_tournament_throughput_within_25_pct_of_committed() {
+    if std::env::var("MOBICORE_BENCH_GATE").as_deref() != Ok("1") {
+        eprintln!("tournament gate skipped (set MOBICORE_BENCH_GATE=1 to enable)");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "tournament gate skipped: needs an optimized build \
+             (run with `cargo test --release`)"
+        );
+        return;
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Some((baseline_path, baseline)) =
+        latest_committed_baseline(&root, "bench.tournament_runs_per_s")
+    else {
+        eprintln!("tournament gate skipped: no comparable baseline carries tournament_runs_per_s");
+        return;
+    };
+    let _serial = GATE_LOCK.lock().expect("gate lock");
+    let out = fresh_tournament();
+    let fresh = out.runs_per_s;
+    let floor = baseline * (1.0 - MAX_REGRESSION);
+    eprintln!(
+        "tournament gate: fresh {fresh:.1} runs/s vs baseline {baseline:.1} \
+         ({}), floor {floor:.1}",
+        baseline_path.display()
+    );
+    assert!(
+        fresh >= floor,
+        "tournament throughput regressed >{:.0} %: fresh {fresh:.1} < floor {floor:.1} \
+         (baseline {baseline:.1} from {})",
+        MAX_REGRESSION * 100.0,
+        baseline_path.display()
+    );
+    // The quality half of the gate: the learned governor must keep
+    // undercutting the stock Android baseline on mean energy in the
+    // bench-sized field. The ratio is deterministic given the spec, so
+    // any failure here is a real behavior change, not noise.
+    let energy = |p: &str| {
+        out.leaderboard
+            .entries
+            .iter()
+            .find(|e| e.policy == p)
+            .map(|e| e.overall.energy_mj)
+            .expect("policy raced in the gate tournament")
+    };
+    let ratio = energy("learned") / energy("android-default");
+    eprintln!("tournament gate: learned energy is x{ratio:.3} of android-default");
+    assert!(
+        ratio < 1.0,
+        "learned governor no longer beats android-default on mean energy \
+         (ratio x{ratio:.3})"
     );
 }
 

@@ -1,0 +1,230 @@
+//! Closed-loop invariant driver for *arbitrary* [`CpuPolicy`]
+//! implementations — the learned governor, the stock-governor adapters,
+//! and MobiCore itself, all through one harness.
+//!
+//! The static walk in the crate root exploits that MobiCore's step is a
+//! pure function and enumerates its abstract automaton. A generic
+//! policy (the `learned` governor carries ridge-regression state and an
+//! exploration RNG) has no such enumerable state space, so this driver
+//! checks the same safety invariants *dynamically*: it drives the
+//! policy through a deterministic utilization schedule against a small
+//! plant model, applies every command the policy issues, and verifies
+//! each one on the way:
+//!
+//! * **opp-membership** — every issued frequency is a table OPP;
+//! * **quota-bounds** — every installed quota stays inside
+//!   `[Quota::MIN_FRACTION, 1.0]`;
+//! * **capacity-floor** — the operating point the policy leaves behind
+//!   still covers the quota-scaled demand it just observed
+//!   (`effective_capacity_khz`, the same pooled-quota arithmetic the
+//!   learned governor plans with), up to a configurable deadband and
+//!   saturating at the device's maximum capacity;
+//! * **hotplug-safety** — core 0 is never asked to go offline.
+//!
+//! Violations land in the same [`Report`] shape as the static checker,
+//! so `tests/policy_invariants.rs` can hold the learned governor to
+//! exactly the bar the hand-written policies clear.
+
+use crate::{InvariantReport, Report, EPS};
+use mobicore_model::energy::effective_capacity_khz;
+use mobicore_model::{DeviceProfile, Khz, Quota, Utilization};
+use mobicore_sim::{Command, CpuControl, CpuPolicy, PolicySnapshot};
+
+/// Schedule and tolerances of one closed-loop policy check.
+#[derive(Debug, Clone)]
+pub struct PolicyCheckConfig {
+    /// Utilization levels the loop dwells at, in order. The driver
+    /// visits them forward then backward (a ramp up and back down), so
+    /// both load onset and load retreat are exercised.
+    pub util_grid: Vec<f64>,
+    /// Samples spent at each utilization level.
+    pub dwell: usize,
+    /// Fractional slack allowed on the capacity floor (MobiCore's own
+    /// frequency deadband plays the same role in the static walk).
+    pub deadband: f64,
+}
+
+impl Default for PolicyCheckConfig {
+    fn default() -> Self {
+        PolicyCheckConfig {
+            util_grid: (0..=10).map(|i| f64::from(i) * 0.1).collect(),
+            dwell: 25,
+            deadband: 0.10,
+        }
+    }
+}
+
+/// The plant the policy closes its loop against: uniform cluster
+/// frequency, an online-core set, and the installed quota.
+struct Plant {
+    n_total: usize,
+    n_online: usize,
+    khz: Khz,
+    quota: Quota,
+}
+
+/// Drives `policy` through `ck`'s utilization schedule on `profile`'s
+/// plant and reports the four closed-loop invariants.
+///
+/// The returned [`Report`] carries the policy's name as its config
+/// label and no config diagnostics (there is no `MobiCoreConfig` here —
+/// the policy is checked as shipped).
+pub fn check_policy(
+    policy: &mut dyn CpuPolicy,
+    profile: &DeviceProfile,
+    ck: &PolicyCheckConfig,
+) -> Report {
+    let opps = profile.opps();
+    let n_total = profile.n_cores();
+    let max_capacity = f64::from(opps.max_khz().0) * n_total as f64;
+
+    let mut opp_membership = InvariantReport::new("opp-membership", "Table 1 / §2.2.1");
+    let mut quota_bounds = InvariantReport::new("quota-bounds", "Table 2 / §4.1.2");
+    let mut capacity_floor = InvariantReport::new("capacity-floor", "Eq. (9) / §4.2");
+    let mut hotplug_safety = InvariantReport::new("hotplug-safety", "§2.2.2 (cpu0 stays up)");
+
+    let mut plant = Plant {
+        n_total,
+        n_online: n_total,
+        khz: opps.min_khz(),
+        quota: Quota::FULL,
+    };
+    let window_us = policy.sampling_period_us();
+    let mut ctl = CpuControl::new();
+
+    // Ramp up, then back down: …, u_max, u_max, u_{max-1}, … — load
+    // retreat is where capacity-reducing decisions happen.
+    let schedule: Vec<f64> = ck
+        .util_grid
+        .iter()
+        .chain(ck.util_grid.iter().rev())
+        .copied()
+        .collect();
+    for &u in &schedule {
+        for _ in 0..ck.dwell {
+            let mut snap = PolicySnapshot::synthetic(
+                plant.n_total,
+                plant.n_online,
+                plant.khz,
+                Utilization::new(u),
+                window_us,
+            );
+            snap.quota = plant.quota;
+            let demand = snap.demand_khz();
+            policy.on_sample(&snap, &mut ctl);
+
+            for cmd in ctl.take() {
+                match cmd {
+                    Command::SetFreq { khz, .. } | Command::SetFreqAll { khz } => {
+                        opp_membership.states_checked += 1;
+                        if opps.index_of(khz).is_none() {
+                            opp_membership.violate(format!(
+                                "u={u:.2} n={}: issued {khz} is not a table OPP \
+                                 (table spans {}..{})",
+                                plant.n_online,
+                                opps.min_khz(),
+                                opps.max_khz()
+                            ));
+                        }
+                        plant.khz = opps.snap_up(khz).khz;
+                    }
+                    Command::SetOnline { core, online } => {
+                        hotplug_safety.states_checked += 1;
+                        if core == 0 && !online {
+                            hotplug_safety.violate(format!("u={u:.2}: asked core 0 to go offline"));
+                        } else if online {
+                            plant.n_online = (plant.n_online + 1).min(plant.n_total);
+                        } else {
+                            plant.n_online = plant.n_online.saturating_sub(1).max(1);
+                        }
+                    }
+                    Command::SetQuota(q) => {
+                        quota_bounds.states_checked += 1;
+                        let f = q.as_fraction();
+                        if !(Quota::MIN_FRACTION - EPS..=1.0 + EPS).contains(&f) {
+                            quota_bounds.violate(format!(
+                                "u={u:.2}: quota {f:.4} outside [{:.2}, 1.00]",
+                                Quota::MIN_FRACTION
+                            ));
+                        }
+                        plant.quota = q;
+                    }
+                }
+            }
+
+            // capacity-floor on the operating point left behind: it
+            // must still cover the quota-scaled demand the policy just
+            // saw, saturating at the biggest point the device has.
+            capacity_floor.states_checked += 1;
+            let delivered =
+                effective_capacity_khz(plant.khz, plant.n_online, plant.quota, plant.n_total);
+            let floor = (plant.quota.as_fraction() * demand).min(max_capacity);
+            if delivered * (1.0 + EPS) < (1.0 - ck.deadband) * floor {
+                capacity_floor.violate(format!(
+                    "u={u:.2}: left {delivered:.0} kHz-eq of capacity \
+                     ({} x {} cores, quota {:.2}) under a floor of {floor:.0}",
+                    plant.khz,
+                    plant.n_online,
+                    plant.quota.as_fraction()
+                ));
+            }
+        }
+    }
+
+    Report {
+        profile: profile.name().to_string(),
+        config_label: policy.name().to_string(),
+        diagnostics: Vec::new(),
+        invariants: vec![opp_membership, quota_bounds, capacity_floor, hotplug_safety],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobicore_model::profiles;
+
+    /// A deliberately broken policy: off-OPP frequency, core-0 offline.
+    struct Rogue;
+
+    impl CpuPolicy for Rogue {
+        fn name(&self) -> &str {
+            "rogue"
+        }
+
+        fn on_sample(&mut self, _snap: &PolicySnapshot, ctl: &mut CpuControl) {
+            ctl.set_freq_all(Khz(123_456));
+            ctl.set_online(0, false);
+        }
+    }
+
+    #[test]
+    fn rogue_policy_is_caught() {
+        let profile = profiles::nexus5();
+        let ck = PolicyCheckConfig {
+            util_grid: vec![0.5],
+            dwell: 2,
+            ..PolicyCheckConfig::default()
+        };
+        let report = check_policy(&mut Rogue, &profile, &ck);
+        assert!(!report.ok());
+        let by_name = |n: &str| {
+            report
+                .invariants
+                .iter()
+                .find(|i| i.name == n)
+                .unwrap_or_else(|| panic!("{n} checked"))
+        };
+        assert!(by_name("opp-membership").violation_count > 0);
+        assert!(by_name("hotplug-safety").violation_count > 0);
+        assert_eq!(by_name("quota-bounds").violation_count, 0);
+    }
+
+    #[test]
+    fn mobicore_itself_passes_the_dynamic_driver() {
+        let profile = profiles::nexus5();
+        let mut policy = mobicore::MobiCore::new(&profile);
+        let report = check_policy(&mut policy, &profile, &PolicyCheckConfig::default());
+        assert!(report.ok(), "{}", report.human());
+    }
+}

@@ -44,6 +44,9 @@ use mobicore_model::{profiles, DeviceProfile, Quota, Utilization};
 use mobicore_sim::PolicySnapshot;
 use std::collections::HashMap;
 
+pub mod closed_loop;
+pub use closed_loop::{check_policy, PolicyCheckConfig};
+
 /// Absolute tolerance for floating-point invariant comparisons.
 const EPS: f64 = 1e-9;
 

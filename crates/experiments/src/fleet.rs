@@ -148,10 +148,7 @@ pub struct FleetOutput {
 /// Panics on a name neither `mobicore` nor in the governor registry —
 /// [`run`] validates names up front so the panic carries the CLI error.
 fn build_policy(spec: &FleetSpec, profile: &DeviceProfile) -> Box<dyn mobicore_sim::CpuPolicy> {
-    if spec.policy == "mobicore" {
-        return Box::new(mobicore::MobiCore::new(profile));
-    }
-    mobicore_governors::registry::build(&spec.policy, profile)
+    crate::policy::by_name(&spec.policy, profile, crate::runner::SEED)
         .unwrap_or_else(|| panic!("unknown policy {:?}", spec.policy))
 }
 

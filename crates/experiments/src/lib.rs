@@ -43,6 +43,7 @@ pub mod fig13;
 pub mod fleet;
 pub mod games_suite;
 pub mod phone;
+pub mod policy;
 pub mod result;
 pub mod runner;
 pub mod table1;

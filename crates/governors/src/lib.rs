@@ -13,7 +13,10 @@
 //!   the baseline of every comparison in the paper's evaluation;
 //! * [`adapter`] — [`GovernorPolicy`], which lifts any
 //!   `DvfsGovernor` (+ optional `HotplugPolicy`) into the simulator's
-//!   [`CpuPolicy`](mobicore_sim::CpuPolicy) slot.
+//!   [`CpuPolicy`](mobicore_sim::CpuPolicy) slot;
+//! * [`learned`] — [`LearnedGovernor`]: a seeded online-learning
+//!   governor (contextual bandit over cores × frequency × quota) that
+//!   the `mobicore-tournament` harness races against everything above.
 //!
 //! ```
 //! use mobicore_governors::AndroidDefaultPolicy;
@@ -39,6 +42,7 @@ pub mod adapter;
 pub mod android;
 pub mod dvfs;
 pub mod hotplug;
+pub mod learned;
 pub mod registry;
 
 pub use adapter::GovernorPolicy;
@@ -47,3 +51,4 @@ pub use dvfs::{
     Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil, Userspace,
 };
 pub use hotplug::{DefaultHotplug, HotplugPolicy, NoHotplug, RqHotplug};
+pub use learned::{LearnedConfig, LearnedGovernor, LearnedState};

@@ -10,11 +10,12 @@ use crate::android::AndroidDefaultPolicy;
 use crate::dvfs::{
     Conservative, DvfsGovernor, Interactive, Ondemand, Performance, Powersave, Schedutil,
 };
+use crate::learned::LearnedGovernor;
 use mobicore_model::DeviceProfile;
 use mobicore_sim::CpuPolicy;
 
 /// Every name [`build`] accepts, in a stable order.
-pub const NAMES: [&str; 8] = [
+pub const NAMES: [&str; 9] = [
     "android-default",
     "android-ondemand-only",
     "ondemand",
@@ -23,19 +24,33 @@ pub const NAMES: [&str; 8] = [
     "powersave",
     "performance",
     "schedutil",
+    "learned",
 ];
 
 /// Constructs the named stock policy for `profile`, or `None` for a
 /// name this crate does not own.
 ///
 /// `android-default` is the composed ondemand + default-hotplug
-/// baseline; every other name is the DVFS-only governor of that name
-/// (all cores stay online), matching how the thesis isolates the
-/// cpufreq half.
+/// baseline; `learned` is the online-learning governor at its default
+/// seed (use [`build_seeded`] to pin a different one); every other name
+/// is the DVFS-only governor of that name (all cores stay online),
+/// matching how the thesis isolates the cpufreq half.
 pub fn build(name: &str, profile: &DeviceProfile) -> Option<Box<dyn CpuPolicy + Send>> {
+    build_seeded(name, profile, crate::learned::DEFAULT_SEED)
+}
+
+/// [`build`] with an explicit exploration seed for the `learned`
+/// governor (every other name ignores the seed — the stock governors
+/// are deterministic functions of the snapshot stream already).
+pub fn build_seeded(
+    name: &str,
+    profile: &DeviceProfile,
+    seed: u64,
+) -> Option<Box<dyn CpuPolicy + Send>> {
     let dvfs: Box<dyn DvfsGovernor + Send> = match name {
         "android-default" => return Some(Box::new(AndroidDefaultPolicy::new(profile))),
         "android-ondemand-only" => return Some(Box::new(AndroidDefaultPolicy::dvfs_only(profile))),
+        "learned" => return Some(Box::new(LearnedGovernor::new(profile, seed))),
         "ondemand" => Box::new(Ondemand::new()),
         "interactive" => Box::new(Interactive::new()),
         "conservative" => Box::new(Conservative::new()),

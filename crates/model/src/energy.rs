@@ -218,6 +218,29 @@ pub fn mobicore_frequency(
     f_new
 }
 
+/// Deliverable compute capacity of an operating point, in kHz-equivalents
+/// (cycles per second, on the same scale as a `Σ util·cur_khz` demand sum
+/// over online cores).
+///
+/// The frequency bounds what each online core can execute; the CFS
+/// bandwidth quota bounds the **global** runtime pool at `q · n_total`
+/// core-seconds per second (the pool does not shrink when cores go
+/// offline — see the bandwidth controller's docs), so the delivered
+/// capacity is `f · min(n_online, q · n_total)`.
+///
+/// ```
+/// use mobicore_model::energy::effective_capacity_khz;
+/// use mobicore_model::{Khz, Quota};
+/// // 2 cores at 1 GHz, quota 1.0 of a 4-core pool: frequency-bound.
+/// assert_eq!(effective_capacity_khz(Khz(1_000_000), 2, Quota::FULL, 4), 2_000_000.0);
+/// // 4 cores at 1 GHz, quota 0.25: runtime-pool-bound at 1 core's worth.
+/// assert_eq!(effective_capacity_khz(Khz(1_000_000), 4, Quota::new(0.25), 4), 1_000_000.0);
+/// ```
+pub fn effective_capacity_khz(f: Khz, n_online: usize, quota: Quota, n_total: usize) -> f64 {
+    let pool_cores = (quota.as_fraction() * n_total as f64).min(n_online as f64);
+    f64::from(f.0) * pool_cores
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,20 @@ impl PolicySnapshot {
         self.cores.iter().filter(|c| c.online).count()
     }
 
+    /// Observed compute demand in kHz-equivalents: `Σ util·cur_khz` over
+    /// online cores — the cycles-per-second the workload actually consumed
+    /// in the window, independent of which operating point delivered them.
+    /// Capacity-planning policies (the learned governor, the checker's
+    /// capacity-floor invariant) compare this against
+    /// `mobicore_model::energy::effective_capacity_khz`.
+    pub fn demand_khz(&self) -> f64 {
+        self.cores
+            .iter()
+            .filter(|c| c.online)
+            .map(|c| c.util.as_fraction() * f64::from(c.cur_khz.0))
+            .sum()
+    }
+
     /// Average utilization over *online* cores only (the per-core load
     /// MobiCore's Eq. (9) multiplies back in via `K · n_max / n`).
     pub fn online_avg_util(&self) -> Utilization {

@@ -13,7 +13,7 @@
 #![deny(unsafe_code)]
 #![warn(clippy::float_cmp, clippy::cast_possible_truncation)]
 
-use mobicore_telemetry::{events_from_jsonl, EventKind, RunManifest};
+use mobicore_telemetry::{events_from_jsonl, EventKind, Leaderboard, RunManifest};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -38,9 +38,11 @@ fn usage() -> &'static str {
      \x20      mobicore-inspect kinds\n\
      \n\
      summary  renders one or more run manifests (written by the simulator,\n\
-     \x20        the experiments runner, or the bench harness)\n\
-     diff     compares two manifests metric-by-metric; exits 1 when they\n\
-     \x20        differ, so it can gate scripts\n\
+     \x20        the experiments runner, or the bench harness) or tournament\n\
+     \x20        leaderboards (written by mobicore-tournament)\n\
+     diff     compares two manifests metric-by-metric — or, for two\n\
+     \x20        tournament leaderboards, policy-by-policy rank/energy\n\
+     \x20        deltas; exits 1 when they differ, so it can gate scripts\n\
      events   prints a JSONL event stream, optionally filtered by kind\n\
      \x20        (`--kind hotplug` matches all hotplug-related kinds) and by\n\
      \x20        a [--since, --until) microsecond window\n\
@@ -55,21 +57,57 @@ fn read_manifest(path: &str) -> Result<RunManifest, String> {
     RunManifest::from_json_text(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+fn read_leaderboard(path: &str) -> Result<Leaderboard, String> {
+    Leaderboard::from_json_text(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
 fn cmd_summary(paths: &[String]) -> Result<ExitCode, String> {
     for (i, path) in paths.iter().enumerate() {
         if i > 0 {
             outln("");
         }
-        let m = read_manifest(path)?;
         if paths.len() > 1 {
             outln(&format!("== {path} =="));
         }
-        out(&m.summary_text());
+        let text = read_file(path)?;
+        if Leaderboard::detect(&text) {
+            let lb = Leaderboard::from_json_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            out(&lb.summary_text());
+        } else {
+            let m = RunManifest::from_json_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            out(&m.summary_text());
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
 
+/// Diff of two tournament leaderboards: per-policy rank/energy deltas
+/// instead of the generic metric table.
+fn cmd_diff_leaderboards(a_path: &str, b_path: &str) -> Result<ExitCode, String> {
+    let a = read_leaderboard(a_path)?;
+    let b = read_leaderboard(b_path)?;
+    outln(&format!(
+        "a: {} (tournament {}, profile {})",
+        a_path, a.name, a.profile
+    ));
+    outln(&format!(
+        "b: {} (tournament {}, profile {})",
+        b_path, b.name, b.profile
+    ));
+    let d = a.diff(&b);
+    out(&d.summary_text());
+    let same = d.rows.iter().all(|r| !r.changed());
+    Ok(if same {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_diff(a_path: &str, b_path: &str) -> Result<ExitCode, String> {
+    if Leaderboard::detect(&read_file(a_path)?) && Leaderboard::detect(&read_file(b_path)?) {
+        return cmd_diff_leaderboards(a_path, b_path);
+    }
     let a = read_manifest(a_path)?;
     let b = read_manifest(b_path)?;
     outln(&format!(

@@ -44,12 +44,17 @@
 
 pub mod event;
 pub mod json;
+pub mod leaderboard;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
 
 pub use event::{Event, EventData, EventKind};
 pub use json::{Json, JsonError};
+pub use leaderboard::{
+    Leaderboard, LeaderboardDiff, LeaderboardEntry, PolicyDiffRow, PolicyStats, TOURNAMENT_KIND,
+    TOURNAMENT_SCHEMA_VERSION,
+};
 pub use manifest::{git_describe, DiffRow, ManifestDiff, RunManifest, SCHEMA_VERSION};
 pub use metrics::{Histogram, MetricSet};
 pub use sink::{events_from_jsonl, events_to_jsonl, Telemetry, DEFAULT_MAX_EVENTS};

@@ -361,7 +361,7 @@ impl ManifestDiff {
 
 /// Formats a metric value compactly: integers plain, fractions to 4
 /// significant decimals.
-fn fmt_value(v: f64) -> String {
+pub(crate) fn fmt_value(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         #[allow(clippy::cast_possible_truncation)]
         {

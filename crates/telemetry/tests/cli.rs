@@ -2,7 +2,9 @@
 //! summary/diff/events rendering, and kind filtering, driven through the
 //! real executable on manifests and event streams written to a temp dir.
 
-use mobicore_telemetry::{EventData, RunManifest, Telemetry};
+use mobicore_telemetry::{
+    EventData, Leaderboard, LeaderboardEntry, PolicyStats, RunManifest, Telemetry,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -104,6 +106,72 @@ fn diff_on_identical_runs_exits_zero() {
     let out = run(&["diff", &a, &b]);
     assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
     assert!(stdout(&out).contains("no metric differences"));
+}
+
+fn leaderboard(learned_energy: f64) -> Leaderboard {
+    let entry = |policy: &str, energy: f64| LeaderboardEntry {
+        policy: policy.to_string(),
+        rank: 0,
+        pareto: false,
+        overall: PolicyStats {
+            energy_mj: energy,
+            perf_gcycles: 12.0,
+            qos_violations: 0,
+            runs: 4,
+        },
+        scenarios: BTreeMap::new(),
+    };
+    let mut lb = Leaderboard {
+        name: "cli-test".into(),
+        profile: "Nexus 5".into(),
+        duration_us: 5_000_000,
+        scenarios: vec!["steady-video".into(), "gaming".into()],
+        seeds: vec![1, 2],
+        git: None,
+        created_unix_ms: None,
+        wall_ms: None,
+        entries: vec![
+            entry("learned", learned_energy),
+            entry("android-default", 9_000.0),
+        ],
+    };
+    lb.finalize();
+    lb
+}
+
+#[test]
+fn summary_renders_a_leaderboard() {
+    let dir = Scratch::new("lb-summary");
+    let path = dir.file("lb.json", &leaderboard(7_000.0).to_json_text());
+    let out = run(&["summary", &path]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["tournament", "learned", "android-default", "pareto", "rank"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn diff_on_leaderboards_shows_rank_moves_and_exits_one() {
+    let dir = Scratch::new("lb-diff");
+    let a = dir.file("a.json", &leaderboard(7_000.0).to_json_text());
+    let b = dir.file("b.json", &leaderboard(9_500.0).to_json_text());
+    let out = run(&["diff", &a, &b]);
+    assert_eq!(out.status.code(), Some(1), "diff should signal differences");
+    let text = stdout(&out);
+    assert!(text.contains("learned"), "{text}");
+    assert!(text.contains("1->2"), "rank move:\n{text}");
+    assert!(!text.contains("no metric differences"), "{text}");
+}
+
+#[test]
+fn diff_on_identical_leaderboards_exits_zero() {
+    let dir = Scratch::new("lb-diff-same");
+    let a = dir.file("a.json", &leaderboard(7_000.0).to_json_text());
+    let b = dir.file("b.json", &leaderboard(7_000.0).to_json_text());
+    let out = run(&["diff", &a, &b]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("no leaderboard differences"));
 }
 
 #[test]

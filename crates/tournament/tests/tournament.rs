@@ -1,0 +1,143 @@
+//! Tournament acceptance tests: byte-determinism across worker counts
+//! (through the real `mobicore-tournament` binary), the full-field
+//! smoke race, and the ISSUE's learned-vs-android-default energy bar.
+
+use mobicore_telemetry::Leaderboard;
+use mobicore_tournament::{run, TournamentSpec};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mobicore-tournament"))
+        .args(args)
+        .output()
+        .expect("mobicore-tournament binary should spawn")
+}
+
+/// A per-test scratch dir under the target directory; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("tournament-{tag}"));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn leaderboard_bytes_are_identical_across_job_counts() {
+    let dir = Scratch::new("jobs");
+    let a = dir.path("jobs1.json");
+    let b = dir.path("jobs8.json");
+    let common = [
+        "--governors",
+        "ondemand,interactive,learned",
+        "--scenarios",
+        "mixed-day-mini,idle-day",
+        "--seeds",
+        "2",
+        "--secs",
+        "2",
+    ];
+    let out1 = cli(&[&common[..], &["--jobs", "1", "--out", &a]].concat());
+    assert!(
+        out1.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+    let out8 = cli(&[&common[..], &["--jobs", "8", "--out", &b]].concat());
+    assert!(
+        out8.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out8.stderr)
+    );
+    let bytes_a = std::fs::read(&a).expect("jobs1 leaderboard");
+    let bytes_b = std::fs::read(&b).expect("jobs8 leaderboard");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "--jobs must not change the leaderboard bytes"
+    );
+    // And the file is a leaderboard mobicore-inspect would accept.
+    let lb = Leaderboard::from_json_text(&String::from_utf8(bytes_a).unwrap()).unwrap();
+    assert_eq!(lb.entries.len(), 3);
+    assert!(!lb.pareto_frontier().is_empty());
+    // stdout carried the human table.
+    let text = String::from_utf8_lossy(&out1.stdout).into_owned();
+    for needle in ["rank", "policy", "pareto", "learned"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn full_field_smoke_races_every_policy() {
+    let spec = TournamentSpec {
+        name: "smoke".to_string(),
+        scenarios: vec!["steady-video".to_string()],
+        seeds: vec![1],
+        secs: 2,
+        ..TournamentSpec::default()
+    };
+    let out = run(&spec);
+    let lb = &out.leaderboard;
+    assert_eq!(lb.entries.len(), spec.policies.len());
+    assert!(!lb.pareto_frontier().is_empty(), "frontier is never empty");
+    // Every policy really ran: positive energy, one run each.
+    for e in &lb.entries {
+        assert!(e.overall.energy_mj > 0.0, "{} has no energy", e.policy);
+        assert_eq!(e.overall.runs, 1);
+    }
+    // powersave pins the lowest OPP: nothing can beat its energy.
+    let powersave = lb.entries.iter().find(|e| e.policy == "powersave").unwrap();
+    let min_energy = lb
+        .entries
+        .iter()
+        .map(|e| e.overall.energy_mj)
+        .fold(f64::INFINITY, f64::min);
+    assert!(powersave.overall.energy_mj <= min_energy * 1.001);
+}
+
+#[test]
+fn learned_beats_android_default_on_most_scenarios() {
+    let spec = TournamentSpec {
+        name: "learned-vs-android".to_string(),
+        policies: vec!["learned".to_string(), "android-default".to_string()],
+        seeds: vec![20170315, 20170316],
+        secs: 8,
+        ..TournamentSpec::default()
+    };
+    let lb = run(&spec).leaderboard;
+    let stats = |policy: &str| {
+        &lb.entries
+            .iter()
+            .find(|e| e.policy == policy)
+            .unwrap_or_else(|| panic!("{policy} raced"))
+            .scenarios
+    };
+    let learned = stats("learned");
+    let android = stats("android-default");
+    let mut wins = Vec::new();
+    for scen in &spec.scenarios {
+        let l = &learned[scen];
+        let a = &android[scen];
+        if l.qos_violations == a.qos_violations && l.energy_mj < a.energy_mj {
+            wins.push(scen.as_str());
+        }
+    }
+    assert!(
+        wins.len() >= 3,
+        "learned should beat android-default on >= 3 catalog scenarios \
+         at equal QoS violations; wins: {wins:?}\n{}",
+        lb.summary_text()
+    );
+}
